@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the simulation substrates — these bound
+//! how fast whole-system runs can go: DRAM device access, NoC send,
+//! extended-memory access, set-associative cache access, and end-to-end
+//! simulated ops/second of a small system.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ndpx_cache::setassoc::SetAssocCache;
+use ndpx_core::config::{PolicyKind, SystemConfig};
+use ndpx_core::system::NdpSystem;
+use ndpx_cxl::{CxlParams, ExtendedMemory};
+use ndpx_mem::device::{DramConfig, DramDevice};
+use ndpx_noc::network::{LinkParams, Network};
+use ndpx_noc::topology::{IntraKind, Topology, UnitId};
+use ndpx_sim::time::Time;
+use ndpx_workloads::trace::ScaleParams;
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_device");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("access", |b| {
+        let mut dram = DramDevice::new(DramConfig::hbm3_unit(256 << 20));
+        let mut addr = 0u64;
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x4_0941) & ((256 << 20) - 1);
+            now = dram.access(black_box(addr), 64, false, now).min(Time::from_us(u64::MAX >> 40));
+            now
+        });
+    });
+    group.finish();
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("send_cross_stack", |b| {
+        let mut net = Network::new(
+            Topology::paper_default(IntraKind::Mesh),
+            LinkParams::intra_stack(),
+            LinkParams::inter_stack(),
+        );
+        let mut now = Time::ZERO;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 128;
+            now += Time::from_ns(10);
+            net.send(UnitId(i), UnitId((i * 37 + 5) % 128), 64, black_box(now))
+        });
+    });
+    group.finish();
+}
+
+fn bench_ext(c: &mut Criterion) {
+    c.bench_function("cxl_ext_access", |b| {
+        let mut ext = ExtendedMemory::new(CxlParams::paper_default(), 1 << 30);
+        let mut addr = 0u64;
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x10_0941) & ((1 << 30) - 1);
+            now += Time::from_ns(500);
+            ext.access(black_box(addr), 64, false, now)
+        });
+    });
+}
+
+fn bench_setassoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setassoc_cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_access", |b| {
+        let mut l1 = SetAssocCache::with_capacity(64 << 10, 64, 4);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37) % 10_000;
+            l1.access(black_box(key), false)
+        });
+    });
+    group.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whole_system");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(16 * 2000));
+    group.bench_function("ndpext_pr_2k_ops_per_core", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::test(PolicyKind::NdpExt);
+            let p = ScaleParams { cores: cfg.units(), footprint: 4 << 20, seed: 1 };
+            let wl = ndpx_workloads::build("pr", &p).expect("known").expect("builds");
+            let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+            sys.run(black_box(2000))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_dram, bench_noc, bench_ext, bench_setassoc, bench_system 
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation study: how much each NDPExt mechanism contributes.
+//!
+//! Not a paper figure — DESIGN.md calls for ablations of the design choices.
+//! Each row disables one mechanism and reports the slowdown relative to full
+//! NDPExt (geomean over the representative workloads):
+//!
+//! * `no-replication`   — cap replication groups at 1 (placement only);
+//! * `bulk-invalidate`  — disable consistent-hash transfer;
+//! * `line-blocks`      — affine blocks shrunk to one cacheline (no spatial
+//!                        prefetch from the stream abstraction);
+//! * `no-reconfig`      — freeze the warmup configuration (≈NDPExt-static).
+
+use ndpx_bench::runner::{geomean, run_many, BenchScale, RunSpec};
+use ndpx_core::config::{MemKind, PolicyKind, ReconfigTransfer};
+use ndpx_workloads::REPRESENTATIVE_WORKLOADS;
+
+fn geotime(scale: BenchScale, policy: PolicyKind, tweak: Option<fn(&mut ndpx_core::SystemConfig)>) -> f64 {
+    let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
+        .iter()
+        .map(|&w| {
+            let mut s = RunSpec::new(MemKind::Hbm, policy, w, scale);
+            if let Some(t) = tweak {
+                s = s.with_tweak(t);
+            }
+            s
+        })
+        .collect();
+    geomean(run_many(specs).iter().map(|r| r.sim_time.as_ps() as f64))
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("# Ablation: slowdown vs full NDPExt (geomean, representative set)");
+    let full = geotime(scale, PolicyKind::NdpExt, None);
+
+    let rows: [(&str, PolicyKind, Option<fn(&mut ndpx_core::SystemConfig)>); 4] = [
+        ("no-replication", PolicyKind::NdpExt, Some((|cfg: &mut ndpx_core::SystemConfig| cfg.allow_replication = false) as fn(&mut ndpx_core::SystemConfig))),
+        (
+            "bulk-invalidate",
+            PolicyKind::NdpExt,
+            Some(|cfg| cfg.transfer = ReconfigTransfer::BulkInvalidate),
+        ),
+        ("line-blocks", PolicyKind::NdpExt, Some(|cfg| cfg.affine_block = cfg.line_bytes)),
+        ("no-reconfig", PolicyKind::NdpExtStatic, None),
+    ];
+    println!("{:>16} {:>10}", "variant", "slowdown");
+    println!("{:>16} {:>10.3}", "full-ndpext", 1.0);
+    for (label, policy, tweak) in rows {
+        let t = geotime(scale, policy, tweak);
+        println!("{label:>16} {:>10.3}", t / full);
+    }
+    println!("\n(>1.0 means the removed mechanism was helping)");
+}

@@ -1,0 +1,33 @@
+//! Figure 8(b): NDPExt speedup over Nexus at different CXL link latencies.
+//!
+//! Expected shape (paper): higher link latency makes misses to the extended
+//! memory dearer, so NDPExt's better placement pays off more — speedups grow
+//! from ≈1.33× at 50 ns to ≈1.50× at 400 ns.
+
+use ndpx_bench::runner::{geomean, run_many, BenchScale, RunSpec};
+use ndpx_core::config::{MemKind, PolicyKind};
+use ndpx_sim::time::Time;
+use ndpx_workloads::REPRESENTATIVE_WORKLOADS;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("# Fig 8b: NDPExt speedup over Nexus vs CXL link latency");
+    println!("{:>10} {:>10}", "latency_ns", "speedup");
+    for &ns in &[50u64, 100, 200, 400] {
+        let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
+            .iter()
+            .flat_map(|&w| {
+                [PolicyKind::Nexus, PolicyKind::NdpExt].into_iter().map(move |p| {
+                    RunSpec::new(MemKind::Hbm, p, w, scale)
+                        .with_tweak(move |cfg| cfg.cxl = cfg.cxl.with_latency(Time::from_ns(ns)))
+                })
+            })
+            .collect();
+        let reports = run_many(specs);
+        let ratios: Vec<f64> = reports
+            .chunks(2)
+            .map(|pair| pair[0].sim_time.as_ps() as f64 / pair[1].sim_time.as_ps() as f64)
+            .collect();
+        println!("{ns:>10} {:>10.2}", geomean(ratios));
+    }
+}

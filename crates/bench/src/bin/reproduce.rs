@@ -1,0 +1,42 @@
+//! Runs every figure/table binary in sequence — the one-command paper
+//! reproduction. Honors `NDPX_SCALE` like the individual binaries.
+
+use std::process::Command;
+
+const STEPS: [(&str, &[&str]); 9] = [
+    ("fig02_breakdown", &[]),
+    ("fig04_maxflow", &[]),
+    ("fig05_overall", &["--mem", "hbm"]),
+    ("fig05_overall", &["--mem", "hmc"]),
+    ("fig06_energy", &[]),
+    ("fig07_latency_miss", &[]),
+    ("fig08a_scaling", &[]),
+    ("fig08b_cxl", &[]),
+    ("tab_consistent_hash", &[]),
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failed = 0;
+    for (bin, args) in STEPS {
+        println!("\n======== {bin} {} ========", args.join(" "));
+        let status = Command::new(dir.join(bin)).args(args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("step {bin} failed: {other:?}");
+                failed += 1;
+            }
+        }
+    }
+    println!("\n======== fig09_design all ========");
+    let status = Command::new(dir.join("fig09_design")).arg("all").status();
+    if !matches!(status, Ok(s) if s.success()) {
+        failed += 1;
+    }
+    if failed > 0 {
+        eprintln!("{failed} step(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Quick trend sanity check: NDPExt vs baselines vs host on one workload.
+use ndpx_bench::runner::{run_host, run_ndp, BenchScale, RunSpec};
+use ndpx_core::config::{MemKind, PolicyKind};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let workload: &'static str = std::env::args().nth(1).map(|s| &*s.leak()).unwrap_or("pr");
+    let ops = std::env::var("NDPX_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(scale.ops_per_core());
+    let host = run_host(workload, scale, ops);
+    println!(
+        "host      : time {:>12}  miss {:.3}  ops/us {:.1}",
+        host.sim_time.to_string(), host.miss_rate(), host.ops_per_us()
+    );
+    let filter = std::env::var("NDPX_POLICY").ok();
+    for policy in PolicyKind::ALL {
+        if let Some(f) = &filter {
+            if policy.label() != f {
+                continue;
+            }
+        }
+        let spec = RunSpec { ops_per_core: ops, ..RunSpec::new(MemKind::Hbm, policy, workload, scale) };
+        let r = run_ndp(&spec);
+        if std::env::var("NDPX_DEBUG").is_ok() {
+            use ndpx_core::stats::LatComponent;
+            let parts: Vec<String> = LatComponent::ALL
+                .iter()
+                .map(|&c| format!("{}={:.2}", c.label(), r.breakdown.fraction(c)))
+                .collect();
+            println!("    breakdown: {} total={}", parts.join(" "), r.breakdown.total());
+        }
+        println!(
+            "{:<10}: time {:>12}  miss {:.3}  l1 {:.2}  local {:.2}  icn {:>9}  slbm {}  metaD {}  inv {}  repl {:.2}  vs-host {:.2}x",
+            policy.label(), r.sim_time.to_string(), r.miss_rate(), r.l1_hit_rate(),
+            r.local_hits as f64 / (r.cache_hits.max(1)) as f64,
+            r.avg_interconnect().to_string(), r.slb_misses, r.metadata_dram, r.invalidations,
+            r.replicated_fraction,
+            host.sim_time.as_ps() as f64 / r.sim_time.as_ps() as f64 * (r.ops as f64 / host.ops as f64),
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! # ndpx-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! NDPExt paper. Each `fig*` binary prints the rows/series of one figure;
+//! [`runner`] provides the shared machinery (scale profiles, parallel run
+//! execution, normalized-speedup tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{geomean, run_host, run_many, run_ndp, BenchScale, RunSpec};

@@ -1,0 +1,245 @@
+//! Shared bench-harness machinery: scale selection, run execution, and
+//! result formatting.
+//!
+//! All figure binaries accept the `NDPX_SCALE` environment variable:
+//! `test` (seconds, CI-sized), `small` (default, minutes), or `paper`
+//! (the full Table II geometry; long). Runs at one scale are directly
+//! comparable: every policy executes the identical op stream.
+
+use ndpx_core::config::{MemKind, PolicyKind, SystemConfig};
+use ndpx_core::host::{HostConfig, HostSystem};
+use ndpx_core::stats::RunReport;
+use ndpx_core::system::NdpSystem;
+use ndpx_workloads::trace::ScaleParams;
+
+/// Benchmark scale profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Tiny: 16 units, small footprints; for smoke runs and CI.
+    Test,
+    /// Default: the paper's 128-unit topology at reduced capacity.
+    Small,
+    /// Full Table II geometry and capacities (slow).
+    Paper,
+}
+
+impl BenchScale {
+    /// Reads `NDPX_SCALE` (defaults to [`BenchScale::Small`]).
+    pub fn from_env() -> Self {
+        match std::env::var("NDPX_SCALE").as_deref() {
+            Ok("test") => BenchScale::Test,
+            Ok("paper") => BenchScale::Paper,
+            _ => BenchScale::Small,
+        }
+    }
+
+    /// The NDP system configuration at this scale.
+    pub fn system(self, mem: MemKind, policy: PolicyKind) -> SystemConfig {
+        match self {
+            BenchScale::Test => {
+                let mut cfg = SystemConfig::test(policy);
+                cfg.mem_kind = mem;
+                cfg
+            }
+            BenchScale::Small => SystemConfig::bench(mem, policy),
+            BenchScale::Paper => SystemConfig::paper(mem, policy),
+        }
+    }
+
+    /// Workload scale parameters for a system with `cores` cores. The
+    /// footprint is sized at 1.2× the NDP cache: the paper runs workload
+    /// processes "until the total footprint exceeds the NDP memory", i.e.
+    /// the cache holds most but not all of the data.
+    pub fn workload(self, cfg: &SystemConfig) -> ScaleParams {
+        let cache = cfg.units() as u64 * cfg.unit_capacity;
+        ScaleParams { cores: cfg.units(), footprint: cache * 6 / 5, seed: 0xBEEF }
+    }
+
+    /// Trace operations per core for headline runs.
+    pub fn ops_per_core(self) -> u64 {
+        match self {
+            BenchScale::Test => 20_000,
+            BenchScale::Small => 30_000,
+            BenchScale::Paper => 400_000,
+        }
+    }
+}
+
+/// One simulation request.
+#[derive(Clone)]
+pub struct RunSpec {
+    /// Memory family.
+    pub mem: MemKind,
+    /// Policy.
+    pub policy: PolicyKind,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scale profile.
+    pub scale: BenchScale,
+    /// Ops per core (defaults to the scale's headline count).
+    pub ops_per_core: u64,
+    /// Optional config tweak applied before the run.
+    pub tweak: Option<std::sync::Arc<dyn Fn(&mut SystemConfig) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for RunSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("mem", &self.mem)
+            .field("policy", &self.policy)
+            .field("workload", &self.workload)
+            .field("ops_per_core", &self.ops_per_core)
+            .field("tweaked", &self.tweak.is_some())
+            .finish()
+    }
+}
+
+impl RunSpec {
+    /// Applies a configuration tweak (builder style).
+    pub fn with_tweak(mut self, f: impl Fn(&mut SystemConfig) + Send + Sync + 'static) -> Self {
+        self.tweak = Some(std::sync::Arc::new(f));
+        self
+    }
+
+    /// A spec with the scale's default op count and no tweak.
+    pub fn new(mem: MemKind, policy: PolicyKind, workload: &'static str, scale: BenchScale) -> Self {
+        RunSpec { mem, policy, workload, scale, ops_per_core: scale.ops_per_core(), tweak: None }
+    }
+}
+
+/// Executes one NDP run.
+///
+/// # Panics
+///
+/// Panics on unknown workloads or invalid configurations — bench inputs are
+/// static.
+pub fn run_ndp(spec: &RunSpec) -> RunReport {
+    let mut cfg = spec.scale.system(spec.mem, spec.policy);
+    if let Some(tweak) = &spec.tweak {
+        tweak(&mut cfg);
+    }
+    let params = spec.scale.workload(&cfg);
+    let wl = ndpx_workloads::build(spec.workload, &params)
+        .expect("workload name is known")
+        .expect("workload constructs");
+    let mut sys = NdpSystem::new(cfg, wl).expect("config and workload are consistent");
+    sys.run(spec.ops_per_core)
+}
+
+/// Executes the non-NDP host baseline on the same workload and op count.
+///
+/// The host always uses 64 cores at `Small`/`Paper` scale and the NDP unit
+/// count at `Test` scale (so the tiny profile stays comparable).
+///
+/// # Panics
+///
+/// Panics on unknown workloads — bench inputs are static.
+pub fn run_host(workload: &'static str, scale: BenchScale, ops_per_core: u64) -> RunReport {
+    let ndp_cfg = scale.system(MemKind::Hbm, PolicyKind::NdpExt);
+    let cores = match scale {
+        BenchScale::Test => ndp_cfg.units(),
+        _ => 64,
+    };
+    let mut host_cfg = match scale {
+        BenchScale::Test => HostConfig::test(cores),
+        _ => HostConfig::paper(),
+    };
+    host_cfg.cores = cores;
+    // Scale the host LLC with the NDP cache, preserving the paper's
+    // 32 MB : 16 GB (1:512) capacity ratio.
+    let ndp_cache = ndp_cfg.units() as u64 * ndp_cfg.unit_capacity;
+    host_cfg.llc_bytes = (ndp_cache / 512).max(256 << 10);
+    let cache = ndp_cfg.units() as u64 * ndp_cfg.unit_capacity;
+    let params = ScaleParams { cores, footprint: cache * 4, seed: 0xBEEF };
+    let wl = ndpx_workloads::build(workload, &params)
+        .expect("workload name is known")
+        .expect("workload constructs");
+    // Equalize total work: the host runs the same total op count.
+    let total_ops = ops_per_core * ndp_cfg.units() as u64;
+    let host_ops = total_ops / cores as u64;
+    HostSystem::new(host_cfg, wl).expect("consistent").run(host_ops)
+}
+
+/// Runs many specs across threads (simulations are independent).
+pub fn run_many(specs: Vec<RunSpec>) -> Vec<RunReport> {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let specs = std::sync::Arc::new(specs);
+    let next = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let results = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(specs.len().max(1)) {
+            let specs = specs.clone();
+            let next = next.clone();
+            let results = results.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let report = run_ndp(&specs[i]);
+                results.lock().push((i, report));
+            });
+        }
+    })
+    .expect("bench worker panicked");
+    let mut out = std::sync::Arc::try_unwrap(results)
+        .expect("all workers joined")
+        .into_inner();
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean requires positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Prints a Markdown-ish table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn scale_from_env_default() {
+        // Without the variable set, Small is the default.
+        std::env::remove_var("NDPX_SCALE");
+        assert_eq!(BenchScale::from_env(), BenchScale::Small);
+    }
+
+    #[test]
+    fn test_scale_runs_quickly() {
+        let spec = RunSpec {
+            ops_per_core: 1000,
+            ..RunSpec::new(MemKind::Hbm, PolicyKind::NdpExt, "pr", BenchScale::Test)
+        };
+        let r = run_ndp(&spec);
+        assert!(r.ops > 0);
+    }
+}

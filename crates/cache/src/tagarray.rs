@@ -1,0 +1,314 @@
+//! Externally-indexed tag arrays for DRAM-cache contents.
+//!
+//! Unlike [`crate::setassoc::SetAssocCache`], which hashes keys to sets
+//! internally, a [`TagArray`] is indexed by a *slot* supplied by the caller —
+//! the placement layer (shares, replication groups) decides where a key may
+//! live, and the tag array only records what currently occupies each slot.
+//! This models both the baselines' in-DRAM cacheline tags and NDPExt's
+//! affine/indirect stream caches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::setassoc::{CacheStats, Outcome};
+
+/// A resizable tag array of `slots` entries grouped into sets of `ways`.
+///
+/// Slot indices come from the placement layer. With `ways == 1` the array is
+/// direct-mapped (the paper's default for indirect streams); higher
+/// associativity groups consecutive slots into one set with LRU replacement
+/// (evaluated in Fig. 9a).
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_cache::tagarray::TagArray;
+///
+/// let mut tags = TagArray::new(64, 1);
+/// assert!(!tags.access(5, 1000, false).is_hit());
+/// assert!(tags.access(5, 1000, false).is_hit());
+/// // Direct-mapped: a different key in the same slot evicts.
+/// assert!(!tags.access(5, 2000, false).is_hit());
+/// assert!(!tags.access(5, 1000, false).is_hit());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TagArray {
+    ways: usize,
+    sets: u64,
+    /// Key + 1 per physical slot; 0 = invalid.
+    tags: Vec<u64>,
+    dirty: Vec<bool>,
+    lru: Vec<u32>,
+    tick: u32,
+    stats: CacheStats,
+}
+
+impl TagArray {
+    /// Creates an array of `slots` entries at the given associativity.
+    ///
+    /// If `slots` is not a multiple of `ways` the remainder slots are
+    /// dropped (a partition loses at most `ways - 1` slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(slots: u64, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be at least 1");
+        // A tiny allocation (fewer slots than ways) degrades gracefully to
+        // a fully-associative array over the available slots.
+        let ways = ways.min(slots.max(1) as usize);
+        let sets = slots / ways as u64;
+        let n = (sets * ways as u64) as usize;
+        TagArray {
+            ways,
+            sets,
+            tags: vec![0; n],
+            dirty: vec![false; n],
+            lru: vec![0; n],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of usable slots.
+    pub fn slots(&self) -> u64 {
+        self.sets * self.ways as u64
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Accesses `key` at placement `slot` (reduced mod the set count),
+    /// filling on miss.
+    pub fn access(&mut self, slot: u64, key: u64, write: bool) -> Outcome {
+        if self.sets == 0 {
+            self.stats.misses.inc();
+            return Outcome::Miss { evicted: None };
+        }
+        self.tick += 1;
+        let set = (slot % self.sets) as usize;
+        let base = set * self.ways;
+
+        for i in base..base + self.ways {
+            if self.tags[i] == key + 1 {
+                self.lru[i] = self.tick;
+                self.dirty[i] |= write;
+                self.stats.hits.inc();
+                return Outcome::Hit;
+            }
+        }
+
+        self.stats.misses.inc();
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| if self.tags[i] == 0 { (0, 0) } else { (1, self.lru[i]) })
+            .expect("ways >= 1");
+        let evicted = if self.tags[victim] != 0 {
+            if self.dirty[victim] {
+                self.stats.writebacks.inc();
+            }
+            Some((self.tags[victim] - 1, self.dirty[victim]))
+        } else {
+            None
+        };
+        self.tags[victim] = key + 1;
+        self.dirty[victim] = write;
+        self.lru[victim] = self.tick;
+        Outcome::Miss { evicted }
+    }
+
+    /// Checks for `key` at `slot` without filling.
+    pub fn probe(&self, slot: u64, key: u64) -> bool {
+        if self.sets == 0 {
+            return false;
+        }
+        let base = (slot % self.sets) as usize * self.ways;
+        self.tags[base..base + self.ways].iter().any(|&t| t == key + 1)
+    }
+
+    /// Invalidates everything; returns `(valid, dirty)` counts.
+    pub fn invalidate_all(&mut self) -> (u64, u64) {
+        let mut valid = 0;
+        let mut dirty = 0;
+        for i in 0..self.tags.len() {
+            if self.tags[i] != 0 {
+                valid += 1;
+                if self.dirty[i] {
+                    dirty += 1;
+                }
+            }
+            self.tags[i] = 0;
+            self.dirty[i] = false;
+        }
+        (valid, dirty)
+    }
+
+    /// Moves the resident keys of another array into this one, re-placing
+    /// each with `place` (used by consistent-hash reconfiguration to keep
+    /// surviving lines). Returns how many keys were retained.
+    pub fn adopt_from(&mut self, old: &TagArray, mut place: impl FnMut(u64) -> Option<u64>) -> u64 {
+        let mut kept = 0;
+        for i in 0..old.tags.len() {
+            if old.tags[i] != 0 {
+                let key = old.tags[i] - 1;
+                if let Some(slot) = place(key) {
+                    if self.sets > 0 {
+                        let set = (slot % self.sets) as usize;
+                        let base = set * self.ways;
+                        if let Some(j) = (base..base + self.ways).find(|&j| self.tags[j] == 0) {
+                            self.tags[j] = key + 1;
+                            self.dirty[j] = old.dirty[i];
+                            kept += 1;
+                        }
+                    }
+                }
+            }
+        }
+        kept
+    }
+
+    /// Iterates over resident `(key, dirty)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
+        self.tags
+            .iter()
+            .zip(self.dirty.iter())
+            .filter(|(&t, _)| t != 0)
+            .map(|(&t, &d)| (t - 1, d))
+    }
+
+    /// Installs `key` at `slot` only if a free way exists (no eviction);
+    /// returns whether it was installed. Used when adopting entries across
+    /// a reconfiguration.
+    pub fn install_if_free(&mut self, slot: u64, key: u64, dirty: bool) -> bool {
+        if self.sets == 0 {
+            return false;
+        }
+        let base = (slot % self.sets) as usize * self.ways;
+        if let Some(j) = (base..base + self.ways).find(|&j| self.tags[j] == 0) {
+            self.tags[j] = key + 1;
+            self.dirty[j] = dirty;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> u64 {
+        self.tags.iter().filter(|&&t| t != 0).count() as u64
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut t = TagArray::new(4, 1);
+        assert!(!t.access(0, 100, false).is_hit());
+        assert!(t.access(0, 100, false).is_hit());
+        match t.access(0, 200, true) {
+            Outcome::Miss { evicted: Some((100, false)) } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(t.probe(0, 200));
+        assert!(!t.probe(0, 100));
+    }
+
+    #[test]
+    fn associative_sets_avoid_conflicts() {
+        let mut t = TagArray::new(8, 2);
+        assert_eq!(t.sets(), 4);
+        t.access(0, 100, false);
+        t.access(0, 200, false);
+        // Both fit in the 2-way set.
+        assert!(t.access(0, 100, false).is_hit());
+        assert!(t.access(0, 200, false).is_hit());
+        // Third key evicts the least recently touched (100: the re-touches
+        // above ended with 200).
+        match t.access(0, 300, false) {
+            Outcome::Miss { evicted: Some((k, _)) } => assert_eq!(k, 100),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_slots_always_miss() {
+        let mut t = TagArray::new(0, 1);
+        assert_eq!(t.access(0, 1, false), Outcome::Miss { evicted: None });
+        assert!(!t.probe(7, 1));
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_reports_dirty() {
+        let mut t = TagArray::new(8, 1);
+        t.access(0, 1, true);
+        t.access(1, 2, false);
+        assert_eq!(t.invalidate_all(), (2, 1));
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn adopt_keeps_surviving_keys() {
+        let mut old = TagArray::new(8, 1);
+        for k in 0..8u64 {
+            old.access(k, k, k % 2 == 0);
+        }
+        let mut new = TagArray::new(8, 1);
+        // Keep only even keys, at the same slots.
+        let kept = new.adopt_from(&old, |k| if k % 2 == 0 { Some(k) } else { None });
+        assert_eq!(kept, 4);
+        assert_eq!(new.occupancy(), 4);
+        assert!(new.probe(0, 0));
+        assert!(!new.probe(1, 1));
+    }
+
+    #[test]
+    fn ways_truncation() {
+        let t = TagArray::new(7, 2);
+        assert_eq!(t.slots(), 6);
+    }
+
+    #[test]
+    fn tiny_allocations_keep_capacity() {
+        // One slot at 4-way must still cache one entry, not zero.
+        let mut t = TagArray::new(1, 4);
+        assert_eq!(t.slots(), 1);
+        assert!(!t.access(0, 42, false).is_hit());
+        assert!(t.access(0, 42, false).is_hit());
+        let t3 = TagArray::new(3, 4);
+        assert_eq!(t3.slots(), 3);
+    }
+
+    #[test]
+    fn entries_and_install_if_free() {
+        let mut t = TagArray::new(4, 2);
+        t.access(0, 10, true);
+        t.access(1, 20, false);
+        let mut es: Vec<_> = t.entries().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(10, true), (20, false)]);
+        // Fill set 0's both ways, then a third install must fail.
+        assert!(t.install_if_free(0, 30, false));
+        assert!(!t.install_if_free(0, 40, false));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = TagArray::new(4, 1);
+        t.access(0, 1, false);
+        t.access(0, 1, false);
+        t.access(0, 2, true);
+        t.access(0, 3, false); // evicts dirty 2
+        assert_eq!(t.stats().hits.get(), 1);
+        assert_eq!(t.stats().misses.get(), 3);
+        assert_eq!(t.stats().writebacks.get(), 1);
+    }
+}

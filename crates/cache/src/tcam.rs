@@ -1,0 +1,243 @@
+//! Ternary-CAM range matching for the stream lookahead buffer.
+//!
+//! The paper's SLB (§IV-C) identifies which stream an address falls in with
+//! a modified CAM: it stores, per entry, the common bit-prefix of `base` and
+//! `base + size` with the remaining low bits as *don't care*, then resolves
+//! the (possibly several) prefix hits with digital comparators. This module
+//! models that lookup faithfully at the bit level — including the fact that
+//! a prefix can over-match — so the SLB's entry cost and hit semantics are
+//! reproducible, and provides the same interface a behavioural model needs.
+
+use serde::{Deserialize, Serialize};
+
+/// One TCAM entry: a value/mask pair plus the exact range for the
+/// comparator stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeEntry {
+    /// Prefix bits shared by every address in the range.
+    value: u64,
+    /// Set bits participate in the match; clear bits are "don't care".
+    mask: u64,
+    /// Inclusive range start (comparator stage).
+    start: u64,
+    /// Exclusive range end (comparator stage).
+    end: u64,
+    /// Caller tag (e.g. a stream ID).
+    tag: u32,
+}
+
+impl RangeEntry {
+    /// Builds the entry for `[start, end)`: the TCAM stores the longest
+    /// common prefix of `start` and `end - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn new(start: u64, end: u64, tag: u32) -> Self {
+        assert!(end > start, "range must be non-empty");
+        let last = end - 1;
+        let diff = start ^ last;
+        // All bits above the highest differing bit are common.
+        let mask = if diff == 0 { u64::MAX } else { !((1u64 << (64 - diff.leading_zeros())) - 1) };
+        RangeEntry { value: start & mask, mask, start, end, tag }
+    }
+
+    /// The TCAM stage: does `addr` match the stored prefix?
+    ///
+    /// This can over-match (the prefix covers a power-of-two-aligned
+    /// superset of the range); the comparator stage disambiguates.
+    #[inline]
+    pub fn prefix_matches(&self, addr: u64) -> bool {
+        addr & self.mask == self.value
+    }
+
+    /// The comparator stage: is `addr` exactly inside the range?
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+
+    /// The caller's tag.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// How many low bits are "don't care" — the entry's TCAM width cost is
+    /// `64 - dont_care_bits()` ternary cells.
+    pub fn dont_care_bits(&self) -> u32 {
+        self.mask.trailing_zeros()
+    }
+}
+
+/// A fixed-capacity TCAM of address ranges with two-stage lookup.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_cache::tcam::RangeTcam;
+///
+/// let mut tcam = RangeTcam::new(32);
+/// tcam.insert(0x5CA1_A000, 0x5CA1_AC00, 1).expect("has space");
+/// assert_eq!(tcam.lookup(0x5CA1_AB00), Some(1));
+/// assert_eq!(tcam.lookup(0x5CA1_AC00), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeTcam {
+    entries: Vec<RangeEntry>,
+    capacity: usize,
+    /// Lookups whose prefix stage matched more than one entry (resolved by
+    /// the comparators); a hardware-cost statistic.
+    multi_prefix_hits: u64,
+}
+
+impl RangeTcam {
+    /// An empty TCAM of `capacity` entries (the paper's SLB: 32).
+    pub fn new(capacity: usize) -> Self {
+        RangeTcam { entries: Vec::new(), capacity, multi_prefix_hits: 0 }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts the range `[start, end)` with `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the entry back if the TCAM is full (caller evicts and
+    /// retries, as the SLB's replacement logic does).
+    pub fn insert(&mut self, start: u64, end: u64, tag: u32) -> Result<(), RangeEntry> {
+        let e = RangeEntry::new(start, end, tag);
+        if self.entries.len() >= self.capacity {
+            return Err(e);
+        }
+        self.entries.push(e);
+        Ok(())
+    }
+
+    /// Removes the entry with `tag`; returns whether one was present.
+    pub fn remove(&mut self, tag: u32) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.tag != tag);
+        self.entries.len() != before
+    }
+
+    /// Two-stage lookup: parallel prefix match, then comparators over the
+    /// prefix hits. Returns the matching entry's tag.
+    pub fn lookup(&mut self, addr: u64) -> Option<u32> {
+        let mut prefix_hits = 0u32;
+        let mut winner = None;
+        for e in &self.entries {
+            if e.prefix_matches(addr) {
+                prefix_hits += 1;
+                if e.contains(addr) {
+                    winner = Some(e.tag);
+                }
+            }
+        }
+        if prefix_hits > 1 {
+            self.multi_prefix_hits += 1;
+        }
+        winner
+    }
+
+    /// Lookups that needed the comparator stage to disambiguate several
+    /// prefix matches.
+    pub fn multi_prefix_hits(&self) -> u64 {
+        self.multi_prefix_hits
+    }
+
+    /// Total ternary cells the resident entries occupy.
+    pub fn ternary_cells(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(64 - e.dont_care_bits())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_covers_range() {
+        // [0x1000, 0x1C00): common prefix of 0x1000 and 0x1BFF.
+        let e = RangeEntry::new(0x1000, 0x1C00, 7);
+        for a in [0x1000u64, 0x13FF, 0x1BFF] {
+            assert!(e.prefix_matches(a), "{a:#x} must prefix-match");
+            assert!(e.contains(a));
+        }
+        // 0x1C00 shares the prefix superset but fails the comparator.
+        assert!(!e.contains(0x1C00));
+        assert_eq!(e.tag(), 7);
+    }
+
+    #[test]
+    fn single_address_range() {
+        let e = RangeEntry::new(0xABCD, 0xABCE, 1);
+        assert!(e.prefix_matches(0xABCD));
+        assert!(!e.prefix_matches(0xABCC));
+        assert_eq!(e.dont_care_bits(), 0);
+    }
+
+    #[test]
+    fn over_match_is_resolved_by_comparator() {
+        // Range [6, 10): prefix of 6 (0b0110) and 9 (0b1001) differs at bit
+        // 3 → mask keeps only bits ≥ 4, so 0..16 all prefix-match.
+        let mut t = RangeTcam::new(4);
+        t.insert(6, 10, 42).unwrap();
+        assert_eq!(t.lookup(6), Some(42));
+        assert_eq!(t.lookup(9), Some(42));
+        assert_eq!(t.lookup(5), None, "prefix over-match must be rejected");
+        assert_eq!(t.lookup(10), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = RangeTcam::new(2);
+        t.insert(0, 64, 0).unwrap();
+        t.insert(64, 128, 1).unwrap();
+        let rejected = t.insert(128, 192, 2).unwrap_err();
+        assert_eq!(rejected.tag(), 2);
+        assert!(t.remove(0));
+        assert!(!t.remove(0));
+        t.insert(128, 192, 2).unwrap();
+        assert_eq!(t.lookup(130), Some(2));
+    }
+
+    #[test]
+    fn multi_prefix_statistics() {
+        let mut t = RangeTcam::new(4);
+        // Two ranges under the same power-of-two umbrella.
+        t.insert(0, 96, 0).unwrap(); // prefix covers 0..128
+        t.insert(96, 128, 1).unwrap(); // prefix covers 96..128? (96..127 -> 0x60..0x7F)
+        let _ = t.lookup(100);
+        assert_eq!(t.lookup(32), Some(0));
+        assert!(t.multi_prefix_hits() >= 1, "overlapping prefixes should be counted");
+    }
+
+    #[test]
+    fn ternary_cell_cost_reflects_alignment() {
+        let mut aligned = RangeTcam::new(2);
+        aligned.insert(0x1000, 0x2000, 0).unwrap(); // 4 kB aligned: 12 don't-care bits
+        let mut unaligned = RangeTcam::new(2);
+        unaligned.insert(0x1001, 0x1003, 0).unwrap();
+        assert!(aligned.ternary_cells() < unaligned.ternary_cells());
+    }
+
+    #[test]
+    fn disjoint_streams_resolve_uniquely() {
+        let mut t = RangeTcam::new(32);
+        for i in 0..16u64 {
+            t.insert(i * 0x1000, i * 0x1000 + 0x800, i as u32).unwrap();
+        }
+        for i in 0..16u64 {
+            assert_eq!(t.lookup(i * 0x1000 + 0x400), Some(i as u32));
+            assert_eq!(t.lookup(i * 0x1000 + 0x900), None, "gap must miss");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the cache structures: set-associative LRU caches,
+//! share placement, and tag arrays.
+
+use ndpx_cache::placement::SharePlacement;
+use ndpx_cache::setassoc::SetAssocCache;
+use ndpx_cache::tagarray::TagArray;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn setassoc_occupancy_never_exceeds_capacity(
+        sets in 1usize..32,
+        ways in 1usize..8,
+        keys in prop::collection::vec(0u64..10_000, 1..400),
+    ) {
+        let mut c = SetAssocCache::new(sets, ways);
+        for &k in &keys {
+            c.access(k, false);
+        }
+        prop_assert!(c.occupancy() <= sets * ways);
+        prop_assert_eq!(c.stats().accesses(), keys.len() as u64);
+    }
+
+    #[test]
+    fn setassoc_access_then_probe_hits(
+        sets in 1usize..32,
+        ways in 1usize..8,
+        key in 0u64..10_000,
+    ) {
+        let mut c = SetAssocCache::new(sets, ways);
+        c.access(key, false);
+        prop_assert!(c.probe(key), "just-inserted key must be resident");
+        prop_assert!(c.access(key, false).is_hit());
+    }
+
+    #[test]
+    fn setassoc_invalidate_removes(
+        keys in prop::collection::vec(0u64..1000, 1..100),
+    ) {
+        let mut c = SetAssocCache::new(64, 4);
+        for &k in &keys {
+            c.access(k, true);
+        }
+        for &k in &keys {
+            c.invalidate(k);
+            prop_assert!(!c.probe(k));
+        }
+        prop_assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn share_placement_is_total_and_bounded(
+        shares in prop::collection::vec(0u64..64, 1..16),
+        keys in prop::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let p = SharePlacement::new(shares.clone());
+        let total: u64 = shares.iter().sum();
+        for &k in &keys {
+            match p.locate(k) {
+                Some((u, slot)) => {
+                    prop_assert!(total > 0);
+                    prop_assert!(u < shares.len());
+                    prop_assert!(slot < shares[u], "slot {slot} >= share {}", shares[u]);
+                }
+                None => prop_assert_eq!(total, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn share_placement_distribution_tracks_shares(
+        a in 1u64..32,
+        b in 1u64..32,
+    ) {
+        let p = SharePlacement::new(vec![a * 64, b * 64]);
+        let n = 40_000u64;
+        let hits_a = (0..n).filter(|&k| p.locate(k).expect("non-empty").0 == 0).count() as f64;
+        let expect = a as f64 / (a + b) as f64;
+        let got = hits_a / n as f64;
+        prop_assert!((got - expect).abs() < 0.05, "expected {expect:.3}, got {got:.3}");
+    }
+
+    #[test]
+    fn tagarray_hit_follows_miss_at_same_slot(
+        slots in 1u64..256,
+        ways in 1usize..8,
+        pairs in prop::collection::vec((0u64..1024, 0u64..100_000), 1..100),
+    ) {
+        let mut t = TagArray::new(slots, ways);
+        for &(slot, key) in &pairs {
+            t.access(slot, key, false);
+            prop_assert!(t.probe(slot, key), "key must be resident right after access");
+        }
+        prop_assert!(t.occupancy() <= t.slots());
+    }
+
+    #[test]
+    fn tagarray_adoption_preserves_only_placed_keys(
+        keys in prop::collection::vec(0u64..1000, 1..64),
+    ) {
+        let mut old = TagArray::new(128, 1);
+        for &k in &keys {
+            old.access(k, k, false);
+        }
+        let mut new = TagArray::new(128, 1);
+        let kept = new.adopt_from(&old, |k| if k % 3 == 0 { Some(k) } else { None });
+        prop_assert_eq!(kept, new.occupancy());
+        for (k, _) in new.entries() {
+            prop_assert_eq!(k % 3, 0, "non-placed key survived adoption");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The non-NDP host baseline (paper §VI).
+//!
+//! A conventional chip multi-processor: 64 cores with private L1s and a
+//! 32 MB NUCA last-level cache of 64 banks on an on-chip mesh (Fig. 2's NUCA
+//! parameters: 9-cycle bank access, 3-cycle routing per hop), backed by
+//! DDR5-4800 main memory. Fig. 5 normalizes every NDP configuration to this
+//! system.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ndpx_cache::setassoc::SetAssocCache;
+use ndpx_mem::device::{DramConfig, DramDevice};
+use ndpx_noc::network::{LinkParams, Network};
+use ndpx_noc::topology::{IntraKind, Topology, UnitId};
+use ndpx_sim::energy::Power;
+use ndpx_sim::rng::hash_range;
+use ndpx_sim::time::{Freq, Time};
+use ndpx_workloads::trace::{Op, Workload};
+
+use crate::config::PolicyKind;
+use crate::stats::{Breakdown, EnergyBreakdown, LatComponent, RunReport};
+
+/// Host system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// Core count (paper: 64).
+    pub cores: usize,
+    /// Core clock.
+    pub freq: Freq,
+    /// L1 data cache bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Total LLC bytes (paper: 32 MB over 64 banks).
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC bank access latency, cycles (Fig. 2: 9).
+    pub bank_cycles: u64,
+    /// Mesh hop latency, cycles (Fig. 2: 3).
+    pub hop_cycles: u64,
+    /// Main-memory capacity.
+    pub mem_capacity: u64,
+}
+
+impl HostConfig {
+    /// The paper's host: 64 cores, 32 MB LLC, DDR5.
+    pub fn paper() -> Self {
+        HostConfig {
+            cores: 64,
+            freq: Freq::from_ghz(2.0),
+            l1_bytes: 64 << 10,
+            l1_ways: 4,
+            llc_bytes: 32 << 20,
+            llc_ways: 16,
+            bank_cycles: 9,
+            hop_cycles: 3,
+            mem_capacity: 512 << 30,
+        }
+    }
+
+    /// A scaled-down host matching [`crate::SystemConfig::test`] ratios.
+    pub fn test(cores: usize) -> Self {
+        HostConfig {
+            cores,
+            l1_bytes: 8 << 10,
+            llc_bytes: 256 << 10,
+            ..Self::paper()
+        }
+    }
+
+    fn mesh_dim(&self) -> usize {
+        (self.cores as f64).sqrt().ceil() as usize
+    }
+}
+
+/// The host simulator.
+pub struct HostSystem {
+    cfg: HostConfig,
+    table: ndpx_stream::StreamTable,
+    source: Box<dyn ndpx_workloads::trace::OpSource>,
+    workload_name: &'static str,
+    l1s: Vec<SetAssocCache>,
+    banks: Vec<SetAssocCache>,
+    net: Network,
+    mem: DramDevice,
+    breakdown: Breakdown,
+    mem_ops: u64,
+    l1_hits: u64,
+    llc_hits: u64,
+    llc_misses: u64,
+}
+
+/// Static power of one host core (wider than an NDP core).
+const HOST_CORE_STATIC: Power = Power::from_mw(500.0);
+
+impl HostSystem {
+    /// Builds the host for one workload (which must target `cfg.cores`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a core-count mismatch.
+    pub fn new(cfg: HostConfig, workload: Workload) -> Result<Self, String> {
+        if workload.cores != cfg.cores {
+            return Err(format!(
+                "workload built for {} cores but host has {}",
+                workload.cores, cfg.cores
+            ));
+        }
+        let dim = cfg.mesh_dim();
+        let topo = Topology { stacks_x: 1, stacks_y: 1, units_x: dim, units_y: dim, intra: IntraKind::Mesh };
+        // On-chip mesh: hop latency from cycles, on-chip energy.
+        let hop = cfg.freq.cycles_to_time(cfg.hop_cycles);
+        let intra = LinkParams { hop_latency: hop, bytes_per_ns: 64.0, pj_per_bit: 0.1 };
+        let net = Network::new(topo, intra, LinkParams::inter_stack());
+        let banks = (0..cfg.cores)
+            .map(|_| {
+                SetAssocCache::with_capacity(cfg.llc_bytes / cfg.cores as u64, 64, cfg.llc_ways)
+            })
+            .collect();
+        let l1s = (0..cfg.cores)
+            .map(|_| SetAssocCache::with_capacity(cfg.l1_bytes, 64, cfg.l1_ways))
+            .collect();
+        Ok(HostSystem {
+            mem: DramDevice::new(DramConfig::ddr5_extended(cfg.mem_capacity)),
+            net,
+            banks,
+            l1s,
+            table: workload.table,
+            source: workload.source,
+            workload_name: workload.name,
+            cfg,
+            breakdown: Breakdown::default(),
+            mem_ops: 0,
+            l1_hits: 0,
+            llc_hits: 0,
+            llc_misses: 0,
+        })
+    }
+
+    /// Runs `ops_per_core` operations per core; returns the report.
+    pub fn run(&mut self, ops_per_core: u64) -> RunReport {
+        let mut queue: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        let mut remaining = vec![ops_per_core; self.cfg.cores];
+        for c in 0..self.cfg.cores {
+            queue.push(Reverse((Time::ZERO, c)));
+        }
+        let mut makespan = Time::ZERO;
+        let mut ops = 0u64;
+        while let Some(Reverse((t, core))) = queue.pop() {
+            let op = self.source.next_op(core);
+            let done = match op {
+                Op::Compute(c) => t + self.cfg.freq.cycles_to_time(u64::from(c)),
+                Op::Mem(m) => {
+                    let addr = self.table.get(m.sid).addr_of(m.elem);
+                    self.access(core, addr, m.write, t)
+                }
+                Op::RawMem { addr, write } => self.access(core, addr, write, t),
+            };
+            ops += 1;
+            makespan = makespan.max(done);
+            remaining[core] -= 1;
+            if remaining[core] > 0 {
+                queue.push(Reverse((done, core)));
+            }
+        }
+        self.report(makespan, ops)
+    }
+
+    fn access(&mut self, core: usize, addr: u64, write: bool, t: Time) -> Time {
+        self.mem_ops += 1;
+        let line = addr / 64;
+        let l1_lat = self.cfg.freq.cycles_to_time(2);
+        let mut now = t + l1_lat;
+        if self.l1s[core].access(line, write).is_hit() {
+            self.l1_hits += 1;
+            return now;
+        }
+        self.breakdown.add(LatComponent::CoreL1, l1_lat);
+
+        // Static line interleaving across banks.
+        let bank = hash_range(line, self.cfg.cores as u64) as usize;
+        let t1 = self.net.send(UnitId(core), UnitId(bank), 16, now);
+        self.breakdown.add(LatComponent::NocIntra, t1 - now);
+        now = t1 + self.cfg.freq.cycles_to_time(self.cfg.bank_cycles);
+        self.breakdown.add(LatComponent::DramCache, self.cfg.freq.cycles_to_time(self.cfg.bank_cycles));
+
+        if self.banks[bank].access(line, write).is_hit() {
+            self.llc_hits += 1;
+        } else {
+            self.llc_misses += 1;
+            let t2 = self.mem.access(addr, 64, false, now);
+            self.breakdown.add(LatComponent::ExtMem, t2 - now);
+            now = t2;
+        }
+        let t3 = self.net.send(UnitId(bank), UnitId(core), 64, now);
+        self.breakdown.add(LatComponent::NocIntra, t3 - now);
+        t3 + self.cfg.freq.cycle()
+    }
+
+    fn report(&self, makespan: Time, ops: u64) -> RunReport {
+        let mut energy = EnergyBreakdown::default();
+        energy.static_ = (HOST_CORE_STATIC * self.cfg.cores as f64).over(makespan)
+            + self.mem.background_energy(makespan);
+        energy.dram = self.mem.dynamic_energy();
+        energy.noc = self.net.dynamic_energy();
+        RunReport {
+            policy: PolicyKind::StaticInterleave,
+            workload: format!("{}(host)", self.workload_name),
+            sim_time: makespan,
+            ops,
+            mem_ops: self.mem_ops,
+            l1_hits: self.l1_hits,
+            cache_hits: self.llc_hits,
+            cache_misses: self.llc_misses,
+            local_hits: 0,
+            bypass: 0,
+            slb_misses: 0,
+            metadata_dram: 0,
+            breakdown: self.breakdown,
+            energy,
+            reconfigs: 0,
+            invalidations: 0,
+            migrations: 0,
+            replicated_fraction: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndpx_workloads::trace::ScaleParams;
+
+    fn run_host(workload: &str, cores: usize, ops: u64) -> RunReport {
+        let cfg = HostConfig::test(cores);
+        let p = ScaleParams { cores, footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build(workload, &p).unwrap().unwrap();
+        HostSystem::new(cfg, wl).unwrap().run(ops)
+    }
+
+    #[test]
+    fn host_runs_and_reports() {
+        let r = run_host("pr", 16, 2000);
+        assert!(r.sim_time > Time::ZERO);
+        assert!(r.cache_hits + r.cache_misses > 0);
+        assert!(r.energy.total().as_pj() > 0.0);
+    }
+
+    #[test]
+    fn host_is_deterministic() {
+        let a = run_host("mv", 8, 2000);
+        let b = run_host("mv", 8, 2000);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn small_llc_misses_more_than_ndp_cache_would() {
+        // The host LLC is tiny relative to the footprint: high miss rate.
+        let r = run_host("pr", 8, 4000);
+        assert!(r.miss_rate() > 0.2, "expected llc pressure, miss rate {}", r.miss_rate());
+    }
+
+    #[test]
+    fn rejects_core_mismatch() {
+        let cfg = HostConfig::test(8);
+        let p = ScaleParams { cores: 4, footprint: 1 << 20, seed: 1 };
+        let wl = ndpx_workloads::build("pr", &p).unwrap().unwrap();
+        assert!(HostSystem::new(cfg, wl).is_err());
+    }
+}

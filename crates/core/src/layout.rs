@@ -1,0 +1,322 @@
+//! Cache layout: the stream remap table made concrete.
+//!
+//! A system layout (one [`StreamLayout`] per stream) is the materialized form of the paper's stream remap
+//! table (Fig. 3b): for every stream, a set of *replication groups*, each
+//! owning per-unit slot shares (RShares), per-unit DRAM base offsets
+//! (RRowBase), and a unit→group service assignment (RGroups). Both NDPExt
+//! (stream/block grain) and the cacheline-grain baselines use this structure;
+//! only the slot granularity and the metadata access path differ.
+
+use ndpx_cache::placement::SharePlacement;
+use ndpx_sim::rng::{hash_range, mix64};
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in the consistent-hash placement tables. More buckets
+/// mean finer-grained stability across reconfigurations.
+pub const CONSISTENT_BUCKETS: usize = 1024;
+
+/// How a group maps keys to (unit, slot).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupPlacement {
+    /// Plain hashed placement over the cumulative shares. Cheap, but any
+    /// share change moves almost every key (bulk invalidation on reconfig).
+    Hashed(SharePlacement),
+    /// Weighted-rendezvous bucket table (paper §V-D's consistent hashing):
+    /// key → bucket → unit is stable under small share changes.
+    Consistent {
+        /// Bucket → owning unit.
+        table: Vec<u16>,
+        /// Slots per unit (indexed by unit).
+        unit_slots: Vec<u64>,
+    },
+}
+
+/// One replication group of one stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Slots contributed by each unit (length = total units); the RShares
+    /// vector of Fig. 3b restricted to this group.
+    pub shares: Vec<u64>,
+    /// Units with non-zero share, ascending.
+    pub members: Vec<usize>,
+    /// Placement function.
+    pub place: GroupPlacement,
+    /// Per-unit slot offset of this group within the stream's per-unit
+    /// region (multiple groups of one stream may hold slots at one unit).
+    pub slot_offset: Vec<u64>,
+}
+
+impl Group {
+    /// Builds a group from per-unit slot shares.
+    pub fn new(shares: Vec<u64>, consistent: bool) -> Self {
+        let members: Vec<usize> = shares
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0)
+            .map(|(u, _)| u)
+            .collect();
+        let place = if consistent {
+            let table = build_bucket_table(&shares, &members);
+            GroupPlacement::Consistent { table, unit_slots: shares.clone() }
+        } else {
+            GroupPlacement::Hashed(SharePlacement::new(shares.clone()))
+        };
+        let slot_offset = vec![0; shares.len()];
+        Group { shares, members, place, slot_offset }
+    }
+
+    /// Total slots in the group.
+    pub fn total_slots(&self) -> u64 {
+        self.shares.iter().sum()
+    }
+
+    /// Maps a key to `(unit, slot-within-unit)`, or `None` if the group has
+    /// no capacity.
+    pub fn locate(&self, key: u64) -> Option<(usize, u64)> {
+        match &self.place {
+            GroupPlacement::Hashed(p) => p.locate(key),
+            GroupPlacement::Consistent { table, unit_slots } => {
+                if self.members.is_empty() {
+                    return None;
+                }
+                let bucket = hash_range(key, table.len() as u64) as usize;
+                let unit = table[bucket] as usize;
+                let slots = unit_slots[unit];
+                if slots == 0 {
+                    return None;
+                }
+                Some((unit, hash_range(key ^ 0x5A5A, slots)))
+            }
+        }
+    }
+}
+
+/// Weighted rendezvous: each bucket goes to the member unit with the highest
+/// weight-scaled hash score, which keeps most buckets stable when weights
+/// change slightly.
+fn build_bucket_table(shares: &[u64], members: &[usize]) -> Vec<u16> {
+    let mut table = vec![0u16; CONSISTENT_BUCKETS];
+    if members.is_empty() {
+        return table;
+    }
+    for (b, slot) in table.iter_mut().enumerate() {
+        let mut best = members[0];
+        let mut best_score = f64::NEG_INFINITY;
+        for &u in members {
+            let h = mix64((b as u64) << 32 | u as u64);
+            // Map to (0,1); score = weight / -ln(r) (classic weighted
+            // rendezvous), larger is better.
+            let r = (h as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+            let score = shares[u] as f64 / -r.ln();
+            if score > best_score {
+                best_score = score;
+                best = u;
+            }
+        }
+        *slot = best as u16;
+    }
+    table
+}
+
+/// The realized layout of one stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamLayout {
+    /// Replication groups (read-write streams have at most one).
+    pub groups: Vec<Group>,
+    /// For each unit, the index of the group that serves its requests
+    /// (its own group if it is a member, else the nearest); `u16::MAX`
+    /// when the stream has no capacity anywhere.
+    pub assign: Vec<u16>,
+    /// Per-unit DRAM byte offset of this stream's region (RRowBase).
+    pub unit_base: Vec<u64>,
+    /// Slot size in bytes (affine block, element slot, or cacheline).
+    pub grain: u64,
+}
+
+impl StreamLayout {
+    /// An empty layout over `units` units (nothing cached).
+    pub fn empty(units: usize, grain: u64) -> Self {
+        StreamLayout {
+            groups: Vec::new(),
+            assign: vec![u16::MAX; units],
+            unit_base: vec![0; units],
+            grain,
+        }
+    }
+
+    /// Total slots across all groups.
+    pub fn total_slots(&self) -> u64 {
+        self.groups.iter().map(Group::total_slots).sum()
+    }
+
+    /// Total bytes allocated to the stream.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_slots() * self.grain
+    }
+
+    /// The group serving requests from `unit`, if any.
+    pub fn group_for(&self, unit: usize) -> Option<&Group> {
+        let g = self.assign[unit];
+        if g == u16::MAX {
+            None
+        } else {
+            Some(&self.groups[g as usize])
+        }
+    }
+
+    /// Locates `key` for a requester at `unit`, returning the target unit
+    /// and the slot index within that unit's region of this stream
+    /// (group slot offsets applied).
+    pub fn locate(&self, unit: usize, key: u64) -> Option<(usize, u64)> {
+        let g = self.group_for(unit)?;
+        let (target, slot) = g.locate(key)?;
+        Some((target, g.slot_offset[target] + slot))
+    }
+
+    /// Finalizes per-group slot offsets so groups sharing a unit occupy
+    /// disjoint slot ranges. Returns the total slots per unit.
+    pub fn finalize_offsets(&mut self, units: usize) -> Vec<u64> {
+        let mut per_unit = vec![0u64; units];
+        for g in &mut self.groups {
+            for u in 0..units {
+                g.slot_offset[u] = per_unit[u];
+                per_unit[u] += g.shares[u];
+            }
+        }
+        per_unit
+    }
+
+    /// DRAM byte address (within the target unit's device) of a slot.
+    pub fn slot_addr(&self, unit: usize, slot: u64) -> u64 {
+        self.unit_base[unit] + slot * self.grain
+    }
+
+    /// Computes the unit→group assignment given a unit-distance function
+    /// (picoseconds between units).
+    pub fn assign_nearest(&mut self, units: usize, mut distance: impl FnMut(usize, usize) -> u64) {
+        self.assign = vec![u16::MAX; units];
+        if self.groups.is_empty() {
+            return;
+        }
+        for u in 0..units {
+            // A unit inside a group is served by that group.
+            if let Some(g) = self.groups.iter().position(|g| g.shares[u] > 0) {
+                self.assign[u] = g as u16;
+                continue;
+            }
+            let mut best = 0usize;
+            let mut best_d = u64::MAX;
+            for (gi, g) in self.groups.iter().enumerate() {
+                for &m in &g.members {
+                    let d = distance(u, m);
+                    if d < best_d {
+                        best_d = d;
+                        best = gi;
+                    }
+                }
+            }
+            if self.groups[best].total_slots() > 0 {
+                self.assign[u] = best as u16;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_with(shares: Vec<u64>, consistent: bool) -> Group {
+        Group::new(shares, consistent)
+    }
+
+    #[test]
+    fn hashed_group_locates_members_only() {
+        let g = group_with(vec![4, 0, 8, 0], false);
+        assert_eq!(g.members, vec![0, 2]);
+        for key in 0..1000 {
+            let (u, s) = g.locate(key).unwrap();
+            assert!(u == 0 || u == 2);
+            assert!(s < g.shares[u]);
+        }
+    }
+
+    #[test]
+    fn consistent_group_locates_members_only() {
+        let g = group_with(vec![4, 0, 8, 0], true);
+        for key in 0..1000 {
+            let (u, s) = g.locate(key).unwrap();
+            assert!(u == 0 || u == 2, "unit {u} is not a member");
+            assert!(s < g.shares[u]);
+        }
+    }
+
+    #[test]
+    fn consistent_placement_is_mostly_stable_under_growth() {
+        let before = group_with(vec![100, 100, 0, 0], true);
+        let after = group_with(vec![100, 100, 20, 0], true); // unit 2 joins
+        let mut moved = 0;
+        let n = 10_000;
+        for key in 0..n {
+            let (u0, _) = before.locate(key).unwrap();
+            let (u1, _) = after.locate(key).unwrap();
+            if u0 != u1 {
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / n as f64;
+        // Ideal consistent hashing moves ~20/220 ≈ 9%; allow slack.
+        assert!(frac < 0.25, "too many keys moved: {frac}");
+        // Hashed placement moves far more.
+        let hb = group_with(vec![100, 100, 0, 0], false);
+        let ha = group_with(vec![100, 100, 20, 0], false);
+        let mut hashed_moved = 0;
+        for key in 0..n {
+            if hb.locate(key).unwrap() != ha.locate(key).unwrap() {
+                hashed_moved += 1;
+            }
+        }
+        assert!(hashed_moved > moved * 2, "consistent hashing should beat plain hashing");
+    }
+
+    #[test]
+    fn empty_group_locates_nothing() {
+        assert_eq!(group_with(vec![0, 0], false).locate(1), None);
+        assert_eq!(group_with(vec![0, 0], true).locate(1), None);
+    }
+
+    #[test]
+    fn layout_assignment_prefers_own_then_nearest() {
+        let mut l = StreamLayout::empty(4, 64);
+        l.groups.push(group_with(vec![8, 0, 0, 0], false));
+        l.groups.push(group_with(vec![0, 0, 8, 0], false));
+        // Distance = |a - b| on a line.
+        l.assign_nearest(4, |a, b| a.abs_diff(b) as u64);
+        assert_eq!(l.assign, vec![0, 0, 1, 1]);
+        assert!(l.group_for(3).is_some());
+    }
+
+    #[test]
+    fn layout_slot_addresses_respect_bases() {
+        let mut l = StreamLayout::empty(2, 1024);
+        l.unit_base = vec![0, 4096];
+        assert_eq!(l.slot_addr(0, 3), 3072);
+        assert_eq!(l.slot_addr(1, 1), 5120);
+    }
+
+    #[test]
+    fn empty_layout_has_no_service() {
+        let l = StreamLayout::empty(3, 64);
+        assert_eq!(l.locate(0, 42), None);
+        assert_eq!(l.total_bytes(), 0);
+    }
+
+    #[test]
+    fn total_bytes_accounts_replicas() {
+        let mut l = StreamLayout::empty(2, 64);
+        l.groups.push(group_with(vec![4, 0], false));
+        l.groups.push(group_with(vec![0, 4], false));
+        assert_eq!(l.total_slots(), 8);
+        assert_eq!(l.total_bytes(), 512);
+    }
+}

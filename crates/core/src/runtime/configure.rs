@@ -1,0 +1,1063 @@
+//! Cache configuration policies (paper §V-C, Algorithm 1) and the adapted
+//! baseline allocators.
+//!
+//! Given per-stream miss curves and per-unit access counts, the allocators
+//! decide how many bytes of every unit's DRAM cache each stream receives and
+//! how those bytes form replication groups:
+//!
+//! * [`allocate_ndpext`] — the paper's Algorithm 1: greedy lookahead over
+//!   miss-curve slopes that *co-optimizes* sizing, spatial placement, and
+//!   per-stream replication. Streams start maximally replicated (one group
+//!   per accessing unit); when space runs out the algorithm either extends a
+//!   group to a nearby unit or merges two groups (reducing replication),
+//!   choosing by attenuation-weighted utility.
+//! * [`allocate_baseline`] — Jigsaw / Whirlpool / Nexus / static-interleave
+//!   and NDPExt-static, each with the paper's described placement rule.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::PolicyKind;
+use crate::runtime::sampler::MissCurve;
+
+/// Per-stream demand information collected over an epoch.
+#[derive(Debug, Clone)]
+pub struct StreamDemand {
+    /// Miss curve (absolute misses vs. capacity).
+    pub curve: MissCurve,
+    /// Units that accessed the stream, with access counts.
+    pub acc_units: Vec<(usize, u64)>,
+    /// Replication is only legal for read-only streams (§IV-B).
+    pub read_only: bool,
+    /// True for affine streams (which are capped by the affine budget).
+    pub affine: bool,
+    /// Slot granularity in bytes.
+    pub grain: u64,
+    /// Total accesses this epoch.
+    pub total_accesses: u64,
+    /// The stream's data footprint in bytes (caching beyond this is
+    /// pointless).
+    pub footprint: u64,
+}
+
+/// One replication group's allocation: bytes per unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocGroup {
+    /// `(unit, bytes)` pairs with positive bytes.
+    pub unit_bytes: Vec<(usize, u64)>,
+}
+
+impl AllocGroup {
+    /// Total bytes in the group.
+    pub fn total(&self) -> u64 {
+        self.unit_bytes.iter().map(|&(_, b)| b).sum()
+    }
+}
+
+/// The allocator output: per stream, its replication groups.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    /// `streams[s]` lists stream `s`'s groups (empty = nothing cached).
+    pub streams: Vec<Vec<AllocGroup>>,
+}
+
+impl Allocation {
+    /// Total bytes allocated across all streams and groups (replicas count).
+    pub fn total_bytes(&self) -> u64 {
+        self.streams.iter().flatten().map(AllocGroup::total).sum()
+    }
+
+    /// Fraction of allocated bytes beyond each stream's largest group —
+    /// i.e. capacity spent on replication.
+    pub fn replicated_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        let primary: u64 = self
+            .streams
+            .iter()
+            .map(|gs| gs.iter().map(AllocGroup::total).max().unwrap_or(0))
+            .sum();
+        (total - primary) as f64 / total as f64
+    }
+}
+
+/// Static inputs to the allocators.
+#[derive(Debug, Clone)]
+pub struct ConfigCtx {
+    /// Number of NDP units.
+    pub units: usize,
+    /// DRAM cache bytes per unit.
+    pub unit_capacity: u64,
+    /// Affine budget per unit (§IV-C).
+    pub affine_cap: u64,
+    /// `attenuation[u][v]` = DRAM latency / (DRAM + interconnect(u→v))
+    /// (paper §V-C); 1.0 on the diagonal, smaller for farther units.
+    pub attenuation: Vec<Vec<f64>>,
+    /// DRAM-cache hit latency at the serving unit, picoseconds.
+    pub dram_lat_ps: f64,
+    /// Extra latency of a miss to extended memory (beyond a local hit),
+    /// picoseconds.
+    pub miss_extra_ps: f64,
+}
+
+impl ConfigCtx {
+    /// Interconnect latency between `u` and `v`, picoseconds (derived from
+    /// the attenuation factor).
+    fn noc_ps(&self, u: usize, v: usize) -> f64 {
+        self.dram_lat_ps * (1.0 / self.attenuation[u][v] - 1.0)
+    }
+
+    /// The unit nearest to `u` (highest attenuation) among candidates where
+    /// `pred` holds; excludes `u` itself unless it is the only candidate.
+    fn nearest_where(&self, u: usize, mut pred: impl FnMut(usize) -> bool) -> Option<usize> {
+        let mut best = None;
+        let mut best_k = f64::NEG_INFINITY;
+        for v in 0..self.units {
+            if v == u || !pred(v) {
+                continue;
+            }
+            let k = self.attenuation[u][v];
+            if k > best_k {
+                best_k = k;
+                best = Some(v);
+            }
+        }
+        best
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupState {
+    cap: Vec<u64>,
+    members: Vec<usize>,
+    /// Anchor unit: the original (or highest-traffic) accessing unit.
+    anchor: usize,
+    /// This group's share of the stream's accesses.
+    share: f64,
+    alive: bool,
+}
+
+impl GroupState {
+    fn total(&self) -> u64 {
+        self.members.iter().map(|&u| self.cap[u]).sum()
+    }
+
+    /// Paper-style group utility: every member values every member's
+    /// capacity, attenuated by distance.
+    fn utility(&self, ctx: &ConfigCtx) -> f64 {
+        let mut util = 0.0;
+        for &u in &self.members {
+            for &v in &self.members {
+                util += self.cap[v] as f64 * ctx.attenuation[u][v];
+            }
+        }
+        util
+    }
+}
+
+struct Budget {
+    free: Vec<u64>,
+    affine_free: Vec<u64>,
+}
+
+impl Budget {
+    fn available(&self, unit: usize, affine: bool) -> u64 {
+        if affine {
+            self.free[unit].min(self.affine_free[unit])
+        } else {
+            self.free[unit]
+        }
+    }
+
+    fn take(&mut self, unit: usize, affine: bool, bytes: u64) {
+        self.free[unit] -= bytes;
+        if affine {
+            self.affine_free[unit] -= bytes;
+        }
+    }
+
+    fn give(&mut self, unit: usize, affine: bool, bytes: u64) {
+        self.free[unit] += bytes;
+        if affine {
+            self.affine_free[unit] += bytes;
+        }
+    }
+}
+
+/// A heap entry: slope encoded as ordered bits (slopes are non-negative).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey(u64, Reverse<usize>, Reverse<usize>);
+
+fn slope_bits(slope: f64) -> u64 {
+    debug_assert!(slope >= 0.0);
+    slope.to_bits()
+}
+
+/// Runs the NDPExt configuration algorithm (Algorithm 1).
+///
+/// Returns a per-stream group allocation. Capacity is expressed in bytes and
+/// already rounded to each stream's grain.
+pub fn allocate_ndpext(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
+    let mut budget = Budget {
+        free: vec![ctx.unit_capacity; ctx.units],
+        affine_free: vec![ctx.affine_cap.min(ctx.unit_capacity); ctx.units],
+    };
+
+    // Initial groups: maximal replication for read-only streams, a single
+    // shared group otherwise.
+    let mut groups: Vec<Vec<GroupState>> = demands
+        .iter()
+        .map(|d| {
+            if d.acc_units.is_empty() {
+                return Vec::new();
+            }
+            let total: u64 = d.acc_units.iter().map(|&(_, a)| a).sum();
+            if d.read_only {
+                d.acc_units
+                    .iter()
+                    .map(|&(u, a)| GroupState {
+                        cap: vec![0; ctx.units],
+                        members: vec![u],
+                        anchor: u,
+                        share: a as f64 / total.max(1) as f64,
+                        alive: true,
+                    })
+                    .collect()
+            } else {
+                let anchor = d.acc_units.iter().max_by_key(|&&(_, a)| a).expect("non-empty").0;
+                vec![GroupState {
+                    cap: vec![0; ctx.units],
+                    members: d.acc_units.iter().map(|&(u, _)| u).collect(),
+                    anchor,
+                    share: 1.0,
+                    alive: true,
+                }]
+            }
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<HeapKey> = BinaryHeap::new();
+    let push = |heap: &mut BinaryHeap<HeapKey>,
+                demands: &[StreamDemand],
+                all: &[Vec<GroupState>],
+                s: usize,
+                g: usize| {
+        let gs = &all[s][g];
+        if let Some((_, slope)) = demands[s].curve.next_segment(gs.total()) {
+            let weighted = slope * gs.share * replica_factor(&all[s], g, &demands[s], ctx);
+            if weighted > 0.0 {
+                heap.push(HeapKey(slope_bits(weighted), Reverse(s), Reverse(g)));
+            }
+        }
+    };
+    for s in 0..groups.len() {
+        for g in 0..groups[s].len() {
+            push(&mut heap, demands, &groups, s, g);
+        }
+    }
+
+    while let Some(HeapKey(bits, Reverse(s), Reverse(g))) = heap.pop() {
+        if !groups[s][g].alive {
+            continue;
+        }
+        // Lazy heap: recompute and skip stale entries.
+        let cur_total = groups[s][g].total();
+        let Some((next_cap, slope)) = demands[s].curve.next_segment(cur_total) else {
+            continue;
+        };
+        let weighted = slope * groups[s][g].share * replica_factor(&groups[s], g, &demands[s], ctx);
+        if slope_bits(weighted) != bits {
+            push(&mut heap, demands, &groups, s, g);
+            continue;
+        }
+
+        let grain = demands[s].grain.max(1);
+        // A group never needs more than one full copy of the stream.
+        let room = demands[s].footprint.saturating_sub(cur_total);
+        if room == 0 {
+            continue;
+        }
+        let seg = ((next_cap - cur_total).min(room).div_ceil(grain)) * grain;
+        let affine = demands[s].affine;
+
+        // Try to place `seg` bytes within the group's members.
+        let mut remaining = seg;
+        let mut staged: Vec<(usize, u64)> = Vec::new();
+        let mut member_order = groups[s][g].members.clone();
+        member_order.sort_by_key(|&u| Reverse(budget.available(u, affine)));
+        for &u in &member_order {
+            if remaining == 0 {
+                break;
+            }
+            let avail = (budget.available(u, affine) / grain) * grain;
+            let take = avail.min(remaining);
+            if take > 0 {
+                staged.push((u, take));
+                remaining -= take;
+            }
+        }
+
+        if remaining > 0 {
+            // Lines 9–21: extend the group or merge two groups.
+            let anchor = groups[s][g].anchor;
+            let members = groups[s][g].members.clone();
+            let extend_unit = ctx.nearest_where(anchor, |v| {
+                !members.contains(&v) && budget.available(v, affine) >= grain
+            });
+            let extend_gain = extend_unit.map(|v| {
+                let mut trial = groups[s][g].clone();
+                trial.members.push(v);
+                let placeable = (budget.available(v, affine).min(remaining) / grain) * grain;
+                trial.cap[v] += placeable;
+                trial.utility(ctx) - groups[s][g].utility(ctx)
+            });
+
+            // Merge candidate: the lowest-utility group (any stream) with
+            // capacity at a member unit of this group, merged into its
+            // nearest sibling group.
+            let mut merge_pick: Option<(usize, usize, usize, f64)> = None;
+            for (s2, gs2) in groups.iter().enumerate() {
+                if gs2.len() < 2 {
+                    continue;
+                }
+                for (g2, st2) in gs2.iter().enumerate() {
+                    // Only merging a group that holds capacity frees space.
+                    if !st2.alive
+                        || st2.total() == 0
+                        || !st2.members.iter().any(|m| members.contains(m))
+                    {
+                        continue;
+                    }
+                    // Nearest sibling group of the same stream.
+                    let sibling = gs2
+                        .iter()
+                        .enumerate()
+                        .filter(|&(o, os)| o != g2 && os.alive)
+                        .max_by(|a, b| {
+                            let ka = ctx.attenuation[st2.anchor][a.1.anchor];
+                            let kb = ctx.attenuation[st2.anchor][b.1.anchor];
+                            ka.partial_cmp(&kb).expect("attenuations are finite")
+                        });
+                    if let Some((g3, _)) = sibling {
+                        let u = st2.utility(ctx);
+                        if merge_pick.is_none_or(|(.., best_u)| u < best_u) {
+                            merge_pick = Some((s2, g2, g3, u));
+                        }
+                    }
+                }
+            }
+
+            let do_merge = match (extend_gain, merge_pick) {
+                (None, None) => {
+                    // Nothing helps: this group is done.
+                    continue;
+                }
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(eg), Some((s2, g2, g3, _))) => {
+                    // Merge gain: freed capacity enables this allocation; its
+                    // utility cost is the dropped replica's utility drop.
+                    let freed = groups[s2][g2].total() as f64;
+                    let merged_cost = groups[s2][g2].utility(ctx)
+                        - groups[s2][g2].total() as f64
+                            * ctx.attenuation[groups[s2][g2].anchor][groups[s2][g3].anchor];
+                    freed - merged_cost > eg
+                }
+            };
+
+            if do_merge {
+                let (s2, g2, g3, _) = merge_pick.expect("checked above");
+                // Drop replica g2: free its capacity, fold its members into
+                // g3 (they are now served remotely).
+                let (cap2, members2, share2, anchor2);
+                {
+                    let st2 = &mut groups[s2][g2];
+                    st2.alive = false;
+                    cap2 = st2.cap.clone();
+                    members2 = st2.members.clone();
+                    share2 = st2.share;
+                    anchor2 = st2.anchor;
+                    for u in 0..ctx.units {
+                        if st2.cap[u] > 0 {
+                            budget.give(u, demands[s2].affine, st2.cap[u]);
+                            st2.cap[u] = 0;
+                        }
+                    }
+                }
+                let _ = (cap2, anchor2);
+                let st3 = &mut groups[s2][g3];
+                for m in members2 {
+                    if !st3.members.contains(&m) {
+                        st3.members.push(m);
+                    }
+                }
+                st3.share += share2;
+                // The surviving group's slope improved (more share); requeue.
+                push(&mut heap, demands, &groups, s2, g3);
+            } else if let Some(v) = extend_unit {
+                if !groups[s][g].members.contains(&v) {
+                    groups[s][g].members.push(v);
+                }
+            }
+            // Retry this group next round.
+            push(&mut heap, demands, &groups, s, g);
+            continue;
+        }
+
+        // Commit the staged allocation.
+        for (u, b) in staged {
+            budget.take(u, affine, b);
+            groups[s][g].cap[u] += b;
+        }
+        push(&mut heap, demands, &groups, s, g);
+    }
+
+    // Leftover fill: sampled curves flatten into noise long before capacity
+    // runs out; a real cache still uses the space. Hand each unit's free
+    // space to the streams that access it (weighted by access count).
+    // Capacity goes into each stream's *largest* group — growing one shared
+    // copy rather than inflating replication — and is capped by the stream's
+    // footprint across all groups.
+    for u in 0..ctx.units {
+        let mut cands: Vec<(usize, usize, u64)> = Vec::new();
+        for (s, d) in demands.iter().enumerate() {
+            let Some(&(_, acc)) = d.acc_units.iter().find(|&&(au, _)| au == u) else {
+                continue;
+            };
+            let Some(g) = (0..groups[s].len())
+                .filter(|&g| groups[s][g].alive)
+                .max_by_key(|&g| groups[s][g].total())
+            else {
+                continue;
+            };
+            let have: u64 = groups[s].iter().filter(|g| g.alive).map(GroupState::total).sum();
+            if have < d.footprint {
+                cands.push((s, g, acc));
+            }
+        }
+        let total_w: u64 = cands.iter().map(|&(.., w)| w).sum();
+        if total_w == 0 {
+            continue;
+        }
+        let free_u = budget.available(u, false);
+        for (s, g, w) in cands {
+            let d = &demands[s];
+            let grain = d.grain.max(1);
+            let share = free_u * w / total_w;
+            let have: u64 = groups[s].iter().filter(|g| g.alive).map(GroupState::total).sum();
+            let room = d.footprint.saturating_sub(have);
+            // Keep the filled capacity spatially spread: no unit holds more
+            // than ~2× the stream's fair per-unit share (hot-spotting one
+            // unit concentrates traffic and lengthens average hops).
+            let fair = (d.footprint / ctx.units as u64).max(grain) * 2;
+            let at_u = groups[s][g].cap[u];
+            let add = (share
+                .min(room)
+                .min(fair.saturating_sub(at_u))
+                .min(budget.available(u, d.affine))
+                / grain)
+                * grain;
+            if add > 0 {
+                budget.take(u, d.affine, add);
+                groups[s][g].cap[u] += add;
+                if !groups[s][g].members.contains(&u) {
+                    groups[s][g].members.push(u);
+                }
+            }
+        }
+    }
+
+    // Consolidation pass: replication trades hit latency for hit rate
+    // (§V-C). For each read-only stream, merge replica groups while the
+    // estimated access time improves: a merge pools capacity (fewer misses
+    // to slow extended memory) at the cost of remote hits on the NoC.
+    for (s, d) in demands.iter().enumerate() {
+        loop {
+            let alive: Vec<usize> =
+                (0..groups[s].len()).filter(|&g| groups[s][g].alive).collect();
+            if alive.len() < 2 {
+                break;
+            }
+            // Merge the two smallest groups (the least capacity-efficient
+            // replicas) if that lowers expected access time.
+            let mut by_size = alive.clone();
+            by_size.sort_by_key(|&g| groups[s][g].total());
+            let (a, b) = (by_size[0], by_size[1]);
+            let before = group_time(&groups[s][a], d, ctx) + group_time(&groups[s][b], d, ctx);
+            let mut merged = groups[s][a].clone();
+            for &m in &groups[s][b].members {
+                if !merged.members.contains(&m) {
+                    merged.members.push(m);
+                }
+            }
+            for u in 0..ctx.units {
+                merged.cap[u] += groups[s][b].cap[u];
+            }
+            merged.share += groups[s][b].share;
+            let after = group_time(&merged, d, ctx);
+            if after < before {
+                groups[s][b].alive = false;
+                groups[s][a] = merged;
+            } else {
+                break;
+            }
+        }
+    }
+
+    to_allocation(&groups, ctx.units)
+}
+
+/// Discounts a replica group's marginal utility: if the stream already has
+/// a larger group covering its accesses, an extra copy only converts
+/// *remote hits* into *local hits* — worth the interconnect saving, not the
+/// full miss penalty (the paper's hit-rate vs hit-latency tradeoff, §V-C).
+fn replica_factor(gs: &[GroupState], g: usize, d: &StreamDemand, ctx: &ConfigCtx) -> f64 {
+    // The stream's primary copy (largest group, lowest index on ties) earns
+    // full miss-curve credit; every other group is a replica.
+    let Some(other) = gs
+        .iter()
+        .enumerate()
+        .filter(|&(i, st)| {
+            i != g
+                && st.alive
+                && (st.total() > gs[g].total() || (st.total() == gs[g].total() && i < g))
+        })
+        .max_by(|a, b| a.1.total().cmp(&b.1.total()).then(b.0.cmp(&a.0)))
+        .map(|(_, st)| st)
+    else {
+        return 1.0;
+    };
+    // Fraction of accesses the larger group would serve as hits.
+    let total = d.total_accesses.max(1) as f64;
+    let covered = (1.0 - d.curve.misses_at(other.total()) / total).clamp(0.0, 1.0);
+    // Value of localizing a covered access: the interconnect saving relative
+    // to the full miss penalty an uncovered access pays.
+    let noc = ctx.noc_ps(gs[g].anchor, other.anchor).max(0.0);
+    let latency_value = (noc / (ctx.dram_lat_ps + ctx.miss_extra_ps)).min(1.0);
+    covered * latency_value + (1.0 - covered)
+}
+
+/// Estimated time this group's accesses spend in the memory system per
+/// epoch: misses pay the extended-memory penalty, hits pay DRAM plus the
+/// average intra-group NoC distance.
+fn group_time(g: &GroupState, d: &StreamDemand, ctx: &ConfigCtx) -> f64 {
+    let acc = d.total_accesses as f64 * g.share;
+    if acc <= 0.0 {
+        return 0.0;
+    }
+    let misses = d.curve.misses_at(g.total()) * g.share;
+    let hits = (acc - misses).max(0.0);
+    // Average NoC distance within the group, capacity-weighted.
+    let total_cap = g.total().max(1) as f64;
+    let mut avg_noc = 0.0;
+    if g.members.len() > 1 {
+        for &u in &g.members {
+            let mut from_u = 0.0;
+            for &v in &g.members {
+                from_u += g.cap[v] as f64 / total_cap * ctx.noc_ps(u, v);
+            }
+            avg_noc += from_u / g.members.len() as f64;
+        }
+    }
+    misses * (ctx.dram_lat_ps + ctx.miss_extra_ps) + hits * (ctx.dram_lat_ps + avg_noc)
+}
+
+fn to_allocation(groups: &[Vec<GroupState>], units: usize) -> Allocation {
+    Allocation {
+        streams: groups
+            .iter()
+            .map(|gs| {
+                gs.iter()
+                    .filter(|st| st.alive && st.total() > 0)
+                    .map(|st| AllocGroup {
+                        unit_bytes: (0..units).filter(|&u| st.cap[u] > 0).map(|u| (u, st.cap[u])).collect(),
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Runs one of the baseline allocators.
+///
+/// # Panics
+///
+/// Panics if called with `PolicyKind::NdpExt` (use [`allocate_ndpext`]).
+pub fn allocate_baseline(
+    policy: PolicyKind,
+    demands: &[StreamDemand],
+    ctx: &ConfigCtx,
+    nexus_degree: usize,
+) -> Allocation {
+    match policy {
+        PolicyKind::NdpExt => panic!("use allocate_ndpext for the NDPExt policy"),
+        PolicyKind::NdpExtStatic => allocate_equal(demands, ctx),
+        PolicyKind::StaticInterleave => allocate_interleave(demands, ctx),
+        PolicyKind::Jigsaw | PolicyKind::Whirlpool | PolicyKind::Nexus => {
+            allocate_lookahead(policy, demands, ctx, nexus_degree)
+        }
+    }
+}
+
+/// NDPExt-static: the cache space is equally allocated to every stream on
+/// every unit (paper §VI), one global group per stream.
+fn allocate_equal(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
+    let active = demands.iter().filter(|d| d.total_accesses > 0).count().max(1) as u64;
+    let streams = demands
+        .iter()
+        .map(|d| {
+            if d.total_accesses == 0 {
+                return Vec::new();
+            }
+            let per_unit_raw = ctx.unit_capacity / active;
+            let per_unit_cap = if d.affine { per_unit_raw.min(ctx.affine_cap / active) } else { per_unit_raw };
+            let per_unit = (per_unit_cap / d.grain.max(1)) * d.grain.max(1);
+            if per_unit == 0 {
+                return Vec::new();
+            }
+            vec![AllocGroup { unit_bytes: (0..ctx.units).map(|u| (u, per_unit)).collect() }]
+        })
+        .collect();
+    Allocation { streams }
+}
+
+/// Static interleaving: one shared, unmanaged cache. Capacity divides
+/// between streams proportional to access intensity (how an unpartitioned
+/// direct-mapped cache settles), spread uniformly over all units.
+fn allocate_interleave(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
+    let total_acc: u64 = demands.iter().map(|d| d.total_accesses).sum();
+    if total_acc == 0 {
+        return Allocation { streams: demands.iter().map(|_| Vec::new()).collect() };
+    }
+    let streams = demands
+        .iter()
+        .map(|d| {
+            if d.total_accesses == 0 {
+                return Vec::new();
+            }
+            let stream_bytes =
+                (ctx.unit_capacity as f64 * ctx.units as f64 * d.total_accesses as f64 / total_acc as f64) as u64;
+            let per_unit = ((stream_bytes / ctx.units as u64) / d.grain.max(1)) * d.grain.max(1);
+            if per_unit == 0 {
+                return Vec::new();
+            }
+            vec![AllocGroup { unit_bytes: (0..ctx.units).map(|u| (u, per_unit)).collect() }]
+        })
+        .collect();
+    Allocation { streams }
+}
+
+/// Jigsaw / Whirlpool / Nexus: lookahead sizing with policy-specific
+/// placement.
+fn allocate_lookahead(
+    policy: PolicyKind,
+    demands: &[StreamDemand],
+    ctx: &ConfigCtx,
+    nexus_degree: usize,
+) -> Allocation {
+    let mut free = vec![ctx.unit_capacity; ctx.units];
+
+    // Per stream: the ordered unit preference list. Jigsaw gathers each
+    // partition at its centre of mass; Whirlpool and Nexus place capacity at
+    // the accessing units first (access-intensity order).
+    let prefs: Vec<Vec<usize>> = demands
+        .iter()
+        .map(|d| {
+            if policy == PolicyKind::Jigsaw {
+                placement_order(d, ctx)
+            } else {
+                intensity_order(d, ctx)
+            }
+        })
+        .collect();
+    // Nexus: cluster accessing units into `nexus_degree` groups by unit
+    // index (stack contiguity).
+    let clusters: Vec<Vec<Vec<usize>>> = demands
+        .iter()
+        .map(|d| {
+            if policy == PolicyKind::Nexus && d.read_only && !d.acc_units.is_empty() {
+                let mut units: Vec<usize> = d.acc_units.iter().map(|&(u, _)| u).collect();
+                units.sort_unstable();
+                let degree = nexus_degree.min(units.len()).max(1);
+                let per = units.len().div_ceil(degree);
+                units.chunks(per).map(<[usize]>::to_vec).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    let mut alloc: Vec<Vec<AllocGroup>> = demands
+        .iter()
+        .enumerate()
+        .map(|(s, d)| {
+            if d.total_accesses == 0 {
+                Vec::new()
+            } else if clusters[s].is_empty() {
+                vec![AllocGroup::default()]
+            } else {
+                clusters[s].iter().map(|_| AllocGroup::default()).collect()
+            }
+        })
+        .collect();
+    let mut totals: Vec<u64> = vec![0; demands.len()];
+
+    let mut heap: BinaryHeap<HeapKey> = BinaryHeap::new();
+    for (s, d) in demands.iter().enumerate() {
+        if let Some((_, slope)) = d.curve.next_segment(0) {
+            if slope > 0.0 && d.total_accesses > 0 {
+                heap.push(HeapKey(slope_bits(slope), Reverse(s), Reverse(0)));
+            }
+        }
+    }
+
+    while let Some(HeapKey(bits, Reverse(s), Reverse(_))) = heap.pop() {
+        let d = &demands[s];
+        let Some((next_cap, slope)) = d.curve.next_segment(totals[s]) else {
+            continue;
+        };
+        if slope_bits(slope) != bits {
+            heap.push(HeapKey(slope_bits(slope), Reverse(s), Reverse(0)));
+            continue;
+        }
+        let grain = d.grain.max(1);
+        let room = d.footprint.saturating_sub(totals[s]);
+        if room == 0 {
+            continue;
+        }
+        let seg = (next_cap - totals[s]).min(room).div_ceil(grain) * grain;
+
+        let replicas = alloc[s].len().max(1);
+        let mut placed_any = false;
+        for r in 0..replicas {
+            let order: &[usize] = if clusters[s].is_empty() { &prefs[s] } else { &clusters[s][r] };
+            let mut remaining = seg;
+            // Whirlpool/Nexus spread each increment across the accessing
+            // units proportionally to access intensity; Jigsaw fills from
+            // the centre of mass outward.
+            if policy != PolicyKind::Jigsaw && clusters[s].is_empty() && !d.acc_units.is_empty() {
+                let total_acc: u64 = d.acc_units.iter().map(|&(_, a)| a).sum();
+                for &(u, acc) in &d.acc_units {
+                    let want = (seg * acc / total_acc.max(1)).min(remaining);
+                    let take = ((free[u].min(want)) / grain) * grain;
+                    if take > 0 {
+                        free[u] -= take;
+                        remaining -= take;
+                        add_bytes(&mut alloc[s][r], u, take);
+                        placed_any = true;
+                    }
+                }
+            }
+            for &u in order {
+                if remaining == 0 {
+                    break;
+                }
+                let take = ((free[u] / grain) * grain).min(remaining);
+                if take > 0 {
+                    free[u] -= take;
+                    remaining -= take;
+                    add_bytes(&mut alloc[s][r], u, take);
+                    placed_any = true;
+                }
+            }
+            // Overflow beyond the preferred order spills anywhere with space
+            // (the paper's "suboptimal positions, incurring extra hops").
+            if remaining > 0 {
+                for u in 0..ctx.units {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = ((free[u] / grain) * grain).min(remaining);
+                    if take > 0 {
+                        free[u] -= take;
+                        remaining -= take;
+                        add_bytes(&mut alloc[s][r], u, take);
+                        placed_any = true;
+                    }
+                }
+            }
+        }
+        if !placed_any {
+            continue; // Out of space for this stream.
+        }
+        totals[s] = next_cap;
+        heap.push(HeapKey(
+            slope_bits(d.curve.next_segment(totals[s]).map_or(0.0, |(_, sl)| sl)),
+            Reverse(s),
+            Reverse(0),
+        ));
+    }
+
+    // Leftover fill (see allocate_ndpext): unused capacity goes to streams
+    // accessing each unit, weighted by access count, into their first group.
+    for u in 0..ctx.units {
+        let mut cands: Vec<(usize, u64)> = Vec::new();
+        for (s, d) in demands.iter().enumerate() {
+            if alloc[s].is_empty() {
+                continue;
+            }
+            let Some(&(_, acc)) = d.acc_units.iter().find(|&&(au, _)| au == u) else {
+                continue;
+            };
+            let have: u64 = alloc[s].iter().map(AllocGroup::total).sum();
+            if have < d.footprint {
+                cands.push((s, acc));
+            }
+        }
+        let total_w: u64 = cands.iter().map(|&(_, w)| w).sum();
+        if total_w == 0 {
+            continue;
+        }
+        let free_u = free[u];
+        for (s, w) in cands {
+            let d = &demands[s];
+            let grain = d.grain.max(1);
+            let have: u64 = alloc[s].iter().map(AllocGroup::total).sum();
+            let room = d.footprint.saturating_sub(have);
+            let add = ((free_u * w / total_w).min(room).min(free[u]) / grain) * grain;
+            if add > 0 {
+                free[u] -= add;
+                add_bytes(&mut alloc[s][0], u, add);
+            }
+        }
+    }
+
+    // Drop empty groups.
+    for gs in &mut alloc {
+        gs.retain(|g| g.total() > 0);
+    }
+    Allocation { streams: alloc }
+}
+
+fn add_bytes(group: &mut AllocGroup, unit: usize, bytes: u64) {
+    if let Some(e) = group.unit_bytes.iter_mut().find(|(u, _)| *u == unit) {
+        e.1 += bytes;
+    } else {
+        group.unit_bytes.push((unit, bytes));
+    }
+}
+
+/// Whirlpool/Nexus placement: accessing units first, by access intensity,
+/// then the rest by proximity to the hottest accessor.
+fn intensity_order(d: &StreamDemand, ctx: &ConfigCtx) -> Vec<usize> {
+    if d.acc_units.is_empty() {
+        return (0..ctx.units).collect();
+    }
+    let mut accessing = d.acc_units.clone();
+    accessing.sort_by_key(|&(_, a)| Reverse(a));
+    let hottest = accessing[0].0;
+    let mut order: Vec<usize> = accessing.iter().map(|&(u, _)| u).collect();
+    let mut rest: Vec<usize> = (0..ctx.units).filter(|u| !order.contains(u)).collect();
+    rest.sort_by(|&a, &b| {
+        ctx.attenuation[hottest][b]
+            .partial_cmp(&ctx.attenuation[hottest][a])
+            .expect("finite attenuation")
+    });
+    order.extend(rest);
+    order
+}
+
+/// Jigsaw placement: gather every partition at its centre of mass.
+fn placement_order(d: &StreamDemand, ctx: &ConfigCtx) -> Vec<usize> {
+    if d.acc_units.is_empty() {
+        return (0..ctx.units).collect();
+    }
+    // Centre of mass: the unit with the highest attenuation-weighted access
+    // sum.
+    let com = (0..ctx.units)
+        .max_by(|&a, &b| {
+            let score = |u: usize| -> f64 {
+                d.acc_units.iter().map(|&(v, acc)| acc as f64 * ctx.attenuation[u][v]).sum()
+            };
+            score(a).partial_cmp(&score(b)).expect("finite scores")
+        })
+        .expect("units > 0");
+    let mut order: Vec<usize> = (0..ctx.units).collect();
+    order.sort_by(|&a, &b| {
+        ctx.attenuation[com][b]
+            .partial_cmp(&ctx.attenuation[com][a])
+            .expect("finite attenuation")
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(units: usize, cap: u64) -> ConfigCtx {
+        // Line topology: attenuation decays with distance.
+        let attenuation = (0..units)
+            .map(|u| (0..units).map(|v| 1.0 / (1.0 + u.abs_diff(v) as f64 * 0.2)).collect())
+            .collect();
+        ConfigCtx {
+            units,
+            unit_capacity: cap,
+            affine_cap: cap,
+            attenuation,
+            dram_lat_ps: 45_000.0,
+            miss_extra_ps: 500_000.0,
+        }
+    }
+
+    fn demand(curve_pts: Vec<(u64, f64)>, total: f64, acc: Vec<(usize, u64)>, ro: bool) -> StreamDemand {
+        // Footprint = the largest sampled capacity: beyond it more cache
+        // cannot help, matching real stream sizes.
+        let footprint = curve_pts.iter().map(|&(c, _)| c).max().unwrap_or(64);
+        StreamDemand {
+            curve: MissCurve::from_samples(total, curve_pts),
+            acc_units: acc,
+            read_only: ro,
+            affine: false,
+            grain: 64,
+            total_accesses: total as u64,
+            footprint,
+        }
+    }
+
+    #[test]
+    fn ndpext_replicates_hot_read_only_stream() {
+        // One hot RO stream accessed by both units; plenty of space: each
+        // unit should get its own replica (two groups).
+        let d = vec![demand(vec![(1024, 0.0)], 10_000.0, vec![(0, 5000), (1, 5000)], true)];
+        let a = allocate_ndpext(&d, &ctx(2, 1 << 20));
+        assert_eq!(a.streams[0].len(), 2, "expected two replicas, got {:?}", a.streams[0]);
+        assert!(a.replicated_fraction() > 0.4);
+    }
+
+    #[test]
+    fn ndpext_does_not_replicate_read_write() {
+        let d = vec![demand(vec![(1024, 0.0)], 10_000.0, vec![(0, 5000), (1, 5000)], false)];
+        let a = allocate_ndpext(&d, &ctx(2, 1 << 20));
+        assert_eq!(a.streams[0].len(), 1);
+    }
+
+    #[test]
+    fn ndpext_reduces_replication_under_pressure() {
+        // Capacity for only ~one copy: groups must merge.
+        let units = 4;
+        let cap = 4096u64;
+        let d = vec![demand(
+            vec![(8192, 0.0)],
+            100_000.0,
+            (0..units).map(|u| (u, 1000u64)).collect(),
+            true,
+        )];
+        let a = allocate_ndpext(&d, &ctx(units, cap));
+        let total: u64 = a.streams[0].iter().map(AllocGroup::total).sum();
+        assert!(total <= cap * units as u64);
+        assert!(
+            a.streams[0].len() < units,
+            "under pressure replication should drop below max: {:?}",
+            a.streams[0]
+        );
+    }
+
+    #[test]
+    fn ndpext_prefers_steeper_curves() {
+        // Stream 0 gains a lot from cache; stream 1 gains nothing.
+        let d = vec![
+            demand(vec![(4096, 100.0)], 100_000.0, vec![(0, 1000)], false),
+            demand(vec![(4096, 99_000.0)], 100_000.0, vec![(1, 1000)], false),
+        ];
+        let a = allocate_ndpext(&d, &ctx(2, 2048));
+        let t0: u64 = a.streams[0].iter().map(AllocGroup::total).sum();
+        let t1: u64 = a.streams[1].iter().map(AllocGroup::total).sum();
+        assert!(t0 > t1, "steep stream got {t0}, flat stream got {t1}");
+    }
+
+    #[test]
+    fn equal_allocation_splits_capacity() {
+        let d = vec![
+            demand(vec![(4096, 0.0)], 100.0, vec![(0, 100)], true),
+            demand(vec![(4096, 0.0)], 100.0, vec![(1, 100)], true),
+        ];
+        let c = ctx(2, 8192);
+        let a = allocate_baseline(PolicyKind::NdpExtStatic, &d, &c, 2);
+        for gs in &a.streams {
+            assert_eq!(gs.len(), 1);
+            // Each stream gets half of each unit.
+            for &(_, b) in &gs[0].unit_bytes {
+                assert_eq!(b, 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn jigsaw_gathers_whirlpool_spreads() {
+        // A stream accessed only at the two ends of a 6-unit line.
+        let acc = vec![(0usize, 1000u64), (5, 1000)];
+        let d = vec![demand(vec![(64 * 600, 0.0)], 10_000.0, acc, false)];
+        let c = ctx(6, 64 * 100);
+        let jig = allocate_baseline(PolicyKind::Jigsaw, &d, &c, 2);
+        let whirl = allocate_baseline(PolicyKind::Whirlpool, &d, &c, 2);
+        let spread = |a: &Allocation| a.streams[0][0].unit_bytes.len();
+        // Jigsaw fills from the centre of mass outward; Whirlpool puts
+        // capacity at the accessing units first.
+        let whirl_units: Vec<usize> = whirl.streams[0][0].unit_bytes.iter().map(|&(u, _)| u).collect();
+        assert!(whirl_units.contains(&0) && whirl_units.contains(&5), "{whirl_units:?}");
+        assert!(spread(&jig) >= 1);
+    }
+
+    #[test]
+    fn nexus_replicates_read_only_with_global_degree() {
+        let acc: Vec<(usize, u64)> = (0..6).map(|u| (u, 100u64)).collect();
+        let d = vec![demand(vec![(4096, 0.0)], 10_000.0, acc, true)];
+        let c = ctx(6, 1 << 20);
+        let a = allocate_baseline(PolicyKind::Nexus, &d, &c, 3);
+        assert_eq!(a.streams[0].len(), 3, "nexus should build 3 replicas");
+    }
+
+    #[test]
+    fn interleave_weights_by_access_intensity() {
+        let d = vec![
+            demand(vec![(4096, 0.0)], 9000.0, vec![(0, 9000)], false),
+            demand(vec![(4096, 0.0)], 1000.0, vec![(1, 1000)], false),
+        ];
+        let c = ctx(2, 64 * 1000);
+        let a = allocate_baseline(PolicyKind::StaticInterleave, &d, &c, 2);
+        let t0: u64 = a.streams[0].iter().map(AllocGroup::total).sum();
+        let t1: u64 = a.streams[1].iter().map(AllocGroup::total).sum();
+        assert!(t0 > t1 * 5);
+    }
+
+    #[test]
+    fn allocations_never_exceed_capacity() {
+        let units = 4;
+        let cap = 64 * 64;
+        let demands: Vec<StreamDemand> = (0..8)
+            .map(|i| {
+                demand(
+                    vec![(64 * 128, 10.0)],
+                    10_000.0,
+                    vec![(i % units, 500), ((i + 1) % units, 300)],
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        let c = ctx(units, cap as u64);
+        for policy in PolicyKind::ALL {
+            let a = if policy == PolicyKind::NdpExt {
+                allocate_ndpext(&demands, &c)
+            } else {
+                allocate_baseline(policy, &demands, &c, 2)
+            };
+            let mut per_unit = vec![0u64; units];
+            for gs in &a.streams {
+                for g in gs {
+                    for &(u, b) in &g.unit_bytes {
+                        per_unit[u] += b;
+                    }
+                }
+            }
+            for (u, &used) in per_unit.iter().enumerate() {
+                assert!(
+                    used <= cap as u64,
+                    "{policy:?} overflows unit {u}: {used} > {cap}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! # ndpx-cxl
+//!
+//! CXL.mem extended-memory model for the NDPExt reproduction.
+//!
+//! The paper attaches a multi-headed CXL Type-3 memory expander to the NDP
+//! stacks through a central CXL controller (Fig. 1). [`ExtendedMemory`]
+//! models that device: a full-duplex link with a fixed propagation latency
+//! (Table II: 200 ns, 16 lanes, 11.4 pJ/bit) in front of a DDR5-4800 backend
+//! from [`ndpx_mem`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ndpx_cxl::{CxlParams, ExtendedMemory};
+//! use ndpx_sim::time::Time;
+//!
+//! let mut ext = ExtendedMemory::new(CxlParams::paper_default(), 1 << 30);
+//! let done = ext.access(0x4000, 64, false, Time::ZERO);
+//! // Two link traversals dominate: ≥ 400 ns end to end.
+//! assert!(done >= Time::from_ns(400));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ndpx_mem::device::{DramConfig, DramDevice};
+use ndpx_sim::energy::Energy;
+use ndpx_sim::stats::{Counter, LatencyStat};
+use ndpx_sim::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// CXL link parameters (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CxlParams {
+    /// One-way link propagation latency (excluding DRAM access).
+    pub link_latency: Time,
+    /// Number of lanes.
+    pub lanes: u32,
+    /// Serialization bandwidth per lane, bytes per nanosecond.
+    pub bytes_per_ns_per_lane: f64,
+    /// Link energy per bit transferred.
+    pub pj_per_bit: f64,
+}
+
+impl CxlParams {
+    /// The paper's default: 16 lanes, 200 ns link latency, 11.4 pJ/bit,
+    /// 4 B/ns/lane (≈ 64 GB/s per direction).
+    pub fn paper_default() -> Self {
+        CxlParams {
+            link_latency: Time::from_ns(200),
+            lanes: 16,
+            bytes_per_ns_per_lane: 4.0,
+            pj_per_bit: 11.4,
+        }
+    }
+
+    /// Same link with a different propagation latency (Fig. 8b sweeps
+    /// 50–400 ns).
+    pub fn with_latency(self, link_latency: Time) -> Self {
+        CxlParams { link_latency, ..self }
+    }
+
+    /// Aggregate serialization bandwidth, bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.bytes_per_ns_per_lane * f64::from(self.lanes)
+    }
+
+    /// Serialization delay for `bytes`.
+    pub fn serialization(&self, bytes: u32) -> Time {
+        Time::from_ns_f64(f64::from(bytes) / self.bytes_per_ns())
+    }
+}
+
+/// Statistics for the extended memory path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CxlStats {
+    /// Requests served.
+    pub requests: Counter,
+    /// Payload bytes moved over the link (both directions).
+    pub bytes: Counter,
+    /// End-to-end latency of served requests.
+    pub latency: LatencyStat,
+}
+
+/// A CXL-attached memory expander: link + DDR5 backend.
+#[derive(Debug, Clone)]
+pub struct ExtendedMemory {
+    params: CxlParams,
+    ddr: DramDevice,
+    /// Next-free times of the request and response directions.
+    req_free: Time,
+    rsp_free: Time,
+    stats: CxlStats,
+    link_energy: Energy,
+}
+
+/// Size of a CXL.mem request header flit, bytes.
+const REQUEST_BYTES: u32 = 16;
+
+impl ExtendedMemory {
+    /// Creates an expander of `capacity` bytes behind the given link.
+    pub fn new(params: CxlParams, capacity: u64) -> Self {
+        ExtendedMemory {
+            params,
+            ddr: DramDevice::new(DramConfig::ddr5_extended(capacity)),
+            req_free: Time::ZERO,
+            rsp_free: Time::ZERO,
+            stats: CxlStats::default(),
+            link_energy: Energy::ZERO,
+        }
+    }
+
+    /// The link parameters.
+    pub fn params(&self) -> &CxlParams {
+        &self.params
+    }
+
+    /// The DDR backend (for statistics).
+    pub fn ddr(&self) -> &DramDevice {
+        &self.ddr
+    }
+
+    /// Performs one access of `bytes` at `addr`, issued from an NDP stack at
+    /// `now`. Returns the time the response (data or write ack) arrives back.
+    pub fn access(&mut self, addr: u64, bytes: u32, write: bool, now: Time) -> Time {
+        // Request direction: header (+ data when writing).
+        let req_payload = if write { REQUEST_BYTES + bytes } else { REQUEST_BYTES };
+        let req_ser = self.params.serialization(req_payload);
+        let req_start = now.max(self.req_free);
+        self.req_free = req_start + req_ser;
+        let at_device = req_start + req_ser + self.params.link_latency;
+
+        let ddr_done = self.ddr.access(addr, bytes, write, at_device);
+
+        // Response direction: data (+ header) for reads, ack for writes.
+        let rsp_payload = if write { REQUEST_BYTES } else { REQUEST_BYTES + bytes };
+        let rsp_ser = self.params.serialization(rsp_payload);
+        let rsp_start = ddr_done.max(self.rsp_free);
+        self.rsp_free = rsp_start + rsp_ser;
+        let done = rsp_start + rsp_ser + self.params.link_latency;
+
+        let moved = u64::from(req_payload + rsp_payload);
+        self.stats.requests.inc();
+        self.stats.bytes.add(moved);
+        self.stats.latency.record(done - now);
+        self.link_energy += Energy::from_pj(self.params.pj_per_bit * moved as f64 * 8.0);
+        done
+    }
+
+    /// Statistics for the link.
+    pub fn stats(&self) -> &CxlStats {
+        &self.stats
+    }
+
+    /// Dynamic energy: link traversal plus DDR access energy.
+    pub fn dynamic_energy(&self) -> Energy {
+        self.link_energy + self.ddr.dynamic_energy()
+    }
+
+    /// Link-only dynamic energy.
+    pub fn link_energy(&self) -> Energy {
+        self.link_energy
+    }
+
+    /// Background energy of the DDR backend over `elapsed`.
+    pub fn background_energy(&self, elapsed: Time) -> Energy {
+        self.ddr.background_energy(elapsed)
+    }
+
+    /// Clears link and DRAM state (statistics are preserved).
+    pub fn reset_state(&mut self) {
+        self.req_free = Time::ZERO;
+        self.rsp_free = Time::ZERO;
+        self.ddr.reset_state();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext() -> ExtendedMemory {
+        ExtendedMemory::new(CxlParams::paper_default(), 1 << 26)
+    }
+
+    #[test]
+    fn read_pays_two_link_traversals_plus_dram() {
+        let mut e = ext();
+        let done = e.access(0, 64, false, Time::ZERO);
+        let dram = e.ddr.config().timing.row_empty();
+        let ser = e.params.serialization(REQUEST_BYTES) + e.params.serialization(REQUEST_BYTES + 64);
+        assert_eq!(done, Time::from_ns(400) + dram + ser);
+    }
+
+    #[test]
+    fn latency_scales_with_link_latency() {
+        let mut fast = ExtendedMemory::new(
+            CxlParams::paper_default().with_latency(Time::from_ns(50)),
+            1 << 26,
+        );
+        let mut slow = ext();
+        let f = fast.access(0, 64, false, Time::ZERO);
+        let s = slow.access(0, 64, false, Time::ZERO);
+        assert_eq!(s - f, Time::from_ns(300));
+    }
+
+    #[test]
+    fn response_direction_contends() {
+        let mut e = ext();
+        let a = e.access(0, 4096, false, Time::ZERO);
+        let b = e.access(1 << 20, 4096, false, Time::ZERO);
+        // Different DDR banks, but the 4 kB responses share the link.
+        assert!(b > a);
+    }
+
+    #[test]
+    fn write_moves_data_on_request_direction() {
+        let mut e = ext();
+        e.access(0, 64, true, Time::ZERO);
+        // 16+64 request + 16 ack.
+        assert_eq!(e.stats().bytes.get(), 96);
+    }
+
+    #[test]
+    fn energy_matches_bytes_moved() {
+        let mut e = ext();
+        e.access(0, 64, false, Time::ZERO);
+        let moved = (REQUEST_BYTES + REQUEST_BYTES + 64) as f64;
+        assert!((e.link_energy().as_pj() - 11.4 * moved * 8.0).abs() < 1e-6);
+        assert!(e.dynamic_energy() > e.link_energy());
+    }
+
+    #[test]
+    fn stats_record_latency() {
+        let mut e = ext();
+        e.access(0, 64, false, Time::ZERO);
+        assert_eq!(e.stats().requests.get(), 1);
+        assert!(e.stats().latency.mean() >= Time::from_ns(400));
+    }
+}

@@ -1,0 +1,366 @@
+//! Bank-level DRAM device model.
+//!
+//! [`DramDevice`] models a set of independent banks with open-row state and a
+//! per-bank `busy_until` reservation. An access pays the row-hit / row-empty /
+//! row-conflict latency of [`super::timing::DramTiming`] plus any queueing
+//! delay behind earlier accesses to the same bank. Energy is accounted per
+//! bit transferred and per activate/precharge pair.
+
+use ndpx_sim::energy::Energy;
+use ndpx_sim::stats::Counter;
+use ndpx_sim::time::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::timing::{DramEnergy, DramTiming};
+
+/// Static configuration of one DRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Timing parameter set.
+    pub timing: DramTiming,
+    /// Energy parameter set.
+    pub energy: DramEnergy,
+    /// Number of independent banks (channels × ranks × banks for DIMMs).
+    pub banks: usize,
+    /// Independent data channels (each bank belongs to `bank % channels`).
+    pub channels: usize,
+    /// Data-bus bandwidth per channel, bytes per nanosecond.
+    pub bus_bytes_per_ns: f64,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Total device capacity in bytes.
+    pub capacity: u64,
+}
+
+impl DramConfig {
+    /// One NDP unit's HBM3 region (Table II: 256 MB/unit, 2 kB rows).
+    pub fn hbm3_unit(capacity: u64) -> Self {
+        DramConfig {
+            timing: DramTiming::hbm3(),
+            energy: DramEnergy::hbm3(),
+            banks: 16,
+            channels: 1,
+            bus_bytes_per_ns: 50.0,
+            row_bytes: 2048,
+            capacity,
+        }
+    }
+
+    /// One NDP unit's HMC2 vault.
+    pub fn hmc2_unit(capacity: u64) -> Self {
+        DramConfig {
+            timing: DramTiming::hmc2(),
+            energy: DramEnergy::hmc2(),
+            banks: 16,
+            channels: 1,
+            bus_bytes_per_ns: 16.0,
+            row_bytes: 256,
+            capacity,
+        }
+    }
+
+    /// The CXL extended memory backend
+    /// (Table II: DDR5-4800, 4 channels × 2 ranks × 16 banks).
+    pub fn ddr5_extended(capacity: u64) -> Self {
+        DramConfig {
+            timing: DramTiming::ddr5_4800(),
+            energy: DramEnergy::ddr5(),
+            banks: 4 * 2 * 16,
+            channels: 4,
+            bus_bytes_per_ns: 38.4,
+            row_bytes: 8192,
+            capacity,
+        }
+    }
+
+    /// Number of DRAM rows in the device.
+    pub fn rows(&self) -> u64 {
+        self.capacity / self.row_bytes
+    }
+}
+
+/// Counters exposed by a [`DramDevice`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Read accesses served.
+    pub reads: Counter,
+    /// Write accesses served.
+    pub writes: Counter,
+    /// Accesses that hit the open row.
+    pub row_hits: Counter,
+    /// Accesses to a precharged bank.
+    pub row_empty: Counter,
+    /// Accesses that had to close another row first.
+    pub row_conflicts: Counter,
+    /// Bytes transferred.
+    pub bytes: Counter,
+    /// Activate operations issued.
+    pub activates: Counter,
+}
+
+impl DramStats {
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.row_hits.ratio_of(self.accesses())
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Time,
+}
+
+/// A DRAM device with per-bank open-row tracking and reservation-based
+/// queueing.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_mem::device::{DramConfig, DramDevice};
+/// use ndpx_sim::time::Time;
+///
+/// let mut dram = DramDevice::new(DramConfig::hbm3_unit(1 << 20));
+/// let t0 = dram.access(0, 64, false, Time::ZERO);
+/// // A second access to the same row hits the open row buffer.
+/// let t1 = dram.access(64, 64, false, t0);
+/// assert!(t1 - t0 < t0 - Time::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    /// Two interleaved reservation slots per channel bus (each holding 2×
+    /// the transfer time) so future-scheduled transfers do not falsely block
+    /// earlier idle windows while aggregate bandwidth stays exact.
+    buses: Vec<Time>,
+    stats: DramStats,
+    dynamic: Energy,
+}
+
+/// Reservation slots per channel bus.
+const BUS_SLOTS: usize = 2;
+
+impl DramDevice {
+    /// Creates a device with all banks precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or a zero-sized row.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.banks > 0, "device must have at least one bank");
+        assert!(cfg.channels > 0, "device must have at least one channel");
+        assert!(cfg.row_bytes > 0, "row size must be positive");
+        assert!(cfg.bus_bytes_per_ns > 0.0, "bus bandwidth must be positive");
+        DramDevice {
+            banks: vec![Bank::default(); cfg.banks],
+            buses: vec![Time::ZERO; cfg.channels * BUS_SLOTS],
+            cfg,
+            stats: DramStats::default(),
+            dynamic: Energy::ZERO,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Performs one access of `bytes` bytes at `addr`, no earlier than `now`.
+    ///
+    /// Returns the completion time (data fully transferred). The request
+    /// queues behind any earlier access to the same bank.
+    pub fn access(&mut self, addr: u64, bytes: u32, write: bool, now: Time) -> Time {
+        let row_id = addr / self.cfg.row_bytes;
+        let bank_idx = (row_id % self.cfg.banks as u64) as usize;
+        let row = row_id / self.cfg.banks as u64;
+        let bank = &mut self.banks[bank_idx];
+
+        let start = now.max(bank.busy_until);
+        let t = &self.cfg.timing;
+        let latency = match bank.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits.inc();
+                t.row_hit()
+            }
+            Some(_) => {
+                self.stats.row_conflicts.inc();
+                self.stats.activates.inc();
+                self.dynamic += self.cfg.energy.act_pre;
+                t.row_conflict()
+            }
+            None => {
+                self.stats.row_empty.inc();
+                self.stats.activates.inc();
+                self.dynamic += self.cfg.energy.act_pre;
+                t.row_empty()
+            }
+        };
+        bank.open_row = Some(row);
+
+        // Multi-burst transfers extend occupancy beyond the first 64 B burst.
+        let extra_bursts = (u64::from(bytes).div_ceil(64)).saturating_sub(1);
+        let bank_done = start + latency + t.freq.cycles_to_time(t.burst * extra_bursts);
+        bank.busy_until = bank_done;
+
+        // The channel data bus serializes transfers from all banks on it.
+        let transfer = Time::from_ns_f64(f64::from(bytes) / self.cfg.bus_bytes_per_ns);
+        let chan = bank_idx % self.cfg.channels;
+        let slots = &mut self.buses[chan * BUS_SLOTS..(chan + 1) * BUS_SLOTS];
+        let slot = if slots[0] <= slots[1] { 0 } else { 1 };
+        let bus_start = bank_done.saturating_sub(transfer).max(slots[slot]);
+        slots[slot] = bus_start + transfer * BUS_SLOTS as u64;
+        let done = bank_done.max(bus_start + transfer);
+
+        if write {
+            self.stats.writes.inc();
+        } else {
+            self.stats.reads.inc();
+        }
+        self.stats.bytes.add(u64::from(bytes));
+        self.dynamic += self.cfg.energy.rw_per_bit * (f64::from(bytes) * 8.0);
+        done
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Dynamic energy consumed so far.
+    pub fn dynamic_energy(&self) -> Energy {
+        self.dynamic
+    }
+
+    /// Background (static) energy over a run of length `elapsed`.
+    pub fn background_energy(&self, elapsed: Time) -> Energy {
+        self.cfg.energy.background.over(elapsed)
+    }
+
+    /// Closes all rows and forgets reservations (e.g. between epochs in
+    /// tests). Statistics are preserved.
+    pub fn reset_state(&mut self) {
+        for b in &mut self.banks {
+            *b = Bank::default();
+        }
+        self.buses.fill(Time::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DramDevice {
+        DramDevice::new(DramConfig {
+            banks: 4,
+            row_bytes: 1024,
+            capacity: 1 << 20,
+            ..DramConfig::hbm3_unit(1 << 20)
+        })
+    }
+
+    #[test]
+    fn channel_bus_limits_bandwidth() {
+        // One channel at 50 B/ns: 100 × 64 B back-to-back needs ≥ 128 ns of
+        // bus time even across independent banks.
+        let mut d = small();
+        let mut last = Time::ZERO;
+        for i in 0..100u64 {
+            // Different banks, same channel.
+            last = last.max(d.access(i * 1024, 64, false, Time::ZERO));
+        }
+        assert!(last >= Time::from_ns(100), "bus did not serialize: {last}");
+    }
+
+    #[test]
+    fn first_access_is_row_empty() {
+        let mut d = small();
+        let done = d.access(0, 64, false, Time::ZERO);
+        assert_eq!(done, d.config().timing.row_empty());
+        assert_eq!(d.stats().row_empty.get(), 1);
+    }
+
+    #[test]
+    fn same_row_hits_different_row_conflicts() {
+        let mut d = small();
+        let t0 = d.access(0, 64, false, Time::ZERO);
+        let t1 = d.access(512, 64, false, t0); // same row (row_bytes=1024)
+        assert_eq!(t1 - t0, d.config().timing.row_hit());
+        // Same bank, different row: rows map to banks round-robin, so the
+        // next row in this bank is row_id + banks.
+        let conflict_addr = 4 * 1024;
+        let t2 = d.access(conflict_addr, 64, false, t1);
+        assert_eq!(t2 - t1, d.config().timing.row_conflict());
+        assert_eq!(d.stats().row_conflicts.get(), 1);
+    }
+
+    #[test]
+    fn bank_queueing_delays_service() {
+        let mut d = small();
+        let t0 = d.access(0, 64, false, Time::ZERO);
+        // Second access to the same bank issued at time zero must wait.
+        let t1 = d.access(0, 64, false, Time::ZERO);
+        assert_eq!(t1, t0 + d.config().timing.row_hit());
+    }
+
+    #[test]
+    fn different_banks_do_not_queue() {
+        let mut d = small();
+        let t0 = d.access(0, 64, false, Time::ZERO);
+        let t1 = d.access(1024, 64, false, Time::ZERO); // next row -> next bank
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn large_transfer_takes_extra_bursts() {
+        let mut d = small();
+        let small_done = d.access(0, 64, false, Time::ZERO);
+        d.reset_state();
+        let mut d2 = small();
+        let big_done = d2.access(0, 1024, false, Time::ZERO);
+        let t = d.config().timing;
+        assert_eq!(
+            big_done - small_done,
+            t.freq.cycles_to_time(t.burst * 15) // 16 bursts total, 15 extra
+        );
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut d = small();
+        d.access(0, 64, false, Time::ZERO);
+        let after_one = d.dynamic_energy();
+        // One activate + 64 B.
+        let expected = d.config().energy.act_pre + d.config().energy.rw_per_bit * (64.0 * 8.0);
+        assert!((after_one.as_pj() - expected.as_pj()).abs() < 1e-9);
+        let done = d.access(64, 64, true, Time::ZERO);
+        assert!(d.dynamic_energy() > after_one);
+        assert!(done > Time::ZERO);
+        assert_eq!(d.stats().writes.get(), 1);
+    }
+
+    #[test]
+    fn background_energy_scales_with_time() {
+        let d = small();
+        let e1 = d.background_energy(Time::from_us(1));
+        let e2 = d.background_energy(Time::from_us(2));
+        assert!((e2.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut d = small();
+        let mut now = Time::ZERO;
+        for i in 0..10 {
+            now = d.access(i * 64, 64, false, now);
+        }
+        // All within row 0 after the first: 9 hits / 10 accesses.
+        assert!((d.stats().row_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

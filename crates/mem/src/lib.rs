@@ -1,0 +1,34 @@
+//! # ndpx-mem
+//!
+//! DRAM device timing and energy models for the NDPExt reproduction.
+//!
+//! The crate provides bank-level models of the three memory families in the
+//! paper's Table II:
+//!
+//! * **HBM3-1600** — the per-unit memory region of HBM-style NDP stacks;
+//! * **HMC 2.1** — the per-vault memory of HMC-style NDP stacks;
+//! * **DDR5-4800** — the backend of the CXL extended memory.
+//!
+//! [`device::DramDevice`] models open-row state and per-bank queueing;
+//! [`timing::DramTiming`] / [`timing::DramEnergy`] hold the datasheet
+//! parameters.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndpx_mem::device::{DramConfig, DramDevice};
+//! use ndpx_sim::time::Time;
+//!
+//! let mut hbm = DramDevice::new(DramConfig::hbm3_unit(256 << 20));
+//! let done = hbm.access(0x1000, 64, false, Time::ZERO);
+//! assert_eq!(done, hbm.config().timing.row_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod timing;
+
+pub use device::{DramConfig, DramDevice, DramStats};
+pub use timing::{DramEnergy, DramTiming};

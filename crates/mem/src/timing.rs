@@ -1,0 +1,153 @@
+//! DRAM timing and energy parameter sets.
+//!
+//! The three device families used by the paper's evaluation (Table II) are
+//! provided as presets: HBM3-1600 and HMC2-1250 for the NDP stacks, and
+//! DDR5-4800 for the CXL extended memory. Parameters come from the respective
+//! datasheets as cited by the paper.
+
+use ndpx_sim::energy::{Energy, Power};
+use ndpx_sim::time::{Freq, Time};
+use serde::{Deserialize, Serialize};
+
+/// Core DRAM timing parameters, in device clock cycles.
+///
+/// Latency composition per access (all in cycles of [`DramTiming::freq`]):
+///
+/// * row hit: `t_cas + burst`
+/// * row empty (bank precharged): `t_rcd + t_cas + burst`
+/// * row conflict: `t_rp + t_rcd + t_cas + burst`
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_mem::timing::DramTiming;
+///
+/// let hbm = DramTiming::hbm3();
+/// // 24 cycles at 1600 MHz = 15 ns.
+/// assert_eq!(hbm.freq.cycles_to_time(hbm.t_cas).as_ns(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Command/data clock.
+    pub freq: Freq,
+    /// RAS-to-CAS delay (activate to column command), cycles.
+    pub t_rcd: u64,
+    /// CAS latency (column command to first data), cycles.
+    pub t_cas: u64,
+    /// Row precharge time, cycles.
+    pub t_rp: u64,
+    /// Data burst duration for one 64 B transfer, cycles.
+    pub burst: u64,
+}
+
+impl DramTiming {
+    /// HBM3-1600 (Table II: `RCD-CAS-RP: 24-24-24`).
+    pub const fn hbm3() -> Self {
+        DramTiming { freq: Freq::from_mhz(1600), t_rcd: 24, t_cas: 24, t_rp: 24, burst: 4 }
+    }
+
+    /// HMC 2.1 at 1250 MHz (Table II: `RCD-CAS-RP: 14-14-14`).
+    pub const fn hmc2() -> Self {
+        DramTiming { freq: Freq::from_mhz(1250), t_rcd: 14, t_cas: 14, t_rp: 14, burst: 4 }
+    }
+
+    /// DDR5-4800 (Table II: `RCD-CAS-RP: 40-40-40`).
+    ///
+    /// Timing cycles are given against the 2400 MHz command clock.
+    pub const fn ddr5_4800() -> Self {
+        DramTiming { freq: Freq::from_mhz(2400), t_rcd: 40, t_cas: 40, t_rp: 40, burst: 8 }
+    }
+
+    /// Latency of a row-buffer hit.
+    pub fn row_hit(&self) -> Time {
+        self.freq.cycles_to_time(self.t_cas + self.burst)
+    }
+
+    /// Latency of an access to a precharged (closed) bank.
+    pub fn row_empty(&self) -> Time {
+        self.freq.cycles_to_time(self.t_rcd + self.t_cas + self.burst)
+    }
+
+    /// Latency of a row conflict (precharge, then activate, then read).
+    pub fn row_conflict(&self) -> Time {
+        self.freq.cycles_to_time(self.t_rp + self.t_rcd + self.t_cas + self.burst)
+    }
+}
+
+/// Per-device DRAM energy parameters (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramEnergy {
+    /// Read/write data energy per bit transferred.
+    pub rw_per_bit: Energy,
+    /// Energy per activate+precharge pair.
+    pub act_pre: Energy,
+    /// Background (static) power per device.
+    pub background: Power,
+}
+
+impl DramEnergy {
+    /// HBM3: `RD/WR: 1.7 pJ/bit, ACT/PRE: 0.6 nJ`.
+    pub fn hbm3() -> Self {
+        DramEnergy {
+            rw_per_bit: Energy::from_pj(1.7),
+            act_pre: Energy::from_nj(0.6),
+            background: Power::from_mw(45.0),
+        }
+    }
+
+    /// HMC2 uses the same per-bit figures in our model (the paper's Table II
+    /// lists only HBM energy; HMC trends match within the evaluation).
+    pub fn hmc2() -> Self {
+        Self::hbm3()
+    }
+
+    /// DDR5: `RD/WR: 3.2 pJ/bit, ACT/PRE: 3.3 nJ`.
+    pub fn ddr5() -> Self {
+        DramEnergy {
+            rw_per_bit: Energy::from_pj(3.2),
+            act_pre: Energy::from_nj(3.3),
+            background: Power::from_mw(90.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm3_matches_table2() {
+        let t = DramTiming::hbm3();
+        assert_eq!(t.freq.cycle().as_ps(), 625);
+        // 24-24-24 at 625 ps = 15 ns per component.
+        assert_eq!(t.freq.cycles_to_time(t.t_rcd).as_ps(), 15_000);
+        assert_eq!(t.row_conflict().as_ps(), (24 + 24 + 24 + 4) * 625);
+        assert!(t.row_hit() < t.row_empty());
+        assert!(t.row_empty() < t.row_conflict());
+    }
+
+    #[test]
+    fn hmc2_is_faster_per_component_than_hbm3() {
+        let hbm = DramTiming::hbm3();
+        let hmc = DramTiming::hmc2();
+        assert!(hmc.row_empty() < hbm.row_empty());
+    }
+
+    #[test]
+    fn ddr5_is_slowest() {
+        let ddr = DramTiming::ddr5_4800();
+        assert!(ddr.row_conflict() > DramTiming::hbm3().row_conflict());
+        // 40 cycles at 2400 MHz ≈ 16.7 ns.
+        assert_eq!(ddr.freq.cycles_to_time(ddr.t_cas).as_ns(), 16);
+    }
+
+    #[test]
+    fn energy_presets() {
+        let e = DramEnergy::hbm3();
+        assert!((e.rw_per_bit.as_pj() - 1.7).abs() < 1e-12);
+        assert!((e.act_pre.as_nj() - 0.6).abs() < 1e-12);
+        let d = DramEnergy::ddr5();
+        assert!(d.rw_per_bit > e.rw_per_bit);
+        assert!(d.act_pre > e.act_pre);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ndpx-noc
+//!
+//! Interconnect models for the NDPExt reproduction: the intra-stack NoC and
+//! the inter-stack memory network of a multi-stack 3D NDP system.
+//!
+//! * [`topology`] — the two-level geometry (stack mesh × unit mesh/crossbar)
+//!   and hop-count math;
+//! * [`network`] — a contention-aware latency/energy model using per-link
+//!   next-free-time reservations.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndpx_noc::network::{LinkParams, Network};
+//! use ndpx_noc::topology::{IntraKind, Topology, UnitId};
+//! use ndpx_sim::time::Time;
+//!
+//! let mut net = Network::new(
+//!     Topology::paper_default(IntraKind::Crossbar),
+//!     LinkParams::intra_stack(),
+//!     LinkParams::inter_stack(),
+//! );
+//! let arrival = net.send(UnitId(0), UnitId(120), 64, Time::ZERO);
+//! assert!(arrival > Time::from_ns(10)); // crosses the stack mesh
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod topology;
+
+pub use network::{LinkParams, Network, NocStats};
+pub use topology::{IntraKind, Topology, UnitId};

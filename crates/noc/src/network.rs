@@ -1,0 +1,345 @@
+//! Contention-aware network model.
+//!
+//! [`Network`] combines the topology with link
+//! parameters (Table II) and models queueing with per-link *next-free-time*
+//! reservations: a message reserves its source injection port, every
+//! inter-stack link along its XY route, and the destination ejection port,
+//! each for the message's serialization time. Latency is
+//! `hops × hop-latency + serialization + queueing`.
+
+use ndpx_sim::energy::Energy;
+use ndpx_sim::stats::Counter;
+use ndpx_sim::time::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Topology, UnitId};
+
+/// Bandwidth/latency/energy parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Per-hop header latency.
+    pub hop_latency: Time,
+    /// Serialization bandwidth in bytes per nanosecond.
+    pub bytes_per_ns: f64,
+    /// Energy per bit per hop.
+    pub pj_per_bit: f64,
+}
+
+impl LinkParams {
+    /// Intra-stack NoC (Table II: 128-bit link, 1.5 ns/hop, 0.4 pJ/bit).
+    ///
+    /// The 128-bit link at the logic-die clock gives 32 B/ns effective
+    /// serialization bandwidth.
+    pub fn intra_stack() -> Self {
+        LinkParams { hop_latency: Time::from_ns_f64(1.5), bytes_per_ns: 32.0, pj_per_bit: 0.4 }
+    }
+
+    /// Inter-stack SerDes links (Table II: 32 GB/s per direction, 10 ns/hop,
+    /// 4 pJ/bit).
+    pub fn inter_stack() -> Self {
+        LinkParams { hop_latency: Time::from_ns(10), bytes_per_ns: 32.0, pj_per_bit: 4.0 }
+    }
+
+    /// Serialization delay of a message of `bytes` bytes.
+    pub fn serialization(&self, bytes: u32) -> Time {
+        Time::from_ns_f64(f64::from(bytes) / self.bytes_per_ns)
+    }
+}
+
+/// Network statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Messages sent.
+    pub messages: Counter,
+    /// Payload bytes moved.
+    pub bytes: Counter,
+    /// Total intra-stack hops traversed.
+    pub intra_hops: Counter,
+    /// Total inter-stack hops traversed.
+    pub inter_hops: Counter,
+}
+
+/// Number of virtual channels per port and per inter-stack link.
+///
+/// Router buffering lets several in-flight packets overlap; modelling each
+/// port/link as a single scalar `next_free` would falsely serialize a
+/// message scheduled at a *future* time (e.g. a miss response leaving when
+/// the extended memory answers) against earlier idle-time traffic. K
+/// channels, each holding a reservation for K× the serialization time,
+/// preserve aggregate bandwidth while allowing out-of-order overlap.
+const VIRTUAL_CHANNELS: usize = 12;
+
+/// The two-level NDP interconnect with reservation-based contention.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_noc::network::{LinkParams, Network};
+/// use ndpx_noc::topology::{IntraKind, Topology, UnitId};
+/// use ndpx_sim::time::Time;
+///
+/// let mut net = Network::new(
+///     Topology::paper_default(IntraKind::Mesh),
+///     LinkParams::intra_stack(),
+///     LinkParams::inter_stack(),
+/// );
+/// let arrival = net.send(UnitId(0), UnitId(17), 64, Time::ZERO);
+/// assert!(arrival > Time::ZERO);
+/// // A local "message" is free.
+/// assert_eq!(net.send(UnitId(3), UnitId(3), 64, Time::ZERO), Time::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    topo: Topology,
+    intra: LinkParams,
+    inter: LinkParams,
+    /// Injection (even) / ejection (odd) port channels per unit:
+    /// `VIRTUAL_CHANNELS` next-free times each.
+    unit_ports: Vec<Time>,
+    /// Four directed inter-stack links per stack (E, W, N, S), with
+    /// `VIRTUAL_CHANNELS` next-free times each.
+    stack_links: Vec<Time>,
+    stats: NocStats,
+    dynamic: Energy,
+}
+
+impl Network {
+    /// Creates a network with all links idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology fails validation.
+    pub fn new(topo: Topology, intra: LinkParams, inter: LinkParams) -> Self {
+        topo.validate().expect("invalid topology");
+        Network {
+            unit_ports: vec![Time::ZERO; topo.units() * 2 * VIRTUAL_CHANNELS],
+            stack_links: vec![Time::ZERO; topo.stacks() * 4 * VIRTUAL_CHANNELS],
+            topo,
+            intra,
+            inter,
+            stats: NocStats::default(),
+            dynamic: Energy::ZERO,
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Uncontended one-way latency between two units for a message of
+    /// `bytes` — used by the runtime's attenuation factors and by tests.
+    pub fn base_latency(&self, src: UnitId, dst: UnitId, bytes: u32) -> Time {
+        if src == dst {
+            return Time::ZERO;
+        }
+        let intra_h = self.topo.intra_hops(src, dst) as u64;
+        let inter_h = self.topo.inter_hops(src, dst) as u64;
+        let mut t = self.intra.hop_latency * intra_h + self.inter.hop_latency * inter_h;
+        t += if inter_h > 0 { self.inter.serialization(bytes) } else { self.intra.serialization(bytes) };
+        t
+    }
+
+    /// Sends `bytes` from `src` to `dst` no earlier than `now`; returns the
+    /// arrival time. Reserves ports and inter-stack links for the message's
+    /// serialization time.
+    pub fn send(&mut self, src: UnitId, dst: UnitId, bytes: u32, now: Time) -> Time {
+        if src == dst {
+            return now;
+        }
+        let intra_h = self.topo.intra_hops(src, dst) as u64;
+        let inter_h = self.topo.inter_hops(src, dst) as u64;
+        self.stats.messages.inc();
+        self.stats.bytes.add(u64::from(bytes));
+        self.stats.intra_hops.add(intra_h);
+        self.stats.inter_hops.add(inter_h);
+
+        let bits = f64::from(bytes) * 8.0;
+        self.dynamic += Energy::from_pj(self.intra.pj_per_bit * bits * intra_h as f64);
+        self.dynamic += Energy::from_pj(self.inter.pj_per_bit * bits * inter_h as f64);
+
+        let intra_ser = self.intra.serialization(bytes);
+        let inter_ser = self.inter.serialization(bytes);
+
+        // Source injection port.
+        let mut t = Self::reserve(port_channels(&mut self.unit_ports, src.index() * 2), now, intra_ser);
+        t += self.intra.hop_latency * intra_h;
+
+        // Inter-stack XY route.
+        if inter_h > 0 {
+            let (mut sx, mut sy) = self.topo.stack_coords(self.topo.stack_of(src));
+            let (dx, dy) = self.topo.stack_coords(self.topo.stack_of(dst));
+            while sx != dx {
+                let (dir, nx) = if sx < dx { (0usize, sx + 1) } else { (1, sx - 1) };
+                let stack = sy * self.topo.stacks_x + sx;
+                t = Self::reserve(port_channels(&mut self.stack_links, stack * 4 + dir), t, inter_ser);
+                t += self.inter.hop_latency;
+                sx = nx;
+            }
+            while sy != dy {
+                let (dir, ny) = if sy < dy { (2usize, sy + 1) } else { (3, sy - 1) };
+                let stack = sy * self.topo.stacks_x + sx;
+                t = Self::reserve(port_channels(&mut self.stack_links, stack * 4 + dir), t, inter_ser);
+                t += self.inter.hop_latency;
+                sy = ny;
+            }
+        }
+
+        // Destination ejection port, then the payload streams out.
+        t = Self::reserve(port_channels(&mut self.unit_ports, dst.index() * 2 + 1), t, intra_ser);
+        t + if inter_h > 0 { inter_ser } else { intra_ser }
+    }
+
+    /// Reserves the least-loaded virtual channel: each channel holds the
+    /// reservation for `VIRTUAL_CHANNELS ×` the serialization time, so the
+    /// resource's aggregate bandwidth is unchanged.
+    #[inline]
+    fn reserve(channels: &mut [Time], at: Time, hold: Time) -> Time {
+        let slot = channels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("channels is non-empty");
+        let start = at.max(channels[slot]);
+        channels[slot] = start + hold * VIRTUAL_CHANNELS as u64;
+        start
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Dynamic link energy consumed so far.
+    pub fn dynamic_energy(&self) -> Energy {
+        self.dynamic
+    }
+
+    /// Clears link reservations (statistics are preserved).
+    pub fn reset_state(&mut self) {
+        self.unit_ports.fill(Time::ZERO);
+        self.stack_links.fill(Time::ZERO);
+    }
+}
+
+/// The `VIRTUAL_CHANNELS`-wide slice of resource `idx`.
+#[inline]
+fn port_channels(store: &mut [Time], idx: usize) -> &mut [Time] {
+    &mut store[idx * VIRTUAL_CHANNELS..(idx + 1) * VIRTUAL_CHANNELS]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::IntraKind;
+
+    fn mesh_net() -> Network {
+        Network::new(
+            Topology::paper_default(IntraKind::Mesh),
+            LinkParams::intra_stack(),
+            LinkParams::inter_stack(),
+        )
+    }
+
+    #[test]
+    fn local_send_is_free() {
+        let mut n = mesh_net();
+        assert_eq!(n.send(UnitId(5), UnitId(5), 64, Time::from_ns(7)), Time::from_ns(7));
+        assert_eq!(n.stats().messages.get(), 0);
+    }
+
+    #[test]
+    fn same_stack_latency_matches_base() {
+        let mut n = mesh_net();
+        // local 0 -> local 1: one intra hop.
+        let arrival = n.send(UnitId(0), UnitId(1), 64, Time::ZERO);
+        assert_eq!(arrival, n.base_latency(UnitId(0), UnitId(1), 64));
+        // 1.5 ns hop + 2 ns serialization of 64 B at 32 B/ns.
+        assert_eq!(arrival.as_ps(), 1_500 + 2_000);
+    }
+
+    #[test]
+    fn cross_stack_includes_inter_hops() {
+        let mut n = mesh_net();
+        // Stack 0 -> stack 1, both at port units (local 0): 1 inter hop.
+        let arrival = n.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        // 10 ns hop + 2 ns inter serialization; no intra hops (both at ports).
+        assert_eq!(arrival.as_ps(), 10_000 + 2_000);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        let mut n = mesh_net();
+        // Fill every virtual channel of the shared inter-stack link with
+        // 4 kB messages, then one more must queue behind serialization.
+        let first = n.send(UnitId(0), UnitId(16), 4096, Time::ZERO);
+        let mut last = first;
+        for _ in 0..40 {
+            last = n.send(UnitId(0), UnitId(16), 4096, Time::ZERO);
+        }
+        assert!(last > first);
+        // 41 × 4 kB at 32 B/ns aggregate needs ≥ 5 µs of link time; the last
+        // arrival reflects that queueing.
+        assert!(last - first >= Time::from_ns(2000), "got {}", last - first);
+    }
+
+    #[test]
+    fn future_reservation_does_not_block_idle_window() {
+        let mut n = mesh_net();
+        // A message scheduled far in the future must not delay an
+        // earlier-issued message on the same ports.
+        let _late = n.send(UnitId(0), UnitId(16), 64, Time::from_us(10));
+        let early = n.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        assert!(early < Time::from_us(1), "early message queued behind future one: {early}");
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let mut n = mesh_net();
+        let a = n.send(UnitId(0), UnitId(1), 64, Time::ZERO);
+        let b = n.send(UnitId(2), UnitId(3), 64, Time::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn energy_scales_with_hops_and_bytes() {
+        let mut n = mesh_net();
+        n.send(UnitId(0), UnitId(1), 64, Time::ZERO);
+        let one_hop = n.dynamic_energy();
+        // 64 B over one intra hop at 0.4 pJ/bit.
+        assert!((one_hop.as_pj() - 64.0 * 8.0 * 0.4).abs() < 1e-9);
+        n.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        let with_inter = n.dynamic_energy() - one_hop;
+        // Inter hop at 4 pJ/bit dominates.
+        assert!(with_inter.as_pj() > 64.0 * 8.0 * 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn base_latency_monotonic_in_distance() {
+        let n = mesh_net();
+        let near = n.base_latency(UnitId(0), UnitId(1), 64);
+        let far = n.base_latency(UnitId(0), UnitId(127), 64);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn stats_count_hops() {
+        let mut n = mesh_net();
+        n.send(UnitId(0), UnitId(17), 64, Time::ZERO);
+        // src local 0 -> port 0 hops; inter 1 hop; dst local 1: 1 intra hop.
+        assert_eq!(n.stats().inter_hops.get(), 1);
+        assert_eq!(n.stats().intra_hops.get(), 1);
+        assert_eq!(n.stats().messages.get(), 1);
+        assert_eq!(n.stats().bytes.get(), 64);
+    }
+
+    #[test]
+    fn reset_clears_reservations() {
+        let mut n = mesh_net();
+        n.send(UnitId(0), UnitId(16), 4096, Time::ZERO);
+        n.reset_state();
+        let again = n.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        assert_eq!(again, n.base_latency(UnitId(0), UnitId(16), 64));
+    }
+}

@@ -1,0 +1,207 @@
+//! Two-level NDP interconnect topology.
+//!
+//! The paper's system (Fig. 1, Table II) is a mesh of 3D memory stacks
+//! (inter-stack network, default 4×2) where each stack internally connects its
+//! NDP units either through a 4×4 mesh (HMC-style vaults) or a crossbar
+//! (HBM-style, one logic die behind a 2.5D interposer).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one NDP unit (one core + its local memory region).
+///
+/// Units are numbered stack-major: unit `u` lives in stack
+/// `u / units_per_stack` at local index `u % units_per_stack`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UnitId(pub usize);
+
+impl UnitId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for UnitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// How units inside one stack are connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntraKind {
+    /// 2D mesh of units (HMC-style vault network), XY routing.
+    Mesh,
+    /// Single-hop crossbar on the logic die (HBM-style).
+    Crossbar,
+}
+
+/// Geometric description of the two-level topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Stack-mesh width.
+    pub stacks_x: usize,
+    /// Stack-mesh height.
+    pub stacks_y: usize,
+    /// Unit-mesh width inside a stack.
+    pub units_x: usize,
+    /// Unit-mesh height inside a stack.
+    pub units_y: usize,
+    /// Intra-stack connectivity.
+    pub intra: IntraKind,
+}
+
+impl Topology {
+    /// The paper's default: 4×2 stacks of 4×4 units (128 units).
+    pub const fn paper_default(intra: IntraKind) -> Self {
+        Topology { stacks_x: 4, stacks_y: 2, units_x: 4, units_y: 4, intra }
+    }
+
+    /// Units per stack.
+    pub const fn units_per_stack(&self) -> usize {
+        self.units_x * self.units_y
+    }
+
+    /// Number of stacks.
+    pub const fn stacks(&self) -> usize {
+        self.stacks_x * self.stacks_y
+    }
+
+    /// Total unit count.
+    pub const fn units(&self) -> usize {
+        self.stacks() * self.units_per_stack()
+    }
+
+    /// The stack holding `unit`.
+    #[inline]
+    pub fn stack_of(&self, unit: UnitId) -> usize {
+        unit.0 / self.units_per_stack()
+    }
+
+    /// `unit`'s local index within its stack.
+    #[inline]
+    pub fn local_of(&self, unit: UnitId) -> usize {
+        unit.0 % self.units_per_stack()
+    }
+
+    /// Mesh coordinates of a stack.
+    #[inline]
+    pub fn stack_coords(&self, stack: usize) -> (usize, usize) {
+        (stack % self.stacks_x, stack / self.stacks_x)
+    }
+
+    /// Mesh coordinates of a local unit index inside a stack.
+    #[inline]
+    pub fn local_coords(&self, local: usize) -> (usize, usize) {
+        (local % self.units_x, local / self.units_x)
+    }
+
+    /// Manhattan distance between stacks.
+    pub fn inter_hops(&self, a: UnitId, b: UnitId) -> usize {
+        let (ax, ay) = self.stack_coords(self.stack_of(a));
+        let (bx, by) = self.stack_coords(self.stack_of(b));
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Intra-stack hop count contributed by a message from `a` to `b`.
+    ///
+    /// For a crossbar, any on-stack movement is one hop. For a mesh it is the
+    /// Manhattan distance to the stack port (local unit 0) when crossing
+    /// stacks, or directly between the two units when staying on-stack.
+    pub fn intra_hops(&self, a: UnitId, b: UnitId) -> usize {
+        if a == b {
+            return 0;
+        }
+        let same_stack = self.stack_of(a) == self.stack_of(b);
+        match self.intra {
+            IntraKind::Crossbar => {
+                if same_stack {
+                    1
+                } else {
+                    2 // source unit -> port, port -> destination unit
+                }
+            }
+            IntraKind::Mesh => {
+                let (ax, ay) = self.local_coords(self.local_of(a));
+                let (bx, by) = self.local_coords(self.local_of(b));
+                if same_stack {
+                    ax.abs_diff(bx) + ay.abs_diff(by)
+                } else {
+                    // Route via each stack's port at local (0, 0).
+                    (ax + ay) + (bx + by)
+                }
+            }
+        }
+    }
+
+    /// Validates the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if any dimension is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stacks_x == 0 || self.stacks_y == 0 || self.units_x == 0 || self.units_y == 0 {
+            return Err(format!("topology dimensions must be positive: {self:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_128_units() {
+        let t = Topology::paper_default(IntraKind::Mesh);
+        assert_eq!(t.units(), 128);
+        assert_eq!(t.stacks(), 8);
+        assert_eq!(t.units_per_stack(), 16);
+    }
+
+    #[test]
+    fn stack_and_local_decomposition() {
+        let t = Topology::paper_default(IntraKind::Mesh);
+        let u = UnitId(35); // stack 2, local 3
+        assert_eq!(t.stack_of(u), 2);
+        assert_eq!(t.local_of(u), 3);
+        assert_eq!(t.stack_coords(2), (2, 0));
+        assert_eq!(t.local_coords(3), (3, 0));
+    }
+
+    #[test]
+    fn inter_hops_are_manhattan() {
+        let t = Topology::paper_default(IntraKind::Mesh);
+        // stack 0 at (0,0), stack 7 at (3,1): 4 hops.
+        let a = UnitId(0);
+        let b = UnitId(7 * 16);
+        assert_eq!(t.inter_hops(a, b), 4);
+        assert_eq!(t.inter_hops(a, a), 0);
+    }
+
+    #[test]
+    fn intra_mesh_hops() {
+        let t = Topology::paper_default(IntraKind::Mesh);
+        // local 0 (0,0) to local 15 (3,3): 6 hops on-stack.
+        assert_eq!(t.intra_hops(UnitId(0), UnitId(15)), 6);
+        // Cross-stack: local 5 (1,1) to port (2) + port to local 10 (2,2) (4) = 6.
+        assert_eq!(t.intra_hops(UnitId(5), UnitId(16 + 10)), 6);
+        assert_eq!(t.intra_hops(UnitId(3), UnitId(3)), 0);
+    }
+
+    #[test]
+    fn intra_crossbar_hops() {
+        let t = Topology::paper_default(IntraKind::Crossbar);
+        assert_eq!(t.intra_hops(UnitId(0), UnitId(15)), 1);
+        assert_eq!(t.intra_hops(UnitId(0), UnitId(16)), 2);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        let mut t = Topology::paper_default(IntraKind::Mesh);
+        t.units_x = 0;
+        assert!(t.validate().is_err());
+        assert!(Topology::paper_default(IntraKind::Mesh).validate().is_ok());
+    }
+}

@@ -1,0 +1,198 @@
+//! Energy accounting.
+//!
+//! All models report energy in picojoules via the [`Energy`] newtype, and
+//! static (leakage/background) power via [`Power`]. Values are `f64`: energy
+//! totals span ~15 orders of magnitude between a per-bit link traversal
+//! (fractions of a pJ) and a whole-run total (joules).
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// An amount of energy, in picojoules.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::energy::Energy;
+///
+/// let per_bit = Energy::from_pj(1.7);
+/// let access = per_bit * (64.0 * 8.0); // 64-byte read
+/// assert!((access.as_nj() - 0.8704).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub const fn from_pj(pj: f64) -> Self {
+        Energy(pj)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[inline]
+    pub const fn from_nj(nj: f64) -> Self {
+        Energy(nj * 1_000.0)
+    }
+
+    /// Picojoules.
+    #[inline]
+    pub const fn as_pj(self) -> f64 {
+        self.0
+    }
+
+    /// Nanojoules.
+    #[inline]
+    pub fn as_nj(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Microjoules.
+    #[inline]
+    pub fn as_uj(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// Millijoules.
+    #[inline]
+    pub fn as_mj(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+/// A constant power draw, in milliwatts, used for static energy.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::energy::Power;
+/// use ndpx_sim::time::Time;
+///
+/// let leakage = Power::from_mw(100.0);
+/// let e = leakage.over(Time::from_us(1));
+/// assert!((e.as_nj() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn from_mw(mw: f64) -> Self {
+        Power(mw)
+    }
+
+    /// Creates a power from watts.
+    #[inline]
+    pub const fn from_w(w: f64) -> Self {
+        Power(w * 1_000.0)
+    }
+
+    /// Milliwatts.
+    #[inline]
+    pub const fn as_mw(self) -> f64 {
+        self.0
+    }
+
+    /// Energy consumed when drawing this power for `t`.
+    ///
+    /// 1 mW over 1 ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
+    #[inline]
+    pub fn over(self, t: Time) -> Energy {
+        Energy(self.0 * t.as_ps() as f64 * 1e-3)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    #[inline]
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let e = Energy::from_nj(3.3);
+        assert!((e.as_pj() - 3_300.0).abs() < 1e-9);
+        assert!((e.as_uj() - 0.0033).abs() < 1e-12);
+        assert!((Energy::from_pj(5e8).as_mj() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_pj(2.0) + Energy::from_pj(3.0);
+        assert!((a.as_pj() - 5.0).abs() < 1e-12);
+        let b = a * 2.0 - Energy::from_pj(4.0);
+        assert!((b.as_pj() - 6.0).abs() < 1e-12);
+        let total: Energy = (0..4).map(|_| Energy::from_pj(1.5)).sum();
+        assert!((total.as_pj() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_over_time() {
+        // 1 W for 1 us = 1 uJ.
+        let e = Power::from_w(1.0).over(Time::from_us(1));
+        assert!((e.as_uj() - 1.0).abs() < 1e-9);
+        assert_eq!(Power::ZERO.over(Time::from_us(5)).as_pj(), 0.0);
+    }
+}

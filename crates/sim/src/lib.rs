@@ -1,0 +1,45 @@
+//! # ndpx-sim
+//!
+//! Deterministic discrete-event simulation substrate for the NDPExt
+//! reproduction.
+//!
+//! This crate provides the primitives shared by every architectural model in
+//! the workspace:
+//!
+//! * [`time`] — picosecond-resolution simulated time and clock frequencies;
+//! * [`engine`] — a deterministic time-ordered event queue;
+//! * [`stats`] — counters, latency accumulators, and histograms;
+//! * [`rng`] — seeded pseudo-random generation and placement hashing.
+//!
+//! Everything is single-threaded and allocation-light: a simulation run is a
+//! pure function of its configuration and seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndpx_sim::engine::EventQueue;
+//! use ndpx_sim::stats::LatencyStat;
+//! use ndpx_sim::time::Time;
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(Time::from_ns(10), "memory response");
+//! let mut lat = LatencyStat::new();
+//! while let Some((at, _event)) = queue.pop() {
+//!     lat.record(at);
+//! }
+//! assert_eq!(lat.mean().as_ns(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use energy::{Energy, Power};
+pub use engine::EventQueue;
+pub use stats::{Counter, LatencyStat, LogHistogram};
+pub use time::{Freq, Time};

@@ -1,0 +1,236 @@
+//! Statistics primitives: counters, mean accumulators, and histograms.
+//!
+//! The system models accumulate into these small value types and the bench
+//! harness reads them out at the end of a run; nothing here is thread-shared.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::stats::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `total` (0.0 if `total` is zero).
+    pub fn ratio_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+/// Accumulates a total duration and a sample count; reports the mean.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::stats::LatencyStat;
+/// use ndpx_sim::time::Time;
+///
+/// let mut s = LatencyStat::default();
+/// s.record(Time::from_ns(10));
+/// s.record(Time::from_ns(30));
+/// assert_eq!(s.mean().as_ns(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStat {
+    total: Time,
+    count: u64,
+}
+
+impl LatencyStat {
+    /// Creates an empty statistic.
+    pub const fn new() -> Self {
+        LatencyStat { total: Time::ZERO, count: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, t: Time) {
+        self.total += t;
+        self.count += 1;
+    }
+
+    /// Sum of all samples.
+    pub const fn total(&self) -> Time {
+        self.total
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value ([`Time::ZERO`] when empty).
+    pub fn mean(&self) -> Time {
+        if self.count == 0 {
+            Time::ZERO
+        } else {
+            Time::from_ps(self.total.as_ps() / self.count)
+        }
+    }
+
+    /// Merges another statistic into this one.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        self.total += other.total;
+        self.count += other.count;
+    }
+}
+
+/// A base-2 logarithmic histogram of durations, bucketed by nanosecond.
+///
+/// Bucket `i` covers latencies in `[2^i, 2^(i+1))` nanoseconds, with bucket 0
+/// also absorbing sub-nanosecond samples. Used for latency-distribution
+/// reporting in the harness.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Buckets cover up to 2^31 ns (~2 s), far beyond any access latency.
+    const BUCKETS: usize = 32;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { buckets: vec![0; Self::BUCKETS] }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, t: Time) {
+        let ns = t.as_ns();
+        let idx = if ns == 0 { 0 } else { (63 - ns.leading_zeros() as usize).min(Self::BUCKETS - 1) };
+        self.buckets[idx] += 1;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Iterator of `(bucket_floor_ns, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// An approximate percentile (by bucket floor). `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Time {
+        assert!((0.0..=1.0).contains(&p), "percentile must be within [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return Time::ZERO;
+        }
+        let target = (p * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let floor_ns = if i == 0 { 0 } else { 1u64 << i };
+                return Time::from_ns(floor_ns);
+            }
+        }
+        Time::from_ns(1 << (Self::BUCKETS - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert!((c.ratio_of(40) - 0.25).abs() < 1e-12);
+        assert_eq!(c.ratio_of(0), 0.0);
+    }
+
+    #[test]
+    fn latency_mean_and_merge() {
+        let mut a = LatencyStat::new();
+        a.record(Time::from_ns(4));
+        let mut b = LatencyStat::new();
+        b.record(Time::from_ns(8));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().as_ns(), 6);
+        assert_eq!(LatencyStat::new().mean(), Time::ZERO);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(Time::from_ns(2));
+        }
+        for _ in 0..10 {
+            h.record(Time::from_ns(1024));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5).as_ns(), 2);
+        assert_eq!(h.percentile(0.99).as_ns(), 1024);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(2, 90), (1024, 10)]);
+    }
+
+    #[test]
+    fn histogram_zero_and_huge() {
+        let mut h = LogHistogram::new();
+        h.record(Time::ZERO);
+        h.record(Time::from_us(4_000_000)); // 4s, clamps to top bucket
+        assert_eq!(h.count(), 2);
+    }
+}

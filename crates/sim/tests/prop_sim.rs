@@ -1,0 +1,78 @@
+//! Property tests for the simulation substrate: time arithmetic, event
+//! ordering, and RNG range guarantees.
+
+use ndpx_sim::engine::EventQueue;
+use ndpx_sim::rng::{hash_range, Xoshiro256};
+use ndpx_sim::time::{Freq, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn time_addition_is_commutative_and_monotonic(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert!(ta + tb >= ta);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!(ta.max(tb).min(ta), ta.min(tb).max(ta));
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let d = Time::from_ps(a).saturating_sub(Time::from_ps(b));
+        prop_assert_eq!(d.as_ps(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn cycle_conversions_round_trip(mhz in 1u64..5000, cycles in 0u64..1 << 24) {
+        let f = Freq::from_mhz(mhz);
+        let t = f.cycles_to_time(cycles);
+        prop_assert_eq!(f.time_to_cycles(t), cycles);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted_and_stable(events in prop::collection::vec((0u64..1000, 0u32..100), 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &(t, tag)) in events.iter().enumerate() {
+            q.push(Time::from_ns(t), (tag, i));
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, (_, i))) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "events out of time order");
+                if t == lt {
+                    prop_assert!(i > li, "equal-time events must be FIFO");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    #[test]
+    fn hash_range_is_deterministic_and_bounded(x in any::<u64>(), n in 1u64..1 << 32) {
+        let h = hash_range(x, n);
+        prop_assert!(h < n);
+        prop_assert_eq!(h, hash_range(x, n));
+    }
+
+    #[test]
+    fn rng_below_and_powerlaw_bounded(seed in any::<u64>(), n in 1u64..1 << 20) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+        let n2 = n.max(2);
+        for _ in 0..32 {
+            prop_assert!(rng.powerlaw_below(n2, 1.8) < n2);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream(seed in any::<u64>()) {
+        let mut a = Xoshiro256::seed_from(seed);
+        let mut b = Xoshiro256::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Automatic stream detection from raw address traces.
+//!
+//! The paper inserts `configure_stream` hints manually and defers automatic
+//! annotation to future work (§IV-A). This module implements that future
+//! work for trace-visible behaviour: it watches a raw access stream,
+//! clusters addresses into contiguous regions, classifies each region as
+//! affine (a dominant stride explains most consecutive deltas) or indirect,
+//! and emits ready-to-configure [`StreamSpec`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use ndpx_stream::detect::StreamDetector;
+//!
+//! let mut det = StreamDetector::default();
+//! // A sequential 8-byte scan…
+//! for i in 0..1000u64 {
+//!     det.observe(0x10_0000 + i * 8, false);
+//! }
+//! // …and a scattered structure.
+//! let mut x = 9u64;
+//! for _ in 0..1000 {
+//!     x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+//!     det.observe(0x80_0000 + (x % 4096) * 16, false);
+//! }
+//! let found = det.finish();
+//! assert_eq!(found.len(), 2);
+//! assert!(found[0].is_affine && found[0].stride == Some(8));
+//! assert!(!found[1].is_affine);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::StreamSpec;
+
+/// Tuning knobs for the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Addresses farther apart than this start a new region.
+    pub region_gap: u64,
+    /// Regions with fewer accesses are dropped (noise, stack spill).
+    pub min_accesses: u64,
+    /// A stride must explain at least this fraction (percent) of
+    /// consecutive deltas for the region to classify as affine.
+    pub affine_threshold_pct: u8,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { region_gap: 1 << 20, min_accesses: 64, affine_threshold_pct: 60 }
+    }
+}
+
+/// One detected stream candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectedStream {
+    /// Lowest address observed in the region.
+    pub base: u64,
+    /// Span in bytes (last byte estimated from the guessed element size).
+    pub size: u64,
+    /// Guessed element size (GCD of access deltas, clamped to `[1, 64]`).
+    pub elem_size: u32,
+    /// True when a dominant stride explains the region.
+    pub is_affine: bool,
+    /// The dominant stride for affine regions.
+    pub stride: Option<u64>,
+    /// Accesses attributed to the region.
+    pub accesses: u64,
+    /// Fraction of accesses that were writes, in percent.
+    pub write_pct: u8,
+}
+
+impl DetectedStream {
+    /// Converts the candidate into a `configure_stream` specification.
+    pub fn to_spec(&self) -> StreamSpec {
+        let size = self.size.max(u64::from(self.elem_size)) / u64::from(self.elem_size)
+            * u64::from(self.elem_size);
+        if self.is_affine {
+            StreamSpec::affine_linear(self.base, size, self.elem_size)
+        } else {
+            StreamSpec::indirect(self.base, size, self.elem_size, None)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    lo: u64,
+    hi: u64,
+    accesses: u64,
+    writes: u64,
+    last: u64,
+    /// (stride, count) — small top-k histogram of consecutive deltas.
+    strides: Vec<(u64, u64)>,
+    delta_gcd: u64,
+    deltas: u64,
+}
+
+impl Region {
+    fn new(addr: u64, write: bool) -> Self {
+        Region {
+            lo: addr,
+            hi: addr,
+            accesses: 1,
+            writes: u64::from(write),
+            last: addr,
+            strides: Vec::new(),
+            delta_gcd: 0,
+            deltas: 0,
+        }
+    }
+
+    fn note_delta(&mut self, delta: u64) {
+        self.deltas += 1;
+        self.delta_gcd = gcd(self.delta_gcd, delta);
+        if let Some(e) = self.strides.iter_mut().find(|(s, _)| *s == delta) {
+            e.1 += 1;
+            return;
+        }
+        if self.strides.len() < 8 {
+            self.strides.push((delta, 1));
+        } else if let Some(min) = self.strides.iter_mut().min_by_key(|(_, c)| *c) {
+            // Space-saving sketch: recycle the weakest counter.
+            *min = (delta, min.1 + 1);
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+/// The trace-driven stream detector.
+#[derive(Debug, Clone)]
+pub struct StreamDetector {
+    cfg: DetectorConfig,
+    /// Regions sorted by `lo`.
+    regions: Vec<Region>,
+}
+
+impl Default for StreamDetector {
+    fn default() -> Self {
+        Self::new(DetectorConfig::default())
+    }
+}
+
+impl StreamDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        StreamDetector { cfg, regions: Vec::new() }
+    }
+
+    /// Feeds one access.
+    pub fn observe(&mut self, addr: u64, write: bool) {
+        // Find the region whose extended span contains the address.
+        let pos = self.regions.partition_point(|r| r.lo <= addr);
+        let gap = self.cfg.region_gap;
+        // Candidate: the region just below (covers or is near), or the one
+        // above if the address falls just under it.
+        let idx = if pos > 0 && addr <= self.regions[pos - 1].hi.saturating_add(gap) {
+            Some(pos - 1)
+        } else if pos < self.regions.len() && self.regions[pos].lo.saturating_sub(gap) <= addr {
+            Some(pos)
+        } else {
+            None
+        };
+        match idx {
+            Some(i) => {
+                let r = &mut self.regions[i];
+                r.accesses += 1;
+                if write {
+                    r.writes += 1;
+                }
+                let delta = addr.abs_diff(r.last);
+                if delta > 0 {
+                    r.note_delta(delta);
+                }
+                r.last = addr;
+                r.lo = r.lo.min(addr);
+                r.hi = r.hi.max(addr);
+                // Merge with the next region if the spans now touch.
+                while i + 1 < self.regions.len()
+                    && self.regions[i].hi.saturating_add(gap) >= self.regions[i + 1].lo
+                {
+                    let next = self.regions.remove(i + 1);
+                    let r = &mut self.regions[i];
+                    r.hi = r.hi.max(next.hi);
+                    r.accesses += next.accesses;
+                    r.writes += next.writes;
+                    r.deltas += next.deltas;
+                    r.delta_gcd = gcd(r.delta_gcd, next.delta_gcd);
+                    for (s, c) in next.strides {
+                        for _ in 0..c.min(1) {
+                            r.note_delta(s);
+                        }
+                        if let Some(e) = r.strides.iter_mut().find(|(rs, _)| *rs == s) {
+                            e.1 += c.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            None => {
+                self.regions.insert(pos, Region::new(addr, write));
+            }
+        }
+    }
+
+    /// Finishes detection, returning candidates sorted by base address.
+    pub fn finish(self) -> Vec<DetectedStream> {
+        let cfg = self.cfg;
+        self.regions
+            .into_iter()
+            .filter(|r| r.accesses >= cfg.min_accesses)
+            .map(|r| {
+                let (top_stride, top_count) =
+                    r.strides.iter().copied().max_by_key(|&(_, c)| c).unwrap_or((0, 0));
+                let is_affine =
+                    r.deltas > 0 && top_count * 100 >= r.deltas * u64::from(cfg.affine_threshold_pct);
+                let elem_size = r.delta_gcd.clamp(1, 64) as u32;
+                let size = (r.hi - r.lo) + u64::from(elem_size);
+                DetectedStream {
+                    base: r.lo,
+                    size,
+                    elem_size,
+                    is_affine,
+                    stride: if is_affine { Some(top_stride) } else { None },
+                    accesses: r.accesses,
+                    write_pct: (r.writes * 100 / r.accesses) as u8,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_sequential_scan_as_affine() {
+        let mut d = StreamDetector::default();
+        for i in 0..500u64 {
+            d.observe(0x1000 + i * 4, false);
+        }
+        let found = d.finish();
+        assert_eq!(found.len(), 1);
+        let s = &found[0];
+        assert!(s.is_affine);
+        assert_eq!(s.stride, Some(4));
+        assert_eq!(s.elem_size, 4);
+        assert_eq!(s.base, 0x1000);
+        assert_eq!(s.write_pct, 0);
+    }
+
+    #[test]
+    fn detects_strided_scan() {
+        let mut d = StreamDetector::default();
+        for i in 0..500u64 {
+            d.observe(0x8000 + i * 64, true);
+        }
+        let found = d.finish();
+        assert_eq!(found.len(), 1);
+        assert!(found[0].is_affine);
+        assert_eq!(found[0].stride, Some(64));
+        assert_eq!(found[0].write_pct, 100);
+    }
+
+    #[test]
+    fn detects_random_gather_as_indirect() {
+        let mut d = StreamDetector::default();
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            d.observe(0x10_0000 + (x % 8192) * 8, false);
+        }
+        let found = d.finish();
+        assert_eq!(found.len(), 1);
+        assert!(!found[0].is_affine, "random gather misclassified as affine");
+        assert_eq!(found[0].elem_size, 8);
+    }
+
+    #[test]
+    fn separates_distant_regions() {
+        let mut d = StreamDetector::default();
+        for i in 0..200u64 {
+            d.observe(0x100_0000 + i * 8, false);
+            d.observe(0x900_0000 + i * 8, false);
+        }
+        let found = d.finish();
+        assert_eq!(found.len(), 2);
+        assert!(found[0].base < found[1].base);
+        // Interleaving the two scans must not destroy either's stride.
+        assert!(found[0].is_affine && found[1].is_affine);
+    }
+
+    #[test]
+    fn drops_noise_regions() {
+        let mut d = StreamDetector::default();
+        for i in 0..200u64 {
+            d.observe(0x100_0000 + i * 8, false);
+        }
+        d.observe(0xFFFF_0000_0000, false); // lone stray access
+        let found = d.finish();
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn specs_are_configurable(/* round trip into a table */) {
+        use crate::table::StreamTable;
+        let mut d = StreamDetector::default();
+        for i in 0..300u64 {
+            d.observe(0x20_0000 + i * 16, false);
+        }
+        let found = d.finish();
+        let mut table = StreamTable::new();
+        for f in &found {
+            table.configure(f.to_spec()).expect("detected spec must be valid");
+        }
+        assert_eq!(table.len(), found.len());
+        assert!(table.lookup(0x20_0000 + 160).is_some());
+    }
+
+    #[test]
+    fn merges_regions_that_grow_together() {
+        let mut d = StreamDetector::new(DetectorConfig {
+            region_gap: 4096,
+            min_accesses: 8,
+            affine_threshold_pct: 60,
+        });
+        // Two halves of one array touched alternately from the ends inward;
+        // their spans eventually meet in the middle and must merge.
+        for i in 0..600u64 {
+            d.observe(0x5000 + i * 8, false);
+            d.observe(0x5000 + 8192 - i * 8, false);
+        }
+        let found = d.finish();
+        assert_eq!(found.len(), 1, "halves should merge: {found:?}");
+    }
+}

@@ -1,0 +1,223 @@
+//! The stream table: `configure_stream` and address lookup.
+//!
+//! The runtime configures each data structure as a stream after allocation
+//! (paper §IV-A). The table owns the metadata of all live streams, enforces
+//! the Table I limits (512 streams, non-overlapping ranges — §IV-C: one
+//! address maps to at most one stream), and answers the address→(stream,
+//! element) queries the SLB hardware performs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AffineShape, StreamConfig, StreamError, StreamId, StreamKind};
+
+/// Arguments of the `configure_stream` call, before an ID is assigned.
+///
+/// Mirrors the paper's API:
+/// `configure_stream(type, base, size, elemSize, [stride, length, order])`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Affine shape (with strides/lengths/order) or indirect.
+    pub kind: StreamKind,
+    /// Base physical address.
+    pub base: u64,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Element size in bytes.
+    pub elem_size: u32,
+}
+
+impl StreamSpec {
+    /// A dense 1-D affine stream.
+    pub fn affine_linear(base: u64, size: u64, elem_size: u32) -> Self {
+        StreamSpec {
+            kind: StreamKind::Affine(AffineShape::linear(size / u64::from(elem_size), elem_size)),
+            base,
+            size,
+            elem_size,
+        }
+    }
+
+    /// An indirect stream driven by `source`.
+    pub fn indirect(base: u64, size: u64, elem_size: u32, source: Option<StreamId>) -> Self {
+        StreamSpec { kind: StreamKind::Indirect { source }, base, size, elem_size }
+    }
+}
+
+/// The centralized table of configured streams.
+///
+/// Kept by the host runtime; the per-unit SLBs cache entries from here.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_stream::table::{StreamSpec, StreamTable};
+///
+/// let mut table = StreamTable::new();
+/// let sid = table.configure(StreamSpec::affine_linear(0x1000, 4096, 8))?;
+/// let (hit_sid, elem) = table.lookup(0x1008).expect("in range");
+/// assert_eq!(hit_sid, sid);
+/// assert_eq!(elem, 1);
+/// assert_eq!(table.lookup(0x0), None);
+/// # Ok::<(), ndpx_stream::config::StreamError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamTable {
+    streams: Vec<StreamConfig>,
+    /// Stream indices sorted by base address for binary-search lookup.
+    by_base: Vec<u16>,
+}
+
+impl StreamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StreamTable::default()
+    }
+
+    /// Configures a new stream and assigns its ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::TableFull`] past 512 streams,
+    /// [`StreamError::Overlap`] if the range intersects an existing stream,
+    /// and any of the field-validation errors of [`StreamConfig::validate`].
+    pub fn configure(&mut self, spec: StreamSpec) -> Result<StreamId, StreamError> {
+        if self.streams.len() >= StreamId::MAX_STREAMS {
+            return Err(StreamError::TableFull);
+        }
+        let sid = StreamId(self.streams.len() as u16);
+        let cfg = StreamConfig {
+            sid,
+            kind: spec.kind,
+            base: spec.base,
+            size: spec.size,
+            elem_size: spec.elem_size,
+            read_only: true,
+        };
+        cfg.validate()?;
+        for s in &self.streams {
+            if cfg.base < s.end() && s.base < cfg.end() {
+                return Err(StreamError::Overlap { with: s.sid });
+            }
+        }
+        self.streams.push(cfg);
+        let pos = self.by_base.partition_point(|&i| self.streams[i as usize].base < cfg.base);
+        self.by_base.insert(pos, sid.0);
+        Ok(sid)
+    }
+
+    /// Number of configured streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True if no streams are configured.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The configuration of `sid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` was not issued by this table.
+    pub fn get(&self, sid: StreamId) -> &StreamConfig {
+        &self.streams[sid.index()]
+    }
+
+    /// Iterates over all configured streams in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamConfig> {
+        self.streams.iter()
+    }
+
+    /// Finds the stream containing `addr` and the access-order element index.
+    ///
+    /// Returns `None` for non-stream addresses (which bypass the DRAM cache,
+    /// §IV-C) and for addresses inside affine stride padding.
+    pub fn lookup(&self, addr: u64) -> Option<(StreamId, u64)> {
+        // Find the last stream whose base <= addr.
+        let pos = self.by_base.partition_point(|&i| self.streams[i as usize].base <= addr);
+        if pos == 0 {
+            return None;
+        }
+        let cfg = &self.streams[self.by_base[pos - 1] as usize];
+        let elem = cfg.elem_of(addr)?;
+        Some((cfg.sid, elem))
+    }
+
+    /// Records a write to `sid`: clears the read-only bit. Returns `true` if
+    /// this was the *first* write (the event that triggers the host exception
+    /// and replica invalidation in §IV-B).
+    pub fn mark_written(&mut self, sid: StreamId) -> bool {
+        let s = &mut self.streams[sid.index()];
+        let first = s.read_only;
+        s.read_only = false;
+        first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_assigns_sequential_ids() {
+        let mut t = StreamTable::new();
+        let a = t.configure(StreamSpec::affine_linear(0, 64, 8)).unwrap();
+        let b = t.configure(StreamSpec::affine_linear(0x100, 64, 8)).unwrap();
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut t = StreamTable::new();
+        let a = t.configure(StreamSpec::affine_linear(0x100, 256, 8)).unwrap();
+        let err = t.configure(StreamSpec::affine_linear(0x180, 256, 8)).unwrap_err();
+        assert_eq!(err, StreamError::Overlap { with: a });
+        // Adjacent ranges are fine.
+        t.configure(StreamSpec::affine_linear(0x200, 64, 8)).unwrap();
+    }
+
+    #[test]
+    fn lookup_picks_correct_stream() {
+        let mut t = StreamTable::new();
+        let a = t.configure(StreamSpec::affine_linear(0x1000, 256, 4)).unwrap();
+        let b = t.configure(StreamSpec::indirect(0x4000, 1024, 16, None)).unwrap();
+        assert_eq!(t.lookup(0x1004), Some((a, 1)));
+        assert_eq!(t.lookup(0x4000 + 32), Some((b, 2)));
+        assert_eq!(t.lookup(0x2000), None);
+        assert_eq!(t.lookup(0x0), None);
+        assert_eq!(t.lookup(u64::MAX >> 20), None);
+    }
+
+    #[test]
+    fn table_fills_at_512() {
+        let mut t = StreamTable::new();
+        for i in 0..512u64 {
+            t.configure(StreamSpec::affine_linear(i * 0x1000, 8, 8)).unwrap();
+        }
+        assert_eq!(
+            t.configure(StreamSpec::affine_linear(0x1_000_000, 8, 8)),
+            Err(StreamError::TableFull)
+        );
+    }
+
+    #[test]
+    fn mark_written_fires_once() {
+        let mut t = StreamTable::new();
+        let a = t.configure(StreamSpec::affine_linear(0, 64, 8)).unwrap();
+        assert!(t.get(a).read_only);
+        assert!(t.mark_written(a));
+        assert!(!t.mark_written(a));
+        assert!(!t.get(a).read_only);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = StreamTable::new();
+        t.configure(StreamSpec::affine_linear(0x5000, 64, 8)).unwrap();
+        t.configure(StreamSpec::affine_linear(0x1000, 64, 8)).unwrap();
+        let ids: Vec<u16> = t.iter().map(|s| s.sid.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Capacity planning: a downstream-user scenario. Sweep the per-unit DRAM
+//! cache size and the CXL link latency for a target workload and report the
+//! resulting performance surface — the kind of question a system architect
+//! would ask this library.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner [workload]
+//! ```
+
+use ndpx_core::config::{PolicyKind, SystemConfig};
+use ndpx_core::system::NdpSystem;
+use ndpx_sim::time::Time;
+use ndpx_workloads::trace::ScaleParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload: String = std::env::args().nth(1).unwrap_or_else(|| "gnn".into());
+    let caps_kb = [256u64, 512, 1024, 2048];
+    let cxl_ns = [100u64, 200, 400];
+
+    println!("workload `{workload}`: ops/us for unit-capacity x CXL-latency\n");
+    print!("{:>10}", "cap\\cxl");
+    for ns in cxl_ns {
+        print!("{:>10}", format!("{ns}ns"));
+    }
+    println!();
+
+    let mut best = (0.0f64, 0u64, 0u64);
+    for cap_kb in caps_kb {
+        print!("{:>10}", format!("{cap_kb}kB"));
+        for ns in cxl_ns {
+            let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
+            cfg.unit_capacity = cap_kb << 10;
+            cfg.affine_cap = cfg.unit_capacity / 8;
+            cfg.cxl = cfg.cxl.with_latency(Time::from_ns(ns));
+            let params = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 3 };
+            let wl = ndpx_workloads::build(&workload, &params).ok_or("unknown workload")??;
+            let report = NdpSystem::new(cfg, wl)?.run(4_000);
+            let perf = report.ops_per_us();
+            print!("{perf:>10.0}");
+            if perf > best.0 {
+                best = (perf, cap_kb, ns);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nbest configuration: {} kB/unit at {} ns CXL ({:.0} ops/us)",
+        best.1, best.2, best.0
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Graph analytics on NDP: compare cache-management policies on the GAP
+//! kernels — the scenario the paper's introduction motivates (large graphs
+//! whose footprint exceeds the 3D-stacked memory).
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics [pr|bfs|cc|bc|tc]
+//! ```
+
+use ndpx_core::config::{PolicyKind, SystemConfig};
+use ndpx_core::system::NdpSystem;
+use ndpx_workloads::trace::ScaleParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel: String = std::env::args().nth(1).unwrap_or_else(|| "pr".into());
+    println!("graph kernel: {kernel}\n");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>12}",
+        "policy", "time", "miss", "local-hit", "icn/access"
+    );
+
+    let mut baseline_ps = None;
+    for policy in PolicyKind::ALL {
+        let cfg = SystemConfig::test(policy);
+        let params = ScaleParams { cores: cfg.units(), footprint: 12 << 20, seed: 7 };
+        let wl = ndpx_workloads::build(&kernel, &params)
+            .ok_or("unknown kernel (try pr, bfs, cc, bc, tc)")??;
+        let report = NdpSystem::new(cfg, wl)?.run(8_000);
+        let base = *baseline_ps.get_or_insert(report.sim_time.as_ps());
+        println!(
+            "{:<14} {:>12} {:>9.1}% {:>9.1}% {:>12}   ({:.2}x)",
+            policy.label(),
+            report.sim_time.to_string(),
+            report.miss_rate() * 100.0,
+            report.local_hits as f64 / report.cache_hits.max(1) as f64 * 100.0,
+            report.avg_interconnect().to_string(),
+            base as f64 / report.sim_time.as_ps() as f64,
+        );
+    }
+    println!("\n(speedups in parentheses are relative to the first row)");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build an NDPExt system, run PageRank on it, read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ndpx_core::config::{PolicyKind, SystemConfig};
+use ndpx_core::stats::LatComponent;
+use ndpx_core::system::NdpSystem;
+use ndpx_workloads::trace::ScaleParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a system configuration. `test` is a 16-unit mini system;
+    //    `paper(..)` is the full Table II machine.
+    let cfg = SystemConfig::test(PolicyKind::NdpExt);
+
+    // 2. Build a workload for exactly that many cores. Each workload is a
+    //    stream-annotated trace generator over synthetic data.
+    let params = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+    let workload = ndpx_workloads::build("pr", &params).expect("known workload")?;
+    println!(
+        "workload `{}`: {} streams over {} cores",
+        workload.name,
+        workload.table.len(),
+        workload.cores
+    );
+
+    // 3. Assemble and run.
+    let mut system = NdpSystem::new(cfg, workload)?;
+    let report = system.run(10_000);
+
+    // 4. Read the results.
+    println!("simulated time : {}", report.sim_time);
+    println!("operations     : {}", report.ops);
+    println!("L1 hit rate    : {:.1}%", report.l1_hit_rate() * 100.0);
+    println!("cache miss rate: {:.1}%", report.miss_rate() * 100.0);
+    println!("reconfigs      : {}", report.reconfigs);
+    println!("energy         : {:.3} mJ", report.energy.total().as_mj());
+    for c in LatComponent::ALL {
+        println!("  {:<11}: {:>5.1}%", c.label(), report.breakdown.fraction(c) * 100.0);
+    }
+    Ok(())
+}

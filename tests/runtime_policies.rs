@@ -1,0 +1,191 @@
+//! Integration tests of the allocation policies across crates: the
+//! configuration algorithm and baseline allocators fed by realistic demand
+//! sets, checked for the properties the paper relies on.
+
+use ndpx_core::config::PolicyKind;
+use ndpx_core::runtime::configure::{allocate_baseline, allocate_ndpext, AllocGroup, Allocation, ConfigCtx, StreamDemand};
+use ndpx_core::runtime::sampler::MissCurve;
+use ndpx_sim::rng::Xoshiro256;
+
+fn ctx(units: usize, cap: u64) -> ConfigCtx {
+    let attenuation = (0..units)
+        .map(|u| (0..units).map(|v| 1.0 / (1.0 + u.abs_diff(v) as f64 * 0.15)).collect())
+        .collect();
+    ConfigCtx {
+        units,
+        unit_capacity: cap,
+        affine_cap: cap / 8,
+        attenuation,
+        dram_lat_ps: 45_000.0,
+        miss_extra_ps: 466_000.0,
+    }
+}
+
+fn random_demands(n: usize, units: usize, seed: u64) -> Vec<StreamDemand> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let total = 1_000.0 + rng.below(50_000) as f64;
+            let footprint = 64 * (64 + rng.below(4096));
+            let pts: Vec<(u64, f64)> = (1..=8)
+                .map(|k| (footprint * k / 8, total * (8 - k) as f64 / 8.0))
+                .collect();
+            let mut acc: Vec<(usize, u64)> = Vec::new();
+            for u in 0..units {
+                if rng.chance(0.4) {
+                    acc.push((u, 1 + rng.below(2000)));
+                }
+            }
+            let acc = if acc.is_empty() { vec![(i % units, 10)] } else { acc };
+            StreamDemand {
+                curve: MissCurve::from_samples(total, pts),
+                acc_units: acc,
+                read_only: rng.chance(0.5),
+                affine: rng.chance(0.3),
+                grain: 64,
+                total_accesses: total as u64,
+                footprint,
+            }
+        })
+        .collect()
+}
+
+fn per_unit_usage(a: &Allocation, units: usize) -> Vec<u64> {
+    let mut used = vec![0u64; units];
+    for gs in &a.streams {
+        for g in gs {
+            for &(u, b) in &g.unit_bytes {
+                used[u] += b;
+            }
+        }
+    }
+    used
+}
+
+#[test]
+fn no_policy_oversubscribes_any_unit() {
+    let units = 8;
+    let cap = 1 << 20;
+    let demands = random_demands(24, units, 7);
+    let c = ctx(units, cap);
+    for policy in PolicyKind::ALL {
+        let a = if policy == PolicyKind::NdpExt {
+            allocate_ndpext(&demands, &c)
+        } else {
+            allocate_baseline(policy, &demands, &c, 3)
+        };
+        for (u, &used) in per_unit_usage(&a, units).iter().enumerate() {
+            assert!(used <= cap, "{policy:?} oversubscribed unit {u}: {used} > {cap}");
+        }
+    }
+}
+
+#[test]
+fn ndpext_respects_footprints() {
+    let units = 8;
+    let demands = random_demands(12, units, 21);
+    let a = allocate_ndpext(&demands, &ctx(units, 4 << 20));
+    for (s, gs) in a.streams.iter().enumerate() {
+        for g in gs {
+            assert!(
+                g.total() <= demands[s].footprint + demands[s].grain,
+                "group of stream {s} exceeds its footprint"
+            );
+        }
+    }
+}
+
+#[test]
+fn ndpext_uses_capacity_when_demand_exists() {
+    // With ample aggregate demand the allocator should not strand most of
+    // the cache (the leftover-fill property).
+    let units = 8;
+    let cap: u64 = 64 << 10;
+    let demands = random_demands(32, units, 3);
+    let total_footprint: u64 = demands.iter().map(|d| d.footprint).sum();
+    assert!(total_footprint > cap * units as u64, "test premise: demand exceeds capacity");
+    let a = allocate_ndpext(&demands, &ctx(units, cap));
+    let used: u64 = per_unit_usage(&a, units).iter().sum();
+    assert!(
+        used * 2 > cap * units as u64,
+        "less than half the cache used: {used} of {}",
+        cap * units as u64
+    );
+}
+
+#[test]
+fn only_read_only_streams_replicate() {
+    let units = 6;
+    let demands = random_demands(16, units, 13);
+    let a = allocate_ndpext(&demands, &ctx(units, 2 << 20));
+    for (s, gs) in a.streams.iter().enumerate() {
+        if !demands[s].read_only {
+            assert!(gs.len() <= 1, "read-write stream {s} has {} groups", gs.len());
+        }
+    }
+}
+
+#[test]
+fn jigsaw_concentrates_whirlpool_covers_accessors() {
+    let units = 8;
+    // One stream accessed only at the two ends of the line.
+    let demands = vec![StreamDemand {
+        curve: MissCurve::from_samples(50_000.0, vec![(1 << 18, 0.0)]),
+        acc_units: vec![(0, 1000), (7, 1000)],
+        read_only: false,
+        affine: false,
+        grain: 64,
+        total_accesses: 50_000,
+        footprint: 1 << 18,
+    }];
+    let c = ctx(units, 1 << 20);
+    let whirl = allocate_baseline(PolicyKind::Whirlpool, &demands, &c, 2);
+    let whirl_units: Vec<usize> =
+        whirl.streams[0][0].unit_bytes.iter().map(|&(u, _)| u).collect();
+    assert!(
+        whirl_units.contains(&0) && whirl_units.contains(&7),
+        "whirlpool should allocate at both accessing units: {whirl_units:?}"
+    );
+    let jig = allocate_baseline(PolicyKind::Jigsaw, &demands, &c, 2);
+    assert!(jig.streams[0][0].total() > 0);
+}
+
+#[test]
+fn nexus_replication_degree_is_global() {
+    let units = 8;
+    let mut demands = random_demands(6, units, 17);
+    for d in &mut demands {
+        d.read_only = true;
+        d.acc_units = (0..units).map(|u| (u, 500)).collect();
+    }
+    let a = allocate_baseline(PolicyKind::Nexus, &demands, &ctx(units, 2 << 20), 4);
+    for gs in &a.streams {
+        assert!(gs.len() <= 4, "nexus degree must cap replicas, got {}", gs.len());
+        assert!(gs.len() >= 2, "widely shared read-only data should replicate");
+    }
+}
+
+#[test]
+fn interleave_allocates_every_active_stream() {
+    let units = 4;
+    let demands = random_demands(10, units, 29);
+    let a = allocate_baseline(PolicyKind::StaticInterleave, &demands, &ctx(units, 1 << 20), 2);
+    let allocated = a.streams.iter().filter(|gs| !gs.is_empty()).count();
+    assert!(allocated >= 8, "static interleave left streams without capacity");
+    // Everything is spread over all units.
+    for gs in a.streams.iter().filter(|gs| !gs.is_empty()) {
+        assert_eq!(gs[0].unit_bytes.len(), units);
+    }
+}
+
+#[test]
+fn replication_fraction_is_consistent() {
+    let a = Allocation {
+        streams: vec![vec![
+            AllocGroup { unit_bytes: vec![(0, 100)] },
+            AllocGroup { unit_bytes: vec![(1, 100)] },
+        ]],
+    };
+    assert!((a.replicated_fraction() - 0.5).abs() < 1e-12);
+    assert_eq!(a.total_bytes(), 200);
+}

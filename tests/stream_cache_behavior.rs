@@ -1,0 +1,100 @@
+//! End-to-end behaviour of the stream-cache mechanisms: read-only
+//! transitions, the affine space restriction, bypass traffic, SLB behaviour,
+//! and block-granularity spatial prefetching.
+
+use ndpx_core::config::{PolicyKind, SystemConfig};
+use ndpx_core::stats::RunReport;
+use ndpx_core::system::NdpSystem;
+use ndpx_workloads::trace::ScaleParams;
+
+fn run_cfg(cfg: SystemConfig, workload: &str, ops: u64) -> RunReport {
+    let p = ScaleParams { cores: cfg.units(), footprint: 6 << 20, seed: 11 };
+    let wl = ndpx_workloads::build(workload, &p).expect("known").expect("builds");
+    NdpSystem::new(cfg, wl).expect("consistent").run(ops)
+}
+
+#[test]
+fn read_only_transition_invalidates_replicas() {
+    // backprop writes its weight matrix in the adjust phase; the transition
+    // must be reflected as invalidation traffic at least once.
+    let r = run_cfg(SystemConfig::test(PolicyKind::NdpExt), "backprop", 60_000);
+    assert!(r.sim_time.as_ps() > 0);
+    // The transition is a one-time event per stream; it must not dominate.
+    assert!(r.invalidations < r.mem_ops);
+}
+
+#[test]
+fn affine_restriction_trades_performance() {
+    // A crippled affine budget must not beat an ample one on an
+    // affine-heavy workload.
+    let mut tight = SystemConfig::test(PolicyKind::NdpExt);
+    tight.affine_cap = 8 << 10;
+    let mut ample = SystemConfig::test(PolicyKind::NdpExt);
+    ample.affine_cap = ample.unit_capacity;
+    let rt = run_cfg(tight, "mv", 8000);
+    let ra = run_cfg(ample, "mv", 8000);
+    assert!(
+        ra.sim_time <= rt.sim_time,
+        "ample affine budget ({}) should not lose to tight ({})",
+        ra.sim_time,
+        rt.sim_time
+    );
+}
+
+#[test]
+fn bypass_fraction_matches_paper_claim() {
+    // §IV-C: non-stream accesses are rare (< 0.1%).
+    let r = run_cfg(SystemConfig::test(PolicyKind::NdpExt), "pr", 10_000);
+    assert!(r.bypass > 0, "bypass path never exercised");
+    let frac = r.bypass as f64 / r.mem_ops as f64;
+    assert!(frac < 0.002, "bypass fraction {frac} too high");
+}
+
+#[test]
+fn slb_misses_are_rare_for_few_stream_workloads() {
+    // pr has ~5 streams: far fewer than the 32 SLB entries, so the only SLB
+    // misses are cold ones.
+    let r = run_cfg(SystemConfig::test(PolicyKind::NdpExt), "pr", 10_000);
+    let per_core_cold = r.slb_misses as f64 / 16.0;
+    assert!(per_core_cold <= 8.0, "expected only cold SLB misses, got {per_core_cold}/core");
+}
+
+#[test]
+fn larger_affine_blocks_fetch_more_but_miss_less() {
+    let mut small = SystemConfig::test(PolicyKind::NdpExt);
+    small.affine_block = 256;
+    let mut large = SystemConfig::test(PolicyKind::NdpExt);
+    large.affine_block = 4096;
+    let rs = run_cfg(small, "hotspot", 6000);
+    let rl = run_cfg(large, "hotspot", 6000);
+    // Spatial workloads miss less with bigger blocks (Fig. 9b's shape).
+    assert!(
+        rl.miss_rate() <= rs.miss_rate() + 0.02,
+        "4 kB blocks ({:.3}) should not miss more than 256 B ({:.3})",
+        rl.miss_rate(),
+        rs.miss_rate()
+    );
+}
+
+#[test]
+fn indirect_associativity_never_hurts_much() {
+    // Fig. 9a: direct-mapped is within a modest factor of 64-way.
+    let mut dm = SystemConfig::test(PolicyKind::NdpExt);
+    dm.indirect_ways = 1;
+    let mut assoc = SystemConfig::test(PolicyKind::NdpExt);
+    assoc.indirect_ways = 16;
+    let rd = run_cfg(dm, "cc", 8000);
+    let ra = run_cfg(assoc, "cc", 8000);
+    let ratio = rd.sim_time.as_ps() as f64 / ra.sim_time.as_ps() as f64;
+    assert!(
+        (0.7..=1.4).contains(&ratio),
+        "direct-mapped vs 16-way ratio {ratio} outside the expected modest band"
+    );
+}
+
+#[test]
+fn local_hits_exist_under_ndpext_placement() {
+    let r = run_cfg(SystemConfig::test(PolicyKind::NdpExt), "lavaMD", 8000);
+    assert!(r.cache_hits > 0);
+    assert!(r.local_hits <= r.cache_hits);
+}
