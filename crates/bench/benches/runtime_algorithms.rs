@@ -1,29 +1,48 @@
-//! Criterion micro-benchmarks of the NDPExt host-runtime algorithms:
-//! the max-flow sampler assignment (Fig. 4b's subject), the configuration
-//! algorithm (Algorithm 1), miss-curve sampling, and consistent-hash group
+//! Micro-benchmarks of the NDPExt host-runtime algorithms: the max-flow
+//! sampler assignment (Fig. 4b's subject), the configuration algorithm
+//! (Algorithm 1), miss-curve sampling, and consistent-hash group
 //! construction. These are the host-side costs the paper argues are small
 //! enough to run every epoch.
+//!
+//! Hand-rolled timing (median-of-runs over a fixed wall-clock budget) keeps
+//! the workspace free of external dependencies so it builds offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ndpx_core::layout::Group;
 use ndpx_core::runtime::configure::{allocate_ndpext, ConfigCtx, StreamDemand};
 use ndpx_core::runtime::maxflow::assign_samplers;
 use ndpx_core::runtime::sampler::{capacity_points, MissCurve, SetSampler};
 use ndpx_sim::rng::Xoshiro256;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_maxflow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxflow_assignment");
+/// Runs `f` repeatedly for ~200 ms and reports the median per-call time.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup.
+    let warm_until = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < warm_until {
+        f();
+    }
+    let mut samples = Vec::new();
+    let until = Instant::now() + Duration::from_millis(200);
+    while Instant::now() < until && samples.len() < 10_000 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{name:<40} {median:>12.2?}  ({} samples)", samples.len());
+}
+
+fn bench_maxflow() {
     for &streams in &[64usize, 256, 512] {
         let mut rng = Xoshiro256::seed_from(7);
-        let accessed: Vec<Vec<usize>> = (0..64)
-            .map(|_| (0..streams).filter(|_| rng.chance(0.25)).collect())
-            .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(streams), &streams, |b, &s| {
-            b.iter(|| assign_samplers(black_box(&accessed), s, 4));
+        let accessed: Vec<Vec<usize>> =
+            (0..64).map(|_| (0..streams).filter(|_| rng.chance(0.25)).collect()).collect();
+        bench(&format!("maxflow_assignment/{streams}"), || {
+            black_box(assign_samplers(black_box(&accessed), streams, 4));
         });
     }
-    group.finish();
 }
 
 fn synthetic_demands(streams: usize, units: usize) -> (Vec<StreamDemand>, ConfigCtx) {
@@ -31,9 +50,8 @@ fn synthetic_demands(streams: usize, units: usize) -> (Vec<StreamDemand>, Config
     let demands = (0..streams)
         .map(|i| {
             let total = 10_000.0 + rng.below(100_000) as f64;
-            let pts: Vec<(u64, f64)> = (1..=16)
-                .map(|k| ((k as u64) << 16, total / (1.0 + k as f64)))
-                .collect();
+            let pts: Vec<(u64, f64)> =
+                (1..=16).map(|k| ((k as u64) << 16, total / (1.0 + k as f64))).collect();
             let mut acc: Vec<(usize, u64)> = Vec::new();
             for u in 0..units {
                 if rng.chance(0.3) {
@@ -66,52 +84,43 @@ fn synthetic_demands(streams: usize, units: usize) -> (Vec<StreamDemand>, Config
     (demands, ctx)
 }
 
-fn bench_configure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("configuration_algorithm");
+fn bench_configure() {
     for &streams in &[16usize, 64, 256] {
         let (demands, ctx) = synthetic_demands(streams, 64);
-        group.bench_with_input(BenchmarkId::from_parameter(streams), &streams, |b, _| {
-            b.iter(|| allocate_ndpext(black_box(&demands), black_box(&ctx)));
+        bench(&format!("configuration_algorithm/{streams}"), || {
+            black_box(allocate_ndpext(black_box(&demands), black_box(&ctx)));
         });
     }
-    group.finish();
 }
 
-fn bench_sampler(c: &mut Criterion) {
+fn bench_sampler() {
     let caps = capacity_points(32 << 10, 256 << 20, 64);
-    c.bench_function("sampler_observe_1k", |b| {
-        let mut s = SetSampler::new(&caps, 64, 32);
-        let mut key = 0u64;
-        b.iter(|| {
-            for _ in 0..1000 {
-                key = key.wrapping_add(0x9E37_79B9);
-                s.observe(black_box(key % 100_000));
-            }
-        });
+    let mut s = SetSampler::new(&caps, 64, 32);
+    let mut key = 0u64;
+    bench("sampler_observe_1k", || {
+        for _ in 0..1000 {
+            key = key.wrapping_add(0x9E37_79B9);
+            s.observe(black_box(key % 100_000));
+        }
     });
 }
 
-fn bench_consistent_groups(c: &mut Criterion) {
-    c.bench_function("consistent_group_build_128u", |b| {
-        let shares: Vec<u64> = (0..128).map(|u| 1000 + u as u64).collect();
-        b.iter(|| Group::new(black_box(shares.clone()), true));
+fn bench_consistent_groups() {
+    let shares: Vec<u64> = (0..128).map(|u| 1000 + u as u64).collect();
+    bench("consistent_group_build_128u", || {
+        black_box(Group::new(black_box(shares.clone()), true));
     });
     let g = Group::new((0..128).map(|u| 1000 + u as u64).collect(), true);
-    c.bench_function("consistent_group_locate", |b| {
-        let mut key = 0u64;
-        b.iter(|| {
-            key += 1;
-            g.locate(black_box(key))
-        });
+    let mut key = 0u64;
+    bench("consistent_group_locate", || {
+        key += 1;
+        black_box(g.locate(black_box(key)));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20);
-    targets = bench_maxflow, bench_configure, bench_sampler, bench_consistent_groups 
+fn main() {
+    bench_maxflow();
+    bench_configure();
+    bench_sampler();
+    bench_consistent_groups();
 }
-criterion_main!(benches);

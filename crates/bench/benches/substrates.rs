@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks of the simulation substrates — these bound
-//! how fast whole-system runs can go: DRAM device access, NoC send,
-//! extended-memory access, set-associative cache access, and end-to-end
-//! simulated ops/second of a small system.
+//! Micro-benchmarks of the simulation substrates — these bound how fast
+//! whole-system runs can go: DRAM device access, NoC send, extended-memory
+//! access, set-associative cache access, and end-to-end simulated
+//! ops/second of a small system.
+//!
+//! Hand-rolled timing (median-of-batches over a fixed wall-clock budget)
+//! keeps the workspace free of external dependencies so it builds offline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ndpx_cache::setassoc::SetAssocCache;
 use ndpx_core::config::{PolicyKind, SystemConfig};
 use ndpx_core::system::NdpSystem;
@@ -14,92 +16,101 @@ use ndpx_noc::topology::{IntraKind, Topology, UnitId};
 use ndpx_sim::time::Time;
 use ndpx_workloads::trace::ScaleParams;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram_device");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("access", |b| {
-        let mut dram = DramDevice::new(DramConfig::hbm3_unit(256 << 20));
-        let mut addr = 0u64;
-        let mut now = Time::ZERO;
-        b.iter(|| {
+/// Runs `f` (a batch of `batch` operations) repeatedly for ~200 ms and
+/// reports the median per-op time plus ops/sec.
+fn bench(name: &str, batch: u64, mut f: impl FnMut()) {
+    let warm_until = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < warm_until {
+        f();
+    }
+    let mut samples = Vec::new();
+    let until = Instant::now() + Duration::from_millis(200);
+    while Instant::now() < until && samples.len() < 10_000 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let per_op = median.as_nanos() as f64 / batch as f64;
+    let ops_per_sec = if per_op > 0.0 { 1e9 / per_op } else { f64::INFINITY };
+    println!(
+        "{name:<36} {per_op:>10.1} ns/op  {ops_per_sec:>12.0} ops/s  ({} samples)",
+        samples.len()
+    );
+}
+
+fn bench_dram() {
+    let mut dram = DramDevice::new(DramConfig::hbm3_unit(256 << 20));
+    let mut addr = 0u64;
+    let mut now = Time::ZERO;
+    bench("dram_device/access", 1000, || {
+        for _ in 0..1000 {
             addr = addr.wrapping_add(0x4_0941) & ((256 << 20) - 1);
             now = dram.access(black_box(addr), 64, false, now).min(Time::from_us(u64::MAX >> 40));
-            now
-        });
+        }
+        black_box(now);
     });
-    group.finish();
 }
 
-fn bench_noc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noc");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("send_cross_stack", |b| {
-        let mut net = Network::new(
-            Topology::paper_default(IntraKind::Mesh),
-            LinkParams::intra_stack(),
-            LinkParams::inter_stack(),
-        );
-        let mut now = Time::ZERO;
-        let mut i = 0usize;
-        b.iter(|| {
+fn bench_noc() {
+    let mut net = Network::new(
+        Topology::paper_default(IntraKind::Mesh),
+        LinkParams::intra_stack(),
+        LinkParams::inter_stack(),
+    );
+    let mut now = Time::ZERO;
+    let mut i = 0usize;
+    bench("noc/send_cross_stack", 1000, || {
+        for _ in 0..1000 {
             i = (i + 1) % 128;
             now += Time::from_ns(10);
-            net.send(UnitId(i), UnitId((i * 37 + 5) % 128), 64, black_box(now))
-        });
+            black_box(net.send(UnitId(i), UnitId((i * 37 + 5) % 128), 64, black_box(now)));
+        }
     });
-    group.finish();
 }
 
-fn bench_ext(c: &mut Criterion) {
-    c.bench_function("cxl_ext_access", |b| {
-        let mut ext = ExtendedMemory::new(CxlParams::paper_default(), 1 << 30);
-        let mut addr = 0u64;
-        let mut now = Time::ZERO;
-        b.iter(|| {
+fn bench_ext() {
+    let mut ext = ExtendedMemory::new(CxlParams::paper_default(), 1 << 30);
+    let mut addr = 0u64;
+    let mut now = Time::ZERO;
+    bench("cxl_ext_access", 1000, || {
+        for _ in 0..1000 {
             addr = addr.wrapping_add(0x10_0941) & ((1 << 30) - 1);
             now += Time::from_ns(500);
-            ext.access(black_box(addr), 64, false, now)
-        });
+            black_box(ext.access(black_box(addr), 64, false, now));
+        }
     });
 }
 
-fn bench_setassoc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("setassoc_cache");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("l1_access", |b| {
-        let mut l1 = SetAssocCache::with_capacity(64 << 10, 64, 4);
-        let mut key = 0u64;
-        b.iter(|| {
+fn bench_setassoc() {
+    let mut l1 = SetAssocCache::with_capacity(64 << 10, 64, 4);
+    let mut key = 0u64;
+    bench("setassoc_cache/l1_access", 1000, || {
+        for _ in 0..1000 {
             key = key.wrapping_add(0x9E37) % 10_000;
-            l1.access(black_box(key), false)
-        });
+            black_box(l1.access(black_box(key), false));
+        }
     });
-    group.finish();
 }
 
-fn bench_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("whole_system");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(16 * 2000));
-    group.bench_function("ndpext_pr_2k_ops_per_core", |b| {
-        b.iter(|| {
-            let cfg = SystemConfig::test(PolicyKind::NdpExt);
-            let p = ScaleParams { cores: cfg.units(), footprint: 4 << 20, seed: 1 };
-            let wl = ndpx_workloads::build("pr", &p).expect("known").expect("builds");
-            let mut sys = NdpSystem::new(cfg, wl).expect("valid");
-            sys.run(black_box(2000))
-        });
+fn bench_system() {
+    let ops = 2000u64;
+    bench("whole_system/ndpext_pr", 16 * ops, || {
+        let cfg = SystemConfig::test(PolicyKind::NdpExt);
+        let p = ScaleParams { cores: cfg.units(), footprint: 4 << 20, seed: 1 };
+        let wl = ndpx_workloads::build("pr", &p).expect("known").expect("builds");
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        black_box(sys.run(black_box(ops)));
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20);
-    targets = bench_dram, bench_noc, bench_ext, bench_setassoc, bench_system 
+fn main() {
+    bench_dram();
+    bench_noc();
+    bench_ext();
+    bench_setassoc();
+    bench_system();
 }
-criterion_main!(benches);

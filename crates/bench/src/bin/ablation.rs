@@ -7,14 +7,16 @@
 //! * `no-replication`   — cap replication groups at 1 (placement only);
 //! * `bulk-invalidate`  — disable consistent-hash transfer;
 //! * `line-blocks`      — affine blocks shrunk to one cacheline (no spatial
-//!                        prefetch from the stream abstraction);
+//!   prefetch from the stream abstraction);
 //! * `no-reconfig`      — freeze the warmup configuration (≈NDPExt-static).
 
 use ndpx_bench::runner::{geomean, run_many, BenchScale, RunSpec};
 use ndpx_core::config::{MemKind, PolicyKind, ReconfigTransfer};
 use ndpx_workloads::REPRESENTATIVE_WORKLOADS;
 
-fn geotime(scale: BenchScale, policy: PolicyKind, tweak: Option<fn(&mut ndpx_core::SystemConfig)>) -> f64 {
+type Tweak = Option<fn(&mut ndpx_core::SystemConfig)>;
+
+fn geotime(scale: BenchScale, policy: PolicyKind, tweak: Tweak) -> f64 {
     let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
         .iter()
         .map(|&w| {
@@ -33,8 +35,15 @@ fn main() {
     println!("# Ablation: slowdown vs full NDPExt (geomean, representative set)");
     let full = geotime(scale, PolicyKind::NdpExt, None);
 
-    let rows: [(&str, PolicyKind, Option<fn(&mut ndpx_core::SystemConfig)>); 4] = [
-        ("no-replication", PolicyKind::NdpExt, Some((|cfg: &mut ndpx_core::SystemConfig| cfg.allow_replication = false) as fn(&mut ndpx_core::SystemConfig))),
+    let rows: [(&str, PolicyKind, Tweak); 4] = [
+        (
+            "no-replication",
+            PolicyKind::NdpExt,
+            Some(
+                (|cfg: &mut ndpx_core::SystemConfig| cfg.allow_replication = false)
+                    as fn(&mut ndpx_core::SystemConfig),
+            ),
+        ),
         (
             "bulk-invalidate",
             PolicyKind::NdpExt,

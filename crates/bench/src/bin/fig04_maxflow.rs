@@ -17,9 +17,8 @@ fn main() {
     for &streams in &[32usize, 64, 128, 256, 512] {
         // Each unit accesses a random ~25% subset of the streams.
         let mut rng = Xoshiro256::seed_from(42);
-        let accessed: Vec<Vec<usize>> = (0..units)
-            .map(|_| (0..streams).filter(|_| rng.chance(0.25)).collect())
-            .collect();
+        let accessed: Vec<Vec<usize>> =
+            (0..units).map(|_| (0..streams).filter(|_| rng.chance(0.25)).collect()).collect();
         // Median of several runs for a stable wall-clock figure.
         let mut times: Vec<f64> = (0..9)
             .map(|_| {

@@ -60,11 +60,8 @@ fn main() {
     // The paper's headline: NDPExt over the second-best baseline (Nexus).
     let nexus_i = PolicyKind::ALL.iter().position(|&p| p == PolicyKind::Nexus).expect("listed");
     let ndpx_i = PolicyKind::ALL.iter().position(|&p| p == PolicyKind::NdpExt).expect("listed");
-    let ratios: Vec<f64> = per_policy[ndpx_i]
-        .iter()
-        .zip(&per_policy[nexus_i])
-        .map(|(a, b)| a / b)
-        .collect();
+    let ratios: Vec<f64> =
+        per_policy[ndpx_i].iter().zip(&per_policy[nexus_i]).map(|(a, b)| a / b).collect();
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
     println!(
         "\nNDPExt over Nexus: geomean {:.2}x, max {:.2}x (paper: 1.41x avg, 2.43x max)",

@@ -14,8 +14,17 @@ fn main() {
     println!("# Fig 6: energy breakdown (normalized to Nexus total)");
     println!(
         "{:<11} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "workload", "nx-st", "nx-dram", "nx-noc", "nx-cxl", "nx-tot", "nd-st", "nd-dram", "nd-noc",
-        "nd-cxl", "nd-tot"
+        "workload",
+        "nx-st",
+        "nx-dram",
+        "nx-noc",
+        "nx-cxl",
+        "nx-tot",
+        "nd-st",
+        "nd-dram",
+        "nd-noc",
+        "nd-cxl",
+        "nd-tot"
     );
 
     let mut specs = Vec::new();

@@ -26,7 +26,13 @@ fn main() {
     println!("# Fig 8a: NDPExt speedup over Nexus vs core count (stacks x cores/stack)");
     println!("{:>8} {:>7} {:>10}", "config", "cores", "speedup");
     for &(label, sx, sy, ux, uy) in &CONFIGS {
-        let topo = Topology { stacks_x: sx, stacks_y: sy, units_x: ux, units_y: uy, intra: IntraKind::Crossbar };
+        let topo = Topology {
+            stacks_x: sx,
+            stacks_y: sy,
+            units_x: ux,
+            units_y: uy,
+            intra: IntraKind::Crossbar,
+        };
         let set_topo = move |cfg: &mut ndpx_core::SystemConfig| {
             cfg.topology = topo;
         };
@@ -34,9 +40,9 @@ fn main() {
         let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
             .iter()
             .flat_map(|&w| {
-                [PolicyKind::Nexus, PolicyKind::NdpExt].into_iter().map(move |p| {
-                    RunSpec::new(MemKind::Hbm, p, w, scale).with_tweak(set_topo)
-                })
+                [PolicyKind::Nexus, PolicyKind::NdpExt]
+                    .into_iter()
+                    .map(move |p| RunSpec::new(MemKind::Hbm, p, w, scale).with_tweak(set_topo))
             })
             .collect();
         let reports = run_many(specs);

@@ -23,7 +23,9 @@ fn run_with(
 ) -> f64 {
     let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
         .iter()
-        .map(|&w| RunSpec::new(MemKind::Hbm, PolicyKind::NdpExt, w, scale).with_tweak(tweak.clone()))
+        .map(|&w| {
+            RunSpec::new(MemKind::Hbm, PolicyKind::NdpExt, w, scale).with_tweak(tweak.clone())
+        })
         .collect();
     let reports = run_many(specs);
     geomean(reports.iter().map(|r| r.sim_time.as_ps() as f64))
@@ -72,7 +74,8 @@ fn panel(scale: BenchScale, which: &str) {
                 .iter()
                 .map(|&(_, div)| {
                     run_with(scale, move |cfg| {
-                        cfg.affine_cap = if div == 1 { cfg.unit_capacity } else { cfg.unit_capacity / div }
+                        cfg.affine_cap =
+                            if div == 1 { cfg.unit_capacity } else { cfg.unit_capacity / div }
                     })
                 })
                 .collect();
@@ -83,9 +86,11 @@ fn panel(scale: BenchScale, which: &str) {
             }
             println!();
         }
-        "sampler" => normalized_sweep(scale, "sampled sets k", &[8usize, 16, 32, 64], 2, |cfg, v| {
-            cfg.sampler_sets = v;
-        }),
+        "sampler" => {
+            normalized_sweep(scale, "sampled sets k", &[8usize, 16, 32, 64], 2, |cfg, v| {
+                cfg.sampler_sets = v;
+            })
+        }
         "method" => {
             println!("# Fig 9e (reconfiguration method)");
             let static_t = {
@@ -98,14 +103,16 @@ fn panel(scale: BenchScale, which: &str) {
             let partial_t = run_with(scale, |cfg| cfg.max_reconfigs = Some(2));
             let full_t = run_with(scale, |_| {});
             println!("{:>12} {:>10}", "method", "speedup");
-            for (label, t) in [("S(tatic)", static_t), ("P(artial)", partial_t), ("F(ull)", full_t)] {
+            for (label, t) in [("S(tatic)", static_t), ("P(artial)", partial_t), ("F(ull)", full_t)]
+            {
                 println!("{label:>12} {:>10.3}", full_t / t);
             }
             println!();
         }
         "interval" => {
             println!("# Fig 9f (reconfiguration interval, fraction of the default epoch)");
-            let muls = [("1/4x", 4u64, 1u64), ("1/2x", 2, 1), ("1x", 1, 1), ("2x", 1, 2), ("4x", 1, 4)];
+            let muls =
+                [("1/4x", 4u64, 1u64), ("1/2x", 2, 1), ("1x", 1, 1), ("2x", 1, 2), ("4x", 1, 4)];
             let times: Vec<f64> = muls
                 .iter()
                 .map(|&(_, div, mul)| {
@@ -120,7 +127,9 @@ fn panel(scale: BenchScale, which: &str) {
             println!();
         }
         other => {
-            eprintln!("unknown panel `{other}`; use assoc|block|affine-cap|sampler|method|interval|all");
+            eprintln!(
+                "unknown panel `{other}`; use assoc|block|affine-cap|sampler|method|interval|all"
+            );
             std::process::exit(2);
         }
     }

@@ -1,0 +1,221 @@
+//! Wall-clock performance gauge for the simulator itself.
+//!
+//! Runs a fixed (mem, policy, workload) spec matrix at the `NDPX_SCALE`
+//! profile, digests every `RunReport` (makespan, counters, breakdown,
+//! energy), and writes `BENCH_PERF.json` with simulated ops per wall-clock
+//! second, per cell and per policy. Perf optimisations must keep every
+//! digest byte-identical — only the wall clock may move.
+//!
+//! Usage:
+//!   perf_gauge                      # measure, write BENCH_PERF.json
+//!   perf_gauge --check OLD.json     # additionally assert digests match
+//!                                   # OLD.json and report the speedup
+//!   NDPX_PERF_OUT=path perf_gauge   # write somewhere else
+//!
+//! `--check` exits non-zero on any digest mismatch, so the CI smoke run
+//! doubles as a regression gate for simulated results.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ndpx_bench::digest::report_digest;
+use ndpx_bench::runner::{run_ndp, BenchScale, RunSpec};
+use ndpx_core::config::{MemKind, PolicyKind};
+
+/// The fixed matrix: both memory families, every policy, and one workload
+/// per pattern class (dense affine, skewed indirect, graph).
+const WORKLOADS: [&str; 3] = ["mv", "pr", "recsys"];
+const MEMS: [(MemKind, &str); 2] = [(MemKind::Hbm, "hbm"), (MemKind::Hmc, "hmc")];
+
+struct Cell {
+    mem: &'static str,
+    policy: PolicyKind,
+    workload: &'static str,
+    ops: u64,
+    wall_s: f64,
+    digest: u64,
+}
+
+impl Cell {
+    fn key(&self) -> String {
+        format!("{}/{}/{}", self.mem, self.policy.label(), self.workload)
+    }
+
+    fn ops_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.ops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn scale_name(scale: BenchScale) -> &'static str {
+    match scale {
+        BenchScale::Test => "test",
+        BenchScale::Small => "small",
+        BenchScale::Paper => "paper",
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+    // Divisor keeps the gauge itself fast: the matrix has 36 cells.
+    let ops = (scale.ops_per_core() / 4).max(1000);
+
+    let mut cells = Vec::new();
+    let t_total = Instant::now();
+    for (mem, mem_name) in MEMS {
+        for policy in PolicyKind::ALL {
+            for workload in WORKLOADS {
+                let spec =
+                    RunSpec { ops_per_core: ops, ..RunSpec::new(mem, policy, workload, scale) };
+                let t0 = Instant::now();
+                let report = run_ndp(&spec);
+                let wall_s = t0.elapsed().as_secs_f64();
+                let cell = Cell {
+                    mem: mem_name,
+                    policy,
+                    workload,
+                    ops: report.ops,
+                    wall_s,
+                    digest: report_digest(&report),
+                };
+                eprintln!(
+                    "{:<28} {:>9.0} ops/s  digest {:016x}",
+                    cell.key(),
+                    cell.ops_per_sec(),
+                    cell.digest
+                );
+                cells.push(cell);
+            }
+        }
+    }
+    let wall_total = t_total.elapsed().as_secs_f64();
+    let ops_total: u64 = cells.iter().map(|c| c.ops).sum();
+    let agg = ops_total as f64 / wall_total;
+
+    let mut baseline_agg = None;
+    if let Some(path) = check_path {
+        let old = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let old_digests = parse_digests(&old);
+        let mut mismatches = 0;
+        for cell in &cells {
+            match old_digests.iter().find(|(k, _)| *k == cell.key()) {
+                Some((_, d)) if *d == cell.digest => {}
+                Some((_, d)) => {
+                    eprintln!(
+                        "DIGEST MISMATCH {}: baseline {d:016x} != current {:016x}",
+                        cell.key(),
+                        cell.digest
+                    );
+                    mismatches += 1;
+                }
+                None => eprintln!("note: baseline has no cell {}", cell.key()),
+            }
+        }
+        if mismatches > 0 {
+            eprintln!("{mismatches} digest mismatch(es): simulated results changed");
+            std::process::exit(1);
+        }
+        baseline_agg = parse_number(&old, "\"sim_ops_per_sec\":");
+        if let Some(b) = baseline_agg {
+            eprintln!("digests unchanged; speedup over baseline: {:.2}x", agg / b);
+        } else {
+            eprintln!("digests unchanged ({} cells)", cells.len());
+        }
+    }
+
+    let out_path = std::env::var("NDPX_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
+    let json = render_json(scale, &cells, ops_total, wall_total, agg, baseline_agg);
+    std::fs::write(&out_path, json).expect("write BENCH_PERF.json");
+    println!("{agg:.0} simulated ops/sec over {} cells -> {out_path}", cells.len());
+}
+
+/// Renders the report. Hand-rolled: the workspace has no JSON dependency,
+/// and the format below is line-oriented so `parse_digests` can read it
+/// back without a parser.
+fn render_json(
+    scale: BenchScale,
+    cells: &[Cell],
+    ops_total: u64,
+    wall_total: f64,
+    agg: f64,
+    baseline_agg: Option<f64>,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v1\",");
+    let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
+    let _ = writeln!(s, "  \"ops_total\": {ops_total},");
+    let _ = writeln!(s, "  \"wall_seconds\": {wall_total:.3},");
+    let _ = writeln!(s, "  \"sim_ops_per_sec\": {agg:.1},");
+    if let Some(b) = baseline_agg {
+        let _ = writeln!(s, "  \"baseline_sim_ops_per_sec\": {b:.1},");
+        let _ = writeln!(s, "  \"speedup_over_baseline\": {:.3},", agg / b);
+    }
+    s.push_str("  \"per_policy\": {\n");
+    for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+        let (ops, wall): (u64, f64) = cells
+            .iter()
+            .filter(|c| c.policy == *policy)
+            .fold((0, 0.0), |(o, w), c| (o + c.ops, w + c.wall_s));
+        let rate = if wall > 0.0 { ops as f64 / wall } else { 0.0 };
+        let comma = if i + 1 < PolicyKind::ALL.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{}\": {rate:.1}{comma}", policy.label());
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"digest\": \"{:016x}\"}}{comma}",
+            c.key(),
+            c.ops,
+            c.wall_s * 1e3,
+            c.ops_per_sec(),
+            c.digest
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `("cell", digest)` pairs from a previously written report.
+fn parse_digests(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(cell) = extract_str(line, "\"cell\": \"") else { continue };
+        let Some(digest) = extract_str(line, "\"digest\": \"") else { continue };
+        if let Ok(d) = u64::from_str_radix(digest, 16) {
+            out.push((cell.to_string(), d));
+        }
+    }
+    out
+}
+
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn parse_number(json: &str, key: &str) -> Option<f64> {
+    for line in json.lines() {
+        if let Some(pos) = line.find(key) {
+            let rest = line[pos + key.len()..].trim().trim_end_matches(',');
+            return rest.parse().ok();
+        }
+    }
+    None
+}

@@ -5,11 +5,14 @@ use ndpx_core::config::{MemKind, PolicyKind};
 fn main() {
     let scale = BenchScale::from_env();
     let workload: &'static str = std::env::args().nth(1).map(|s| &*s.leak()).unwrap_or("pr");
-    let ops = std::env::var("NDPX_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(scale.ops_per_core());
+    let ops =
+        std::env::var("NDPX_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(scale.ops_per_core());
     let host = run_host(workload, scale, ops);
     println!(
         "host      : time {:>12}  miss {:.3}  ops/us {:.1}",
-        host.sim_time.to_string(), host.miss_rate(), host.ops_per_us()
+        host.sim_time.to_string(),
+        host.miss_rate(),
+        host.ops_per_us()
     );
     let filter = std::env::var("NDPX_POLICY").ok();
     for policy in PolicyKind::ALL {
@@ -18,7 +21,8 @@ fn main() {
                 continue;
             }
         }
-        let spec = RunSpec { ops_per_core: ops, ..RunSpec::new(MemKind::Hbm, policy, workload, scale) };
+        let spec =
+            RunSpec { ops_per_core: ops, ..RunSpec::new(MemKind::Hbm, policy, workload, scale) };
         let r = run_ndp(&spec);
         if std::env::var("NDPX_DEBUG").is_ok() {
             use ndpx_core::stats::LatComponent;

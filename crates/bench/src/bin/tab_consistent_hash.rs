@@ -33,7 +33,8 @@ fn main() {
         let bulk = &reports[2 * i];
         let cons = &reports[2 * i + 1];
         let speedup = bulk.sim_time.as_ps() as f64 / cons.sim_time.as_ps() as f64;
-        let migr_frac = cons.migrations as f64 / (cons.cache_hits + cons.cache_misses).max(1) as f64;
+        let migr_frac =
+            cons.migrations as f64 / (cons.cache_hits + cons.cache_misses).max(1) as f64;
         println!(
             "{:<11} {:>10} {:>10} {:>9.3} {:>10.4}",
             w, bulk.invalidations, cons.invalidations, speedup, migr_frac

@@ -1,0 +1,45 @@
+//! Deterministic digest of a [`RunReport`].
+//!
+//! The digest covers every numeric field of the report — makespan,
+//! hit/miss counters, the latency breakdown, and the energy breakdown
+//! (floats via their bit patterns) — so two runs digest equal iff their
+//! simulated results are byte-identical. `perf_gauge` uses it to prove
+//! that wall-clock optimisations did not perturb the simulation.
+
+use ndpx_core::stats::{LatComponent, RunReport};
+
+/// splitmix64 finalizer: mixes one word into the running state.
+#[inline]
+fn mix(state: u64, word: u64) -> u64 {
+    let mut z = state.wrapping_add(word).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Digests every numeric field of `r` into one `u64`.
+pub fn report_digest(r: &RunReport) -> u64 {
+    let mut d = 0x00D1_5EEDu64;
+    d = mix(d, r.sim_time.as_ps());
+    d = mix(d, r.ops);
+    d = mix(d, r.mem_ops);
+    d = mix(d, r.l1_hits);
+    d = mix(d, r.cache_hits);
+    d = mix(d, r.cache_misses);
+    d = mix(d, r.local_hits);
+    d = mix(d, r.bypass);
+    d = mix(d, r.slb_misses);
+    d = mix(d, r.metadata_dram);
+    for c in LatComponent::ALL {
+        d = mix(d, r.breakdown.get(c).as_ps());
+    }
+    d = mix(d, r.energy.static_.as_pj().to_bits());
+    d = mix(d, r.energy.dram.as_pj().to_bits());
+    d = mix(d, r.energy.noc.as_pj().to_bits());
+    d = mix(d, r.energy.cxl.as_pj().to_bits());
+    d = mix(d, r.reconfigs);
+    d = mix(d, r.invalidations);
+    d = mix(d, r.migrations);
+    d = mix(d, r.replicated_fraction.to_bits());
+    d
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod runner;
 
 pub use runner::{geomean, run_host, run_many, run_ndp, BenchScale, RunSpec};

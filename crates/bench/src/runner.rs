@@ -26,9 +26,16 @@ pub enum BenchScale {
 impl BenchScale {
     /// Reads `NDPX_SCALE` (defaults to [`BenchScale::Small`]).
     pub fn from_env() -> Self {
-        match std::env::var("NDPX_SCALE").as_deref() {
-            Ok("test") => BenchScale::Test,
-            Ok("paper") => BenchScale::Paper,
+        Self::parse(std::env::var("NDPX_SCALE").ok().as_deref())
+    }
+
+    /// Parses a scale name; `None` and unknown names map to the default
+    /// ([`BenchScale::Small`]). Pure so tests need not touch the (process
+    /// global, racy) environment.
+    pub fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some("test") => BenchScale::Test,
+            Some("paper") => BenchScale::Paper,
             _ => BenchScale::Small,
         }
     }
@@ -65,6 +72,9 @@ impl BenchScale {
     }
 }
 
+/// A configuration mutation applied before a run (shared across threads).
+pub type ConfigTweak = std::sync::Arc<dyn Fn(&mut SystemConfig) + Send + Sync>;
+
 /// One simulation request.
 #[derive(Clone)]
 pub struct RunSpec {
@@ -79,7 +89,7 @@ pub struct RunSpec {
     /// Ops per core (defaults to the scale's headline count).
     pub ops_per_core: u64,
     /// Optional config tweak applied before the run.
-    pub tweak: Option<std::sync::Arc<dyn Fn(&mut SystemConfig) + Send + Sync>>,
+    pub tweak: Option<ConfigTweak>,
 }
 
 impl std::fmt::Debug for RunSpec {
@@ -102,7 +112,12 @@ impl RunSpec {
     }
 
     /// A spec with the scale's default op count and no tweak.
-    pub fn new(mem: MemKind, policy: PolicyKind, workload: &'static str, scale: BenchScale) -> Self {
+    pub fn new(
+        mem: MemKind,
+        policy: PolicyKind,
+        workload: &'static str,
+        scale: BenchScale,
+    ) -> Self {
         RunSpec { mem, policy, workload, scale, ops_per_core: scale.ops_per_core(), tweak: None }
     }
 }
@@ -163,28 +178,21 @@ pub fn run_host(workload: &'static str, scale: BenchScale, ops_per_core: u64) ->
 /// Runs many specs across threads (simulations are independent).
 pub fn run_many(specs: Vec<RunSpec>) -> Vec<RunReport> {
     let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-    let specs = std::sync::Arc::new(specs);
-    let next = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
-    let results = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
-    crossbeam::scope(|scope| {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(specs.len().max(1)) {
-            let specs = specs.clone();
-            let next = next.clone();
-            let results = results.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
                 }
                 let report = run_ndp(&specs[i]);
-                results.lock().push((i, report));
+                results.lock().expect("no worker panicked").push((i, report));
             });
         }
-    })
-    .expect("bench worker panicked");
-    let mut out = std::sync::Arc::try_unwrap(results)
-        .expect("all workers joined")
-        .into_inner();
+    });
+    let mut out = results.into_inner().expect("all workers joined");
     out.sort_by_key(|&(i, _)| i);
     out.into_iter().map(|(_, r)| r).collect()
 }
@@ -207,11 +215,8 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 
 /// Prints a Markdown-ish table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> = cells
-        .iter()
-        .zip(widths.iter())
-        .map(|(c, w)| format!("{c:>w$}"))
-        .collect();
+    let line: Vec<String> =
+        cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}")).collect();
     println!("{}", line.join("  "));
 }
 
@@ -227,10 +232,14 @@ mod tests {
     }
 
     #[test]
-    fn scale_from_env_default() {
-        // Without the variable set, Small is the default.
-        std::env::remove_var("NDPX_SCALE");
-        assert_eq!(BenchScale::from_env(), BenchScale::Small);
+    fn scale_parse_names() {
+        // The pure parser is tested instead of `from_env`: mutating the
+        // process environment races against parallel tests.
+        assert_eq!(BenchScale::parse(None), BenchScale::Small);
+        assert_eq!(BenchScale::parse(Some("test")), BenchScale::Test);
+        assert_eq!(BenchScale::parse(Some("small")), BenchScale::Small);
+        assert_eq!(BenchScale::parse(Some("paper")), BenchScale::Paper);
+        assert_eq!(BenchScale::parse(Some("bogus")), BenchScale::Small);
     }
 
     #[test]

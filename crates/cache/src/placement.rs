@@ -7,7 +7,6 @@
 //! offset within that unit's share.
 
 use ndpx_sim::rng::{hash_range, mix64};
-use serde::{Deserialize, Serialize};
 
 /// A partition's allocation of slots across units, with hashed placement.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(unit < 2);
 /// assert!(slot < p.shares()[unit]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SharePlacement {
     shares: Vec<u64>,
     /// prefix[i] = sum of shares[..i]; prefix.len() == shares.len() + 1.

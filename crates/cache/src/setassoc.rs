@@ -6,7 +6,6 @@
 
 use ndpx_sim::rng::mix64;
 use ndpx_sim::stats::Counter;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +28,7 @@ impl Outcome {
 }
 
 /// Cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: Counter,
@@ -51,7 +50,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct Way {
     /// Key + 1; zero means invalid.
     tag: u64,
@@ -77,7 +76,7 @@ impl Way {
 /// assert!(!l1.access(42, false).is_hit());
 /// assert!(l1.access(42, false).is_hit());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SetAssocCache {
     sets: usize,
     ways: usize,

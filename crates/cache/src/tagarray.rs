@@ -7,8 +7,6 @@
 //! This models both the baselines' in-DRAM cacheline tags and NDPExt's
 //! affine/indirect stream caches.
 
-use serde::{Deserialize, Serialize};
-
 use crate::setassoc::{CacheStats, Outcome};
 
 /// A resizable tag array of `slots` entries grouped into sets of `ways`.
@@ -30,7 +28,7 @@ use crate::setassoc::{CacheStats, Outcome};
 /// assert!(!tags.access(5, 2000, false).is_hit());
 /// assert!(!tags.access(5, 1000, false).is_hit());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TagArray {
     ways: usize,
     sets: u64,
@@ -169,11 +167,7 @@ impl TagArray {
 
     /// Iterates over resident `(key, dirty)` entries.
     pub fn entries(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
-        self.tags
-            .iter()
-            .zip(self.dirty.iter())
-            .filter(|(&t, _)| t != 0)
-            .map(|(&t, &d)| (t - 1, d))
+        self.tags.iter().zip(self.dirty.iter()).filter(|(&t, _)| t != 0).map(|(&t, &d)| (t - 1, d))
     }
 
     /// Installs `key` at `slot` only if a free way exists (no eviction);

@@ -8,11 +8,9 @@
 //! a prefix can over-match — so the SLB's entry cost and hit semantics are
 //! reproducible, and provides the same interface a behavioural model needs.
 
-use serde::{Deserialize, Serialize};
-
 /// One TCAM entry: a value/mask pair plus the exact range for the
 /// comparator stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeEntry {
     /// Prefix bits shared by every address in the range.
     value: u64,
@@ -81,7 +79,7 @@ impl RangeEntry {
 /// assert_eq!(tcam.lookup(0x5CA1_AB00), Some(1));
 /// assert_eq!(tcam.lookup(0x5CA1_AC00), None);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RangeTcam {
     entries: Vec<RangeEntry>,
     capacity: usize,

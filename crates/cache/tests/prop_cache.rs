@@ -1,112 +1,133 @@
-//! Property tests for the cache structures: set-associative LRU caches,
-//! share placement, and tag arrays.
+//! Randomized property tests for the cache structures: set-associative LRU
+//! caches, share placement, and tag arrays.
+//!
+//! Cases are driven by the workspace's seeded [`Xoshiro256`] so the suite is
+//! deterministic and needs no external property-testing framework.
 
 use ndpx_cache::placement::SharePlacement;
 use ndpx_cache::setassoc::SetAssocCache;
 use ndpx_cache::tagarray::TagArray;
-use proptest::prelude::*;
+use ndpx_sim::rng::Xoshiro256;
 
-proptest! {
-    #[test]
-    fn setassoc_occupancy_never_exceeds_capacity(
-        sets in 1usize..32,
-        ways in 1usize..8,
-        keys in prop::collection::vec(0u64..10_000, 1..400),
-    ) {
+#[test]
+fn setassoc_occupancy_never_exceeds_capacity() {
+    let mut rng = Xoshiro256::seed_from(0x0CC);
+    for _ in 0..64 {
+        let sets = 1 + rng.below(31) as usize;
+        let ways = 1 + rng.below(7) as usize;
+        let n = 1 + rng.below(399) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.below(10_000)).collect();
         let mut c = SetAssocCache::new(sets, ways);
         for &k in &keys {
             c.access(k, false);
         }
-        prop_assert!(c.occupancy() <= sets * ways);
-        prop_assert_eq!(c.stats().accesses(), keys.len() as u64);
+        assert!(c.occupancy() <= sets * ways);
+        assert_eq!(c.stats().accesses(), keys.len() as u64);
     }
+}
 
-    #[test]
-    fn setassoc_access_then_probe_hits(
-        sets in 1usize..32,
-        ways in 1usize..8,
-        key in 0u64..10_000,
-    ) {
+#[test]
+fn setassoc_access_then_probe_hits() {
+    let mut rng = Xoshiro256::seed_from(0xF00);
+    for _ in 0..128 {
+        let sets = 1 + rng.below(31) as usize;
+        let ways = 1 + rng.below(7) as usize;
+        let key = rng.below(10_000);
         let mut c = SetAssocCache::new(sets, ways);
         c.access(key, false);
-        prop_assert!(c.probe(key), "just-inserted key must be resident");
-        prop_assert!(c.access(key, false).is_hit());
+        assert!(c.probe(key), "just-inserted key must be resident");
+        assert!(c.access(key, false).is_hit());
     }
+}
 
-    #[test]
-    fn setassoc_invalidate_removes(
-        keys in prop::collection::vec(0u64..1000, 1..100),
-    ) {
+#[test]
+fn setassoc_invalidate_removes() {
+    let mut rng = Xoshiro256::seed_from(0x1BAD);
+    for _ in 0..64 {
+        let n = 1 + rng.below(99) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         let mut c = SetAssocCache::new(64, 4);
         for &k in &keys {
             c.access(k, true);
         }
         for &k in &keys {
             c.invalidate(k);
-            prop_assert!(!c.probe(k));
+            assert!(!c.probe(k));
         }
-        prop_assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.occupancy(), 0);
     }
+}
 
-    #[test]
-    fn share_placement_is_total_and_bounded(
-        shares in prop::collection::vec(0u64..64, 1..16),
-        keys in prop::collection::vec(0u64..100_000, 1..200),
-    ) {
+#[test]
+fn share_placement_is_total_and_bounded() {
+    let mut rng = Xoshiro256::seed_from(0x51AB);
+    for _ in 0..64 {
+        let units = 1 + rng.below(15) as usize;
+        let shares: Vec<u64> = (0..units).map(|_| rng.below(64)).collect();
         let p = SharePlacement::new(shares.clone());
         let total: u64 = shares.iter().sum();
-        for &k in &keys {
+        for _ in 0..200 {
+            let k = rng.below(100_000);
             match p.locate(k) {
                 Some((u, slot)) => {
-                    prop_assert!(total > 0);
-                    prop_assert!(u < shares.len());
-                    prop_assert!(slot < shares[u], "slot {slot} >= share {}", shares[u]);
+                    assert!(total > 0);
+                    assert!(u < shares.len());
+                    assert!(slot < shares[u], "slot {slot} >= share {}", shares[u]);
                 }
-                None => prop_assert_eq!(total, 0),
+                None => assert_eq!(total, 0),
             }
         }
     }
+}
 
-    #[test]
-    fn share_placement_distribution_tracks_shares(
-        a in 1u64..32,
-        b in 1u64..32,
-    ) {
+#[test]
+fn share_placement_distribution_tracks_shares() {
+    let mut rng = Xoshiro256::seed_from(0xD157);
+    for _ in 0..16 {
+        let a = 1 + rng.below(31);
+        let b = 1 + rng.below(31);
         let p = SharePlacement::new(vec![a * 64, b * 64]);
         let n = 40_000u64;
         let hits_a = (0..n).filter(|&k| p.locate(k).expect("non-empty").0 == 0).count() as f64;
         let expect = a as f64 / (a + b) as f64;
         let got = hits_a / n as f64;
-        prop_assert!((got - expect).abs() < 0.05, "expected {expect:.3}, got {got:.3}");
+        assert!((got - expect).abs() < 0.05, "expected {expect:.3}, got {got:.3}");
     }
+}
 
-    #[test]
-    fn tagarray_hit_follows_miss_at_same_slot(
-        slots in 1u64..256,
-        ways in 1usize..8,
-        pairs in prop::collection::vec((0u64..1024, 0u64..100_000), 1..100),
-    ) {
+#[test]
+fn tagarray_hit_follows_miss_at_same_slot() {
+    let mut rng = Xoshiro256::seed_from(0x7A6);
+    for _ in 0..64 {
+        let slots = 1 + rng.below(255);
+        let ways = 1 + rng.below(7) as usize;
+        let n = 1 + rng.below(99) as usize;
         let mut t = TagArray::new(slots, ways);
-        for &(slot, key) in &pairs {
+        for _ in 0..n {
+            let slot = rng.below(slots);
+            let key = rng.below(100_000);
             t.access(slot, key, false);
-            prop_assert!(t.probe(slot, key), "key must be resident right after access");
+            assert!(t.probe(slot, key), "key must be resident right after access");
         }
-        prop_assert!(t.occupancy() <= t.slots());
+        assert!(t.occupancy() <= t.slots());
     }
+}
 
-    #[test]
-    fn tagarray_adoption_preserves_only_placed_keys(
-        keys in prop::collection::vec(0u64..1000, 1..64),
-    ) {
+#[test]
+fn tagarray_adoption_preserves_only_placed_keys() {
+    let mut rng = Xoshiro256::seed_from(0xAD09);
+    for _ in 0..64 {
+        let n = 1 + rng.below(63) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         let mut old = TagArray::new(128, 1);
         for &k in &keys {
             old.access(k, k, false);
         }
         let mut new = TagArray::new(128, 1);
         let kept = new.adopt_from(&old, |k| if k % 3 == 0 { Some(k) } else { None });
-        prop_assert_eq!(kept, new.occupancy());
+        assert_eq!(kept, new.occupancy());
         for (k, _) in new.entries() {
-            prop_assert_eq!(k % 3, 0, "non-placed key survived adoption");
+            assert_eq!(k % 3, 0, "non-placed key survived adoption");
         }
     }
 }

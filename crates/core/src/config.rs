@@ -5,10 +5,9 @@ use ndpx_mem::device::DramConfig;
 use ndpx_noc::network::LinkParams;
 use ndpx_noc::topology::{IntraKind, Topology};
 use ndpx_sim::time::{Freq, Time};
-use serde::{Deserialize, Serialize};
 
 /// Which 3D memory family backs the NDP stacks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemKind {
     /// HBM3-style stacks: one logic die per stack behind a crossbar, so each
     /// stack is one NUCA node.
@@ -18,7 +17,7 @@ pub enum MemKind {
 }
 
 /// The cache-management policy under evaluation (paper §VI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// NDPExt: stream caches + the co-optimizing configuration runtime.
     NdpExt,
@@ -74,7 +73,7 @@ impl PolicyKind {
 
 /// How reconfiguration treats data cached under the previous configuration
 /// (paper §V-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReconfigTransfer {
     /// Invalidate all cached data of streams whose allocation changed.
     BulkInvalidate,
@@ -84,7 +83,7 @@ pub enum ReconfigTransfer {
 }
 
 /// Full system configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// NDP memory family.
     pub mem_kind: MemKind,
@@ -191,7 +190,13 @@ impl SystemConfig {
     /// paper profile.
     pub fn test(policy: PolicyKind) -> Self {
         let mut cfg = Self::paper(MemKind::Hbm, policy);
-        cfg.topology = Topology { stacks_x: 2, stacks_y: 2, units_x: 2, units_y: 2, intra: IntraKind::Crossbar };
+        cfg.topology = Topology {
+            stacks_x: 2,
+            stacks_y: 2,
+            units_x: 2,
+            units_y: 2,
+            intra: IntraKind::Crossbar,
+        };
         cfg.unit_capacity = 1 << 20;
         cfg.ext_capacity = 1 << 30;
         cfg.l1_bytes = 8 << 10;

@@ -1,0 +1,141 @@
+//! Cached per-stream descriptors for the simulation hot path.
+//!
+//! The access path needs a stream's caching grain, cache-key mapping, miss
+//! fetch size, and key→address mapping on every reference. All four are
+//! pure functions of the stream's configuration and the active policy —
+//! both immutable for a run — yet the original helpers re-derived them per
+//! access through a stream-table lookup plus policy branching.
+//! [`StreamDesc`] precomputes them once at system construction, indexed by
+//! [`StreamId`](ndpx_stream::StreamId); the free functions remain as the
+//! uncached reference implementations the property tests compare against.
+
+use ndpx_stream::{StreamConfig, StreamKind};
+
+/// The policy-dependent constants a descriptor is built from.
+#[derive(Debug, Clone, Copy)]
+pub struct DescParams {
+    /// Whether the active policy caches at stream grain.
+    pub stream_grain: bool,
+    /// Affine-block bytes (stream-grain policies).
+    pub affine_block: u64,
+    /// Cache-line bytes (line-grain policies).
+    pub line_bytes: u64,
+}
+
+/// Reference: caching grain (slot bytes) of a stream under the policy.
+pub fn grain_of(s: &StreamConfig, p: DescParams) -> u64 {
+    if p.stream_grain {
+        match s.kind {
+            StreamKind::Affine(_) => p.affine_block,
+            // Tag stored with the element, padded to 8 B (§IV-C).
+            StreamKind::Indirect { .. } => (u64::from(s.elem_size) + 4).next_multiple_of(8),
+        }
+    } else {
+        p.line_bytes
+    }
+}
+
+/// Reference: cache key of element `elem` at address `addr`.
+pub fn key_of(s: &StreamConfig, p: DescParams, elem: u64, addr: u64) -> u64 {
+    if p.stream_grain {
+        match s.kind {
+            StreamKind::Affine(_) => {
+                let epb = (p.affine_block / u64::from(s.elem_size)).max(1);
+                elem / epb
+            }
+            StreamKind::Indirect { .. } => elem,
+        }
+    } else {
+        addr / p.line_bytes
+    }
+}
+
+/// Reference: bytes fetched from extended memory on a miss.
+pub fn fetch_bytes(s: &StreamConfig, p: DescParams) -> u32 {
+    if p.stream_grain && s.kind.is_affine() {
+        p.affine_block as u32
+    } else {
+        p.line_bytes as u32
+    }
+}
+
+/// Reference: physical address of a cache key (for extended-memory access).
+pub fn addr_of_key(s: &StreamConfig, p: DescParams, key: u64) -> u64 {
+    if p.stream_grain {
+        match s.kind {
+            StreamKind::Affine(_) => {
+                let epb = (p.affine_block / u64::from(s.elem_size)).max(1);
+                s.addr_of((key * epb).min(s.elems() - 1))
+            }
+            StreamKind::Indirect { .. } => s.addr_of(key.min(s.elems() - 1)),
+        }
+    } else {
+        key * p.line_bytes
+    }
+}
+
+/// Precomputed per-stream facts for the access path.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamDesc {
+    /// The stream configuration, copied out of the table.
+    pub cfg: StreamConfig,
+    /// Caching grain (slot bytes) under the active policy.
+    pub grain: u64,
+    /// Bytes fetched from extended memory on a miss.
+    pub fetch_bytes: u32,
+    /// Elements per affine block (1 for indirect streams).
+    epb: u64,
+    /// `elems() - 1`: clamp bound for key→address mapping.
+    last_elem: u64,
+    /// Line bytes for line-grain key/address math.
+    line_bytes: u64,
+    /// Stream-grain policy active.
+    stream_grain: bool,
+    /// Affine stream.
+    pub affine: bool,
+}
+
+impl StreamDesc {
+    /// Builds the descriptor; agrees with the reference functions by
+    /// construction (and by the property suite).
+    pub fn build(cfg: StreamConfig, p: DescParams) -> Self {
+        StreamDesc {
+            grain: grain_of(&cfg, p),
+            fetch_bytes: fetch_bytes(&cfg, p),
+            epb: (p.affine_block / u64::from(cfg.elem_size)).max(1),
+            last_elem: cfg.elems() - 1,
+            line_bytes: p.line_bytes,
+            stream_grain: p.stream_grain,
+            affine: cfg.kind.is_affine(),
+            cfg,
+        }
+    }
+
+    /// Cache key of element `elem` at address `addr`.
+    #[inline]
+    pub fn key_of(&self, elem: u64, addr: u64) -> u64 {
+        if self.stream_grain {
+            if self.affine {
+                elem / self.epb
+            } else {
+                elem
+            }
+        } else {
+            addr / self.line_bytes
+        }
+    }
+
+    /// Physical address of a cache key.
+    #[inline]
+    pub fn addr_of_key(&self, key: u64) -> u64 {
+        if self.stream_grain {
+            if self.affine {
+                self.cfg.addr_of((key * self.epb).min(self.last_elem))
+            } else {
+                self.cfg.addr_of(key.min(self.last_elem))
+            }
+        } else {
+            key * self.line_bytes
+        }
+    }
+}

@@ -6,14 +6,12 @@
 //! DDR5-4800 main memory. Fig. 5 normalizes every NDP configuration to this
 //! system.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use ndpx_cache::setassoc::SetAssocCache;
 use ndpx_mem::device::{DramConfig, DramDevice};
 use ndpx_noc::network::{LinkParams, Network};
 use ndpx_noc::topology::{IntraKind, Topology, UnitId};
 use ndpx_sim::energy::Power;
+use ndpx_sim::engine::EventQueue;
 use ndpx_sim::rng::hash_range;
 use ndpx_sim::time::{Freq, Time};
 use ndpx_workloads::trace::{Op, Workload};
@@ -62,12 +60,7 @@ impl HostConfig {
 
     /// A scaled-down host matching [`crate::SystemConfig::test`] ratios.
     pub fn test(cores: usize) -> Self {
-        HostConfig {
-            cores,
-            l1_bytes: 8 << 10,
-            llc_bytes: 256 << 10,
-            ..Self::paper()
-        }
+        HostConfig { cores, l1_bytes: 8 << 10, llc_bytes: 256 << 10, ..Self::paper() }
     }
 
     fn mesh_dim(&self) -> usize {
@@ -109,7 +102,13 @@ impl HostSystem {
             ));
         }
         let dim = cfg.mesh_dim();
-        let topo = Topology { stacks_x: 1, stacks_y: 1, units_x: dim, units_y: dim, intra: IntraKind::Mesh };
+        let topo = Topology {
+            stacks_x: 1,
+            stacks_y: 1,
+            units_x: dim,
+            units_y: dim,
+            intra: IntraKind::Mesh,
+        };
         // On-chip mesh: hop latency from cycles, on-chip energy.
         let hop = cfg.freq.cycles_to_time(cfg.hop_cycles);
         let intra = LinkParams { hop_latency: hop, bytes_per_ns: 64.0, pj_per_bit: 0.1 };
@@ -140,15 +139,20 @@ impl HostSystem {
     }
 
     /// Runs `ops_per_core` operations per core; returns the report.
+    ///
+    /// Scheduling mirrors [`crate::system::NdpSystem::run`]: cores go
+    /// through the shared [`EventQueue`], tie-broken by core index, with
+    /// the in-place `push_pop` fast path for re-scheduling.
     pub fn run(&mut self, ops_per_core: u64) -> RunReport {
-        let mut queue: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        let mut queue: EventQueue<usize> = EventQueue::new();
         let mut remaining = vec![ops_per_core; self.cfg.cores];
         for c in 0..self.cfg.cores {
-            queue.push(Reverse((Time::ZERO, c)));
+            queue.push_ranked(Time::ZERO, c as u64, c);
         }
         let mut makespan = Time::ZERO;
         let mut ops = 0u64;
-        while let Some(Reverse((t, core))) = queue.pop() {
+        let mut next = queue.pop();
+        while let Some((t, core)) = next {
             let op = self.source.next_op(core);
             let done = match op {
                 Op::Compute(c) => t + self.cfg.freq.cycles_to_time(u64::from(c)),
@@ -161,9 +165,11 @@ impl HostSystem {
             ops += 1;
             makespan = makespan.max(done);
             remaining[core] -= 1;
-            if remaining[core] > 0 {
-                queue.push(Reverse((done, core)));
-            }
+            next = if remaining[core] > 0 {
+                Some(queue.push_pop_ranked(done, core as u64, core))
+            } else {
+                queue.pop()
+            };
         }
         self.report(makespan, ops)
     }
@@ -184,7 +190,8 @@ impl HostSystem {
         let t1 = self.net.send(UnitId(core), UnitId(bank), 16, now);
         self.breakdown.add(LatComponent::NocIntra, t1 - now);
         now = t1 + self.cfg.freq.cycles_to_time(self.cfg.bank_cycles);
-        self.breakdown.add(LatComponent::DramCache, self.cfg.freq.cycles_to_time(self.cfg.bank_cycles));
+        self.breakdown
+            .add(LatComponent::DramCache, self.cfg.freq.cycles_to_time(self.cfg.bank_cycles));
 
         if self.banks[bank].access(line, write).is_hit() {
             self.llc_hits += 1;
@@ -200,11 +207,13 @@ impl HostSystem {
     }
 
     fn report(&self, makespan: Time, ops: u64) -> RunReport {
-        let mut energy = EnergyBreakdown::default();
-        energy.static_ = (HOST_CORE_STATIC * self.cfg.cores as f64).over(makespan)
-            + self.mem.background_energy(makespan);
-        energy.dram = self.mem.dynamic_energy();
-        energy.noc = self.net.dynamic_energy();
+        let energy = EnergyBreakdown {
+            static_: (HOST_CORE_STATIC * self.cfg.cores as f64).over(makespan)
+                + self.mem.background_energy(makespan),
+            dram: self.mem.dynamic_energy(),
+            noc: self.net.dynamic_energy(),
+            ..EnergyBreakdown::default()
+        };
         RunReport {
             policy: PolicyKind::StaticInterleave,
             workload: format!("{}(host)", self.workload_name),

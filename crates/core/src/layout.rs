@@ -7,16 +7,17 @@
 //! (stream/block grain) and the cacheline-grain baselines use this structure;
 //! only the slot granularity and the metadata access path differ.
 
+use std::sync::{Arc, Mutex};
+
 use ndpx_cache::placement::SharePlacement;
 use ndpx_sim::rng::{hash_range, mix64};
-use serde::{Deserialize, Serialize};
 
 /// Number of buckets in the consistent-hash placement tables. More buckets
 /// mean finer-grained stability across reconfigurations.
 pub const CONSISTENT_BUCKETS: usize = 1024;
 
 /// How a group maps keys to (unit, slot).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GroupPlacement {
     /// Plain hashed placement over the cumulative shares. Cheap, but any
     /// share change moves almost every key (bulk invalidation on reconfig).
@@ -32,7 +33,7 @@ pub enum GroupPlacement {
 }
 
 /// One replication group of one stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Group {
     /// Slots contributed by each unit (length = total units); the RShares
     /// vector of Fig. 3b restricted to this group.
@@ -49,12 +50,8 @@ pub struct Group {
 impl Group {
     /// Builds a group from per-unit slot shares.
     pub fn new(shares: Vec<u64>, consistent: bool) -> Self {
-        let members: Vec<usize> = shares
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s > 0)
-            .map(|(u, _)| u)
-            .collect();
+        let members: Vec<usize> =
+            shares.iter().enumerate().filter(|(_, &s)| s > 0).map(|(u, _)| u).collect();
         let place = if consistent {
             let table = build_bucket_table(&shares, &members);
             GroupPlacement::Consistent { table, unit_slots: shares.clone() }
@@ -91,6 +88,39 @@ impl Group {
     }
 }
 
+/// The rendezvous denominator `-ln(r)` for one `(bucket, unit)` pair, where
+/// `r = (mix64(b << 32 | u) + 1) / (u64::MAX + 2)` maps the pair's hash
+/// into `(0, 1)`.
+fn rendezvous_denominator(b: usize, u: usize) -> f64 {
+    let h = mix64((b as u64) << 32 | u as u64);
+    let r = (h as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+    -r.ln()
+}
+
+/// Cached `-ln(r)` denominators for every `(bucket, unit)` pair, laid out
+/// as `CONSISTENT_BUCKETS` rows of `units` columns.
+///
+/// The denominators are a pure function of the pair — no shares involved —
+/// so one table per distinct unit count serves every group built in the
+/// process. Without the cache the `ln` calls dominate group construction,
+/// which runs per stream per epoch.
+fn rendezvous_denominators(units: usize) -> Arc<Vec<f64>> {
+    static CACHE: Mutex<Vec<(usize, Arc<Vec<f64>>)>> = Mutex::new(Vec::new());
+    let mut cache = CACHE.lock().expect("rendezvous cache poisoned");
+    if let Some((_, t)) = cache.iter().find(|(n, _)| *n == units) {
+        return Arc::clone(t);
+    }
+    let mut t = Vec::with_capacity(CONSISTENT_BUCKETS * units);
+    for b in 0..CONSISTENT_BUCKETS {
+        for u in 0..units {
+            t.push(rendezvous_denominator(b, u));
+        }
+    }
+    let t = Arc::new(t);
+    cache.push((units, Arc::clone(&t)));
+    t
+}
+
 /// Weighted rendezvous: each bucket goes to the member unit with the highest
 /// weight-scaled hash score, which keeps most buckets stable when weights
 /// change slightly.
@@ -99,15 +129,15 @@ fn build_bucket_table(shares: &[u64], members: &[usize]) -> Vec<u16> {
     if members.is_empty() {
         return table;
     }
+    let denoms = rendezvous_denominators(shares.len());
     for (b, slot) in table.iter_mut().enumerate() {
+        let row = &denoms[b * shares.len()..(b + 1) * shares.len()];
         let mut best = members[0];
         let mut best_score = f64::NEG_INFINITY;
         for &u in members {
-            let h = mix64((b as u64) << 32 | u as u64);
-            // Map to (0,1); score = weight / -ln(r) (classic weighted
-            // rendezvous), larger is better.
-            let r = (h as f64 + 1.0) / (u64::MAX as f64 + 2.0);
-            let score = shares[u] as f64 / -r.ln();
+            // score = weight / -ln(r) (classic weighted rendezvous),
+            // larger is better.
+            let score = shares[u] as f64 / row[u];
             if score > best_score {
                 best_score = score;
                 best = u;
@@ -119,7 +149,7 @@ fn build_bucket_table(shares: &[u64], members: &[usize]) -> Vec<u16> {
 }
 
 /// The realized layout of one stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamLayout {
     /// Replication groups (read-write streams have at most one).
     pub groups: Vec<Group>,
@@ -178,9 +208,9 @@ impl StreamLayout {
     pub fn finalize_offsets(&mut self, units: usize) -> Vec<u64> {
         let mut per_unit = vec![0u64; units];
         for g in &mut self.groups {
-            for u in 0..units {
-                g.slot_offset[u] = per_unit[u];
-                per_unit[u] += g.shares[u];
+            g.slot_offset[..units].copy_from_slice(&per_unit);
+            for (total, &s) in per_unit.iter_mut().zip(&g.shares) {
+                *total += s;
             }
         }
         per_unit

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod desc;
 pub mod layout;
 pub mod runtime;
 

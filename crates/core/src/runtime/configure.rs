@@ -74,11 +74,8 @@ impl Allocation {
         if total == 0 {
             return 0.0;
         }
-        let primary: u64 = self
-            .streams
-            .iter()
-            .map(|gs| gs.iter().map(AllocGroup::total).max().unwrap_or(0))
-            .sum();
+        let primary: u64 =
+            self.streams.iter().map(|gs| gs.iter().map(AllocGroup::total).max().unwrap_or(0)).sum();
         (total - primary) as f64 / total as f64
     }
 }
@@ -331,15 +328,14 @@ pub fn allocate_ndpext(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation 
                         continue;
                     }
                     // Nearest sibling group of the same stream.
-                    let sibling = gs2
-                        .iter()
-                        .enumerate()
-                        .filter(|&(o, os)| o != g2 && os.alive)
-                        .max_by(|a, b| {
-                            let ka = ctx.attenuation[st2.anchor][a.1.anchor];
-                            let kb = ctx.attenuation[st2.anchor][b.1.anchor];
-                            ka.partial_cmp(&kb).expect("attenuations are finite")
-                        });
+                    let sibling =
+                        gs2.iter().enumerate().filter(|&(o, os)| o != g2 && os.alive).max_by(
+                            |a, b| {
+                                let ka = ctx.attenuation[st2.anchor][a.1.anchor];
+                                let kb = ctx.attenuation[st2.anchor][b.1.anchor];
+                                ka.partial_cmp(&kb).expect("attenuations are finite")
+                            },
+                        );
                     if let Some((g3, _)) = sibling {
                         let u = st2.utility(ctx);
                         if merge_pick.is_none_or(|(.., best_u)| u < best_u) {
@@ -453,12 +449,10 @@ pub fn allocate_ndpext(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation 
             // unit concentrates traffic and lengthens average hops).
             let fair = (d.footprint / ctx.units as u64).max(grain) * 2;
             let at_u = groups[s][g].cap[u];
-            let add = (share
-                .min(room)
-                .min(fair.saturating_sub(at_u))
-                .min(budget.available(u, d.affine))
-                / grain)
-                * grain;
+            let add =
+                (share.min(room).min(fair.saturating_sub(at_u)).min(budget.available(u, d.affine))
+                    / grain)
+                    * grain;
             if add > 0 {
                 budget.take(u, d.affine, add);
                 groups[s][g].cap[u] += add;
@@ -475,8 +469,7 @@ pub fn allocate_ndpext(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation 
     // to slow extended memory) at the cost of remote hits on the NoC.
     for (s, d) in demands.iter().enumerate() {
         loop {
-            let alive: Vec<usize> =
-                (0..groups[s].len()).filter(|&g| groups[s][g].alive).collect();
+            let alive: Vec<usize> = (0..groups[s].len()).filter(|&g| groups[s][g].alive).collect();
             if alive.len() < 2 {
                 break;
             }
@@ -572,7 +565,10 @@ fn to_allocation(groups: &[Vec<GroupState>], units: usize) -> Allocation {
                 gs.iter()
                     .filter(|st| st.alive && st.total() > 0)
                     .map(|st| AllocGroup {
-                        unit_bytes: (0..units).filter(|&u| st.cap[u] > 0).map(|u| (u, st.cap[u])).collect(),
+                        unit_bytes: (0..units)
+                            .filter(|&u| st.cap[u] > 0)
+                            .map(|u| (u, st.cap[u]))
+                            .collect(),
                     })
                     .collect()
             })
@@ -612,7 +608,8 @@ fn allocate_equal(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
                 return Vec::new();
             }
             let per_unit_raw = ctx.unit_capacity / active;
-            let per_unit_cap = if d.affine { per_unit_raw.min(ctx.affine_cap / active) } else { per_unit_raw };
+            let per_unit_cap =
+                if d.affine { per_unit_raw.min(ctx.affine_cap / active) } else { per_unit_raw };
             let per_unit = (per_unit_cap / d.grain.max(1)) * d.grain.max(1);
             if per_unit == 0 {
                 return Vec::new();
@@ -638,7 +635,8 @@ fn allocate_interleave(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation 
                 return Vec::new();
             }
             let stream_bytes =
-                (ctx.unit_capacity as f64 * ctx.units as f64 * d.total_accesses as f64 / total_acc as f64) as u64;
+                (ctx.unit_capacity as f64 * ctx.units as f64 * d.total_accesses as f64
+                    / total_acc as f64) as u64;
             let per_unit = ((stream_bytes / ctx.units as u64) / d.grain.max(1)) * d.grain.max(1);
             if per_unit == 0 {
                 return Vec::new();
@@ -765,13 +763,13 @@ fn allocate_lookahead(
             // Overflow beyond the preferred order spills anywhere with space
             // (the paper's "suboptimal positions, incurring extra hops").
             if remaining > 0 {
-                for u in 0..ctx.units {
+                for (u, avail) in free.iter_mut().enumerate() {
                     if remaining == 0 {
                         break;
                     }
-                    let take = ((free[u] / grain) * grain).min(remaining);
+                    let take = ((*avail / grain) * grain).min(remaining);
                     if take > 0 {
-                        free[u] -= take;
+                        *avail -= take;
                         remaining -= take;
                         add_bytes(&mut alloc[s][r], u, take);
                         placed_any = true;
@@ -792,7 +790,7 @@ fn allocate_lookahead(
 
     // Leftover fill (see allocate_ndpext): unused capacity goes to streams
     // accessing each unit, weighted by access count, into their first group.
-    for u in 0..ctx.units {
+    for (u, avail) in free.iter_mut().enumerate() {
         let mut cands: Vec<(usize, u64)> = Vec::new();
         for (s, d) in demands.iter().enumerate() {
             if alloc[s].is_empty() {
@@ -810,15 +808,15 @@ fn allocate_lookahead(
         if total_w == 0 {
             continue;
         }
-        let free_u = free[u];
+        let free_u = *avail;
         for (s, w) in cands {
             let d = &demands[s];
             let grain = d.grain.max(1);
             let have: u64 = alloc[s].iter().map(AllocGroup::total).sum();
             let room = d.footprint.saturating_sub(have);
-            let add = ((free_u * w / total_w).min(room).min(free[u]) / grain) * grain;
+            let add = ((free_u * w / total_w).min(room).min(*avail) / grain) * grain;
             if add > 0 {
-                free[u] -= add;
+                *avail -= add;
                 add_bytes(&mut alloc[s][0], u, add);
             }
         }
@@ -876,9 +874,7 @@ fn placement_order(d: &StreamDemand, ctx: &ConfigCtx) -> Vec<usize> {
         .expect("units > 0");
     let mut order: Vec<usize> = (0..ctx.units).collect();
     order.sort_by(|&a, &b| {
-        ctx.attenuation[com][b]
-            .partial_cmp(&ctx.attenuation[com][a])
-            .expect("finite attenuation")
+        ctx.attenuation[com][b].partial_cmp(&ctx.attenuation[com][a]).expect("finite attenuation")
     });
     order
 }
@@ -902,7 +898,12 @@ mod tests {
         }
     }
 
-    fn demand(curve_pts: Vec<(u64, f64)>, total: f64, acc: Vec<(usize, u64)>, ro: bool) -> StreamDemand {
+    fn demand(
+        curve_pts: Vec<(u64, f64)>,
+        total: f64,
+        acc: Vec<(usize, u64)>,
+        ro: bool,
+    ) -> StreamDemand {
         // Footprint = the largest sampled capacity: beyond it more cache
         // cannot help, matching real stream sizes.
         let footprint = curve_pts.iter().map(|&(c, _)| c).max().unwrap_or(64);
@@ -996,7 +997,8 @@ mod tests {
         let spread = |a: &Allocation| a.streams[0][0].unit_bytes.len();
         // Jigsaw fills from the centre of mass outward; Whirlpool puts
         // capacity at the accessing units first.
-        let whirl_units: Vec<usize> = whirl.streams[0][0].unit_bytes.iter().map(|&(u, _)| u).collect();
+        let whirl_units: Vec<usize> =
+            whirl.streams[0][0].unit_bytes.iter().map(|&(u, _)| u).collect();
         assert!(whirl_units.contains(&0) && whirl_units.contains(&5), "{whirl_units:?}");
         assert!(spread(&jig) >= 1);
     }
@@ -1053,10 +1055,7 @@ mod tests {
                 }
             }
             for (u, &used) in per_unit.iter().enumerate() {
-                assert!(
-                    used <= cap as u64,
-                    "{policy:?} overflows unit {u}: {used} > {cap}"
-                );
+                assert!(used <= cap as u64, "{policy:?} overflows unit {u}: {used} > {cap}");
             }
         }
     }

@@ -11,6 +11,8 @@ pub mod configure;
 pub mod maxflow;
 pub mod sampler;
 
-pub use configure::{allocate_baseline, allocate_ndpext, AllocGroup, Allocation, ConfigCtx, StreamDemand};
+pub use configure::{
+    allocate_baseline, allocate_ndpext, AllocGroup, Allocation, ConfigCtx, StreamDemand,
+};
 pub use maxflow::{assign_samplers, FlowNetwork, SamplerAssignment};
 pub use sampler::{capacity_points, MissCurve, SetSampler};

@@ -8,14 +8,13 @@
 //! the stream's total access count yields the absolute miss curve.
 
 use ndpx_sim::rng::hash_range;
-use serde::{Deserialize, Serialize};
 
 /// A miss curve: estimated misses per epoch at increasing capacities.
 ///
 /// Point 0 is always `(0, total_accesses)` — with no cache everything
 /// misses. Capacities are strictly increasing; misses are non-increasing
 /// (enforced at construction).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MissCurve {
     points: Vec<(u64, f64)>,
 }
@@ -92,9 +91,8 @@ pub fn capacity_points(min_cap: u64, max_cap: u64, count: usize) -> Vec<u64> {
     assert!(count >= 2, "need at least two capacity points");
     let min_cap = min_cap.max(1).min(max_cap);
     let ratio = (max_cap as f64 / min_cap as f64).powf(1.0 / (count - 1) as f64);
-    let mut points: Vec<u64> = (0..count)
-        .map(|i| (min_cap as f64 * ratio.powi(i as i32)).round() as u64)
-        .collect();
+    let mut points: Vec<u64> =
+        (0..count).map(|i| (min_cap as f64 * ratio.powi(i as i32)).round() as u64).collect();
     points.dedup();
     if let Some(last) = points.last_mut() {
         *last = max_cap;
@@ -102,7 +100,7 @@ pub fn capacity_points(min_cap: u64, max_cap: u64, count: usize) -> Vec<u64> {
     points
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct CapCase {
     capacity: u64,
     slots: u64,
@@ -115,9 +113,8 @@ struct CapCase {
 /// One hardware sampler, watching one stream at one unit.
 ///
 /// Storage per the paper: `k` sets × `c` cases × 4 B ≈ 8 kB.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SetSampler {
-    k: usize,
     cases: Vec<CapCase>,
 }
 
@@ -144,7 +141,7 @@ impl SetSampler {
                 }
             })
             .collect();
-        SetSampler { k, cases }
+        SetSampler { cases }
     }
 
     /// Observes one access to the stream (key = slot-granularity index).
@@ -153,7 +150,7 @@ impl SetSampler {
             let slot = hash_range(key, case.slots);
             let monitored = case.sets.len() as u64;
             let stride = (case.slots / monitored).max(1);
-            if slot % stride != 0 {
+            if !slot.is_multiple_of(stride) {
                 continue;
             }
             let idx = ((slot / stride) % monitored) as usize;
@@ -248,10 +245,7 @@ mod tests {
         let curve = s.curve(60_000);
         let small = curve.misses_at(1 << 10);
         let big = curve.misses_at(16 << 10);
-        assert!(
-            small > big * 3.0,
-            "1 kB should miss much more than 16 kB: {small} vs {big}"
-        );
+        assert!(small > big * 3.0, "1 kB should miss much more than 16 kB: {small} vs {big}");
         // With ample capacity, almost everything hits after warmup.
         assert!(big < 6_000.0, "16 kB misses too high: {big}");
     }

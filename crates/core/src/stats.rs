@@ -3,12 +3,11 @@
 
 use ndpx_sim::energy::Energy;
 use ndpx_sim::time::Time;
-use serde::{Deserialize, Serialize};
 
 use crate::config::PolicyKind;
 
 /// Components of memory-access latency (the paper's Fig. 2a categories).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatComponent {
     /// Core pipeline and L1 access.
     CoreL1,
@@ -49,7 +48,7 @@ impl LatComponent {
 }
 
 /// Accumulated time per latency component.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
     parts: [Time; 6],
 }
@@ -90,7 +89,7 @@ impl Breakdown {
 }
 
 /// Energy by source (the paper's Fig. 6 categories).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Background/leakage energy (follows execution time).
     pub static_: Energy,
@@ -110,7 +109,7 @@ impl EnergyBreakdown {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Policy simulated.
     pub policy: PolicyKind,
@@ -178,7 +177,8 @@ impl RunReport {
         if accesses == 0 {
             return Time::ZERO;
         }
-        let noc = self.breakdown.get(LatComponent::NocIntra) + self.breakdown.get(LatComponent::NocInter);
+        let noc =
+            self.breakdown.get(LatComponent::NocIntra) + self.breakdown.get(LatComponent::NocInter);
         Time::from_ps(noc.as_ps() / accesses)
     }
 

@@ -27,9 +27,6 @@
 //! applies the new layout with bulk invalidation or consistent-hash
 //! transfer (§V-D).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use ndpx_cache::setassoc::SetAssocCache;
 use ndpx_cache::tagarray::TagArray;
 use ndpx_cxl::ExtendedMemory;
@@ -37,13 +34,17 @@ use ndpx_mem::device::DramDevice;
 use ndpx_noc::network::Network;
 use ndpx_noc::topology::UnitId;
 use ndpx_sim::energy::Power;
+use ndpx_sim::engine::EventQueue;
 use ndpx_sim::time::Time;
-use ndpx_stream::{StreamId, StreamKind, StreamTable};
+use ndpx_stream::{StreamId, StreamTable};
 use ndpx_workloads::trace::{MemRef, Op, Workload};
 
 use crate::config::{PolicyKind, ReconfigTransfer, SystemConfig};
+use crate::desc::{DescParams, StreamDesc};
 use crate::layout::{Group, StreamLayout};
-use crate::runtime::configure::{allocate_baseline, allocate_ndpext, Allocation, ConfigCtx, StreamDemand};
+use crate::runtime::configure::{
+    allocate_baseline, allocate_ndpext, Allocation, ConfigCtx, StreamDemand,
+};
 use crate::runtime::maxflow::assign_samplers;
 use crate::runtime::sampler::{capacity_points, MissCurve, SetSampler};
 use crate::stats::{Breakdown, EnergyBreakdown, LatComponent, RunReport};
@@ -93,9 +94,17 @@ pub struct NdpSystem {
     ext: ExtendedMemory,
     units: Vec<Unit>,
     layouts: Vec<StreamLayout>,
+    /// Per-stream hot-path descriptors, indexed by `StreamId`; immutable
+    /// for a run (grain/key/fetch math depends only on the stream config
+    /// and the policy).
+    descs: Vec<StreamDesc>,
     attenuation: Vec<Vec<f64>>,
     /// Uncontended unit-to-unit latency in picoseconds (64 B message).
     distance: Vec<Vec<u64>>,
+    /// Per unit pair: `(intra_weight, total_weight)` picosecond hop-time
+    /// weights for splitting a NoC duration between the intra/inter
+    /// latency components without re-deriving hop counts.
+    noc_weights: Vec<Vec<(u64, u64)>>,
     // Epoch state.
     next_epoch: Time,
     acc_counts: Vec<Vec<u64>>,
@@ -144,17 +153,32 @@ impl NdpSystem {
         let (intra, inter) = cfg.link_params();
         let net = Network::new(cfg.topology, intra, inter);
 
-        // Distance and attenuation matrices for the runtime.
+        // Distance, attenuation, and NoC-split weight matrices.
         let dram_lat = cfg.dram_config().timing.row_empty().as_ps() as f64;
+        let (intra_l, inter_l) = cfg.link_params();
         let mut distance = vec![vec![0u64; units_n]; units_n];
         let mut attenuation = vec![vec![1.0; units_n]; units_n];
+        let mut noc_weights = vec![vec![(0u64, 1u64); units_n]; units_n];
         for u in 0..units_n {
             for v in 0..units_n {
                 let d = net.base_latency(UnitId(u), UnitId(v), LINE_BYTES).as_ps();
                 distance[u][v] = d;
                 attenuation[u][v] = dram_lat / (dram_lat + d as f64);
+                let iw = cfg.topology.intra_hops(UnitId(u), UnitId(v)) as u64
+                    * intra_l.hop_latency.as_ps();
+                let xw = cfg.topology.inter_hops(UnitId(u), UnitId(v)) as u64
+                    * inter_l.hop_latency.as_ps();
+                noc_weights[u][v] = (iw, (iw + xw).max(1));
             }
         }
+
+        let desc_params = DescParams {
+            stream_grain: cfg.policy.is_stream_grain(),
+            affine_block: cfg.affine_block,
+            line_bytes: cfg.line_bytes,
+        };
+        let descs: Vec<StreamDesc> =
+            workload.table.iter().map(|s| StreamDesc::build(*s, desc_params)).collect();
 
         let stream_count = workload.table.len();
         let units = (0..units_n)
@@ -172,8 +196,10 @@ impl NdpSystem {
             net,
             units,
             layouts: Vec::new(),
+            descs,
             attenuation,
             distance,
+            noc_weights,
             next_epoch: cfg.epoch(),
             acc_counts: vec![vec![0; units_n]; stream_count],
             acc_history: vec![vec![0; units_n]; stream_count],
@@ -203,7 +229,11 @@ impl NdpSystem {
         // allocation and (if it reconfigures) adapts at the first epoch.
         let demands = sys.collect_demands(true);
         let alloc = allocate_baseline(
-            if sys.cfg.policy.is_stream_grain() { PolicyKind::NdpExtStatic } else { sys.cfg.policy.pick_warmup() },
+            if sys.cfg.policy.is_stream_grain() {
+                PolicyKind::NdpExtStatic
+            } else {
+                sys.cfg.policy.pick_warmup()
+            },
             &demands,
             &sys.config_ctx(),
             sys.cfg.nexus_degree,
@@ -227,75 +257,24 @@ impl NdpSystem {
         }
     }
 
-    /// Caching grain (slot bytes) of a stream under the active policy.
-    fn grain_of(&self, sid: StreamId) -> u64 {
-        let s = self.table.get(sid);
-        if self.cfg.policy.is_stream_grain() {
-            match s.kind {
-                StreamKind::Affine(_) => self.cfg.affine_block,
-                // Tag stored with the element, padded to 8 B (§IV-C).
-                StreamKind::Indirect { .. } => (u64::from(s.elem_size) + 4).next_multiple_of(8),
-            }
-        } else {
-            self.cfg.line_bytes
-        }
-    }
-
-    /// Cache key of a reference under the active policy.
-    fn key_of(&self, m: MemRef, addr: u64) -> u64 {
-        if self.cfg.policy.is_stream_grain() {
-            let s = self.table.get(m.sid);
-            match s.kind {
-                StreamKind::Affine(_) => {
-                    let epb = (self.cfg.affine_block / u64::from(s.elem_size)).max(1);
-                    m.elem / epb
-                }
-                StreamKind::Indirect { .. } => m.elem,
-            }
-        } else {
-            addr / self.cfg.line_bytes
-        }
-    }
-
-    /// Bytes fetched from extended memory on a miss.
-    fn fetch_bytes(&self, sid: StreamId) -> u32 {
-        let s = self.table.get(sid);
-        if self.cfg.policy.is_stream_grain() && s.kind.is_affine() {
-            self.cfg.affine_block as u32
-        } else {
-            LINE_BYTES
-        }
-    }
-
-    /// Physical address of a cache key (for extended-memory access).
-    fn addr_of_key(&self, sid: StreamId, key: u64) -> u64 {
-        let s = self.table.get(sid);
-        if self.cfg.policy.is_stream_grain() {
-            match s.kind {
-                StreamKind::Affine(_) => {
-                    let epb = (self.cfg.affine_block / u64::from(s.elem_size)).max(1);
-                    s.addr_of((key * epb).min(s.elems() - 1))
-                }
-                StreamKind::Indirect { .. } => s.addr_of(key.min(s.elems() - 1)),
-            }
-        } else {
-            key * self.cfg.line_bytes
-        }
-    }
-
     /// Runs `ops_per_core` trace operations on every core; returns the
     /// report. Can be called once per system.
+    ///
+    /// Cores are scheduled through [`EventQueue`] with the core index as
+    /// the equal-time tiebreak (lower core first), and each completed op
+    /// re-schedules its core through the in-place `push_pop` fast path.
     pub fn run(&mut self, ops_per_core: u64) -> RunReport {
         let cores = self.cfg.units();
-        let mut queue: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        let mut queue: EventQueue<usize> = EventQueue::new();
         let mut remaining: Vec<u64> = vec![ops_per_core; cores];
         for c in 0..cores {
-            queue.push(Reverse((Time::ZERO, c)));
+            queue.push_ranked(Time::ZERO, c as u64, c);
         }
         let mut makespan = Time::ZERO;
         let mut total_ops = 0u64;
 
-        while let Some(Reverse((t, core))) = queue.pop() {
+        let mut next = queue.pop();
+        while let Some((t, core)) = next {
             while t >= self.next_epoch {
                 let at = self.next_epoch;
                 self.reconfigure(at);
@@ -310,9 +289,11 @@ impl NdpSystem {
             total_ops += 1;
             makespan = makespan.max(done);
             remaining[core] -= 1;
-            if remaining[core] > 0 {
-                queue.push(Reverse((done, core)));
-            }
+            next = if remaining[core] > 0 {
+                Some(queue.push_pop_ranked(done, core as u64, core))
+            } else {
+                queue.pop()
+            };
         }
 
         self.report(makespan, total_ops)
@@ -323,22 +304,30 @@ impl NdpSystem {
     }
 
     /// Splits a NoC duration between the intra/inter components by the
-    /// uncontended hop-time ratio.
+    /// uncontended hop-time ratio (weights precomputed per unit pair).
     fn charge_noc(&mut self, src: usize, dst: usize, dur: Time) {
         if dur.is_zero() || src == dst {
             return;
         }
-        if self.trace_noc && dur > Time::from_ns(500) {
-            eprintln!("slow noc leg {src}->{dst}: {dur}");
+        if self.trace_noc {
+            Self::trace_slow_leg(src, dst, dur);
         }
-        let topo = &self.cfg.topology;
-        let (intra_l, inter_l) = self.cfg.link_params();
-        let iw = topo.intra_hops(UnitId(src), UnitId(dst)) as u64 * intra_l.hop_latency.as_ps();
-        let xw = topo.inter_hops(UnitId(src), UnitId(dst)) as u64 * inter_l.hop_latency.as_ps();
-        let total_w = (iw + xw).max(1);
+        let (iw, total_w) = self.noc_weights[src][dst];
         let intra_part = Time::from_ps(dur.as_ps() * iw / total_w);
         self.breakdown.add(LatComponent::NocIntra, intra_part);
         self.breakdown.add(LatComponent::NocInter, dur - intra_part);
+    }
+
+    #[cold]
+    fn trace_slow_leg(src: usize, dst: usize, dur: Time) {
+        if dur > Time::from_ns(500) {
+            eprintln!("slow noc leg {src}->{dst}: {dur}");
+        }
+    }
+
+    #[cold]
+    fn trace_msg(kind: &str, unit: usize, port: usize, t: Time) {
+        eprintln!("msg {kind} {unit}->{port} at {t}");
     }
 
     /// The CXL port unit of `unit`'s stack (multi-headed device: one head
@@ -353,7 +342,7 @@ impl NdpSystem {
     fn ext_access(&mut self, unit: usize, addr: u64, bytes: u32, write: bool, t: Time) -> Time {
         let port = self.port_of(unit);
         if self.trace_noc {
-            eprintln!("msg ext_req {unit}->{port} at {t}");
+            Self::trace_msg("ext_req", unit, port, t);
         }
         let t1 = self.net.send(UnitId(unit), UnitId(port), REQ_BYTES, t);
         self.charge_noc(unit, port, t1 - t);
@@ -369,7 +358,7 @@ impl NdpSystem {
     fn ext_writeback(&mut self, unit: usize, addr: u64, bytes: u32, t: Time) {
         let port = self.port_of(unit);
         if self.trace_noc {
-            eprintln!("msg ext_wb {unit}->{port} at {t}");
+            Self::trace_msg("ext_wb", unit, port, t);
         }
         let t1 = self.net.send(UnitId(unit), UnitId(port), bytes.max(REQ_BYTES), t);
         self.ext.access(addr, bytes, true, t1);
@@ -392,8 +381,10 @@ impl NdpSystem {
 
     fn process_mem(&mut self, core: usize, m: MemRef, t: Time) -> Time {
         self.mem_ops += 1;
-        let s = self.table.get(m.sid);
-        let addr = s.addr_of(m.elem);
+        // Copy out the cached descriptor: everything the access path needs
+        // (grain, key math, fetch size) without re-consulting the table.
+        let desc = self.descs[m.sid.index()];
+        let addr = desc.cfg.addr_of(m.elem);
         let mut now = t + self.cycles(L1_CYCLES);
 
         // L1.
@@ -415,7 +406,7 @@ impl NdpSystem {
         }
 
         // Epoch accounting + sampling happen at DRAM-cache level.
-        let key = self.key_of(m, addr);
+        let key = desc.key_of(m.elem, addr);
         self.acc_counts[m.sid.index()][core] += 1;
         if let Some(slot) = &mut self.samplers[m.sid.index()] {
             // The sampler monitors sets of the distributed cache, which see
@@ -427,7 +418,7 @@ impl NdpSystem {
 
         // Read-only → read-write transition (§IV-B).
         if m.write && self.table.get(m.sid).read_only && self.table.mark_written(m.sid) {
-            now = now + self.handle_ro_transition(m.sid);
+            now += self.handle_ro_transition(m.sid);
         }
 
         // Metadata path.
@@ -463,7 +454,7 @@ impl NdpSystem {
         let Some((target, slot)) = located else {
             // Stream has no cache capacity: serve from extended memory.
             self.cache_misses += 1;
-            let done = self.ext_access(core, addr, self.fetch_bytes(m.sid), m.write, now);
+            let done = self.ext_access(core, addr, desc.fetch_bytes, m.write, now);
             return done + self.cycles(RESTART_CYCLES);
         };
 
@@ -472,9 +463,9 @@ impl NdpSystem {
         self.charge_noc(core, target, t_req - now);
         now = t_req;
 
-        let affine_stream = self.table.get(m.sid).kind.is_affine();
+        let affine_stream = desc.affine;
         let stream_grain = self.cfg.policy.is_stream_grain();
-        let grain = self.grain_of(m.sid);
+        let grain = desc.grain;
         let daddr = self.layouts[sid_i].slot_addr(target, slot);
 
         let outcome = if stream_grain && affine_stream {
@@ -500,7 +491,7 @@ impl NdpSystem {
         let hit = outcome.is_hit();
         if let ndpx_cache::setassoc::Outcome::Miss { evicted: Some((victim, true)) } = outcome {
             // Dirty victim: write back to extended memory.
-            let vaddr = self.addr_of_key(m.sid, victim);
+            let vaddr = desc.addr_of_key(victim);
             self.ext_writeback(target, vaddr, grain.min(u64::from(u32::MAX)) as u32, now);
         }
 
@@ -509,19 +500,17 @@ impl NdpSystem {
             if target == core {
                 self.local_hits += 1;
             }
-            if stream_grain && affine_stream {
-                let t2 = self.units[target].dram.access(daddr, LINE_BYTES, m.write, now);
-                self.breakdown.add(LatComponent::DramCache, t2 - now);
-                now = t2;
-            } else if !stream_grain {
+            // Stream-grain indirect hits are served straight from the
+            // element slot; everything else pays the DRAM-cache row access.
+            if !stream_grain || affine_stream {
                 let t2 = self.units[target].dram.access(daddr, LINE_BYTES, m.write, now);
                 self.breakdown.add(LatComponent::DramCache, t2 - now);
                 now = t2;
             }
         } else {
             self.cache_misses += 1;
-            let fetch = self.fetch_bytes(m.sid);
-            let base_addr = self.addr_of_key(m.sid, key);
+            let fetch = desc.fetch_bytes;
+            let base_addr = desc.addr_of_key(key);
             let done = self.ext_access(target, base_addr, fetch, false, now);
             now = done;
             // Install into the DRAM cache without blocking the response.
@@ -540,7 +529,7 @@ impl NdpSystem {
             self.ext_writeback(core, addr, LINE_BYTES, t);
             return;
         };
-        let key = self.key_of(MemRef::write(sid, elem), addr);
+        let key = self.descs[sid.index()].key_of(elem, addr);
         let sid_i = sid.index();
         if let Some((target, slot)) = self.layouts[sid_i].locate(core, key) {
             let t1 = self.net.send(UnitId(core), UnitId(target), LINE_BYTES, t);
@@ -576,8 +565,8 @@ impl NdpSystem {
         let units_n = self.cfg.units();
         let mut shares = vec![0u64; units_n];
         for g in &self.layouts[sid_i].groups {
-            for u in 0..units_n {
-                shares[u] += g.shares[u];
+            for (total, &s) in shares.iter_mut().zip(&g.shares) {
+                *total += s;
             }
         }
         let consistent = self.cfg.transfer == ReconfigTransfer::ConsistentHash;
@@ -598,7 +587,7 @@ impl NdpSystem {
             .map(|si| {
                 let sid = StreamId(si as u16);
                 let s = self.table.get(sid);
-                let grain = self.grain_of(sid);
+                let grain = self.descs[si].grain;
                 let mut acc_units: Vec<(usize, u64)> = if warmup {
                     // Nothing observed yet: assume every unit touches every
                     // stream equally so the warmup allocation hands all
@@ -633,7 +622,9 @@ impl NdpSystem {
                         self.prev_curves[si] = Some(c.clone());
                         c
                     } else {
-                        self.prev_curves[si].clone().unwrap_or_else(|| MissCurve::flat(total as f64))
+                        self.prev_curves[si]
+                            .clone()
+                            .unwrap_or_else(|| MissCurve::flat(total as f64))
                     }
                 } else {
                     self.prev_curves[si].clone().unwrap_or_else(|| {
@@ -687,8 +678,7 @@ impl NdpSystem {
         let mut unit_offsets = vec![0u64; units_n];
         let mut new_layouts = Vec::with_capacity(self.table.len());
         for si in 0..self.table.len() {
-            let sid = StreamId(si as u16);
-            let grain = self.grain_of(sid);
+            let grain = self.descs[si].grain;
             let mut layout = StreamLayout::empty(units_n, grain);
             for g in alloc.streams.get(si).map_or(&[][..], |v| &v[..]) {
                 let mut shares = vec![0u64; units_n];
@@ -716,9 +706,9 @@ impl NdpSystem {
                 }
             }
             let per_unit = layout.finalize_offsets(units_n);
-            for u in 0..units_n {
-                layout.unit_base[u] = unit_offsets[u];
-                unit_offsets[u] += per_unit[u] * grain;
+            layout.unit_base.copy_from_slice(&unit_offsets);
+            for (off, &per) in unit_offsets.iter_mut().zip(&per_unit) {
+                *off += per * grain;
             }
             let dist = &self.distance;
             layout.assign_nearest(units_n, |a, b| dist[a][b]);
@@ -728,10 +718,9 @@ impl NdpSystem {
         // Build new tag arrays, transferring contents per the configured
         // policy. Streams whose layout is unchanged keep their tags — only
         // reassigned space is invalidated (paper §V-D).
-        for si in 0..self.table.len() {
+        for (si, new_layout) in new_layouts.iter().enumerate() {
             let sid = StreamId(si as u16);
             let ways = self.tag_ways(sid);
-            let new_layout = &new_layouts[si];
             if let Some(old_layout) = self.layouts.get(si) {
                 // Identical shares mean identical placement: keep the tags.
                 // (A shifted DRAM base only renames rows; contents and
@@ -749,8 +738,8 @@ impl NdpSystem {
             // Per-unit slot totals under the new layout.
             let mut per_unit = vec![0u64; units_n];
             for g in &new_layout.groups {
-                for u in 0..units_n {
-                    per_unit[u] += g.shares[u];
+                for (total, &s) in per_unit.iter_mut().zip(&g.shares) {
+                    *total += s;
                 }
             }
             // Take the old arrays, build fresh ones.
@@ -813,9 +802,10 @@ impl NdpSystem {
 
     fn tag_ways(&self, sid: StreamId) -> usize {
         if self.cfg.policy.is_stream_grain() {
-            match self.table.get(sid).kind {
-                StreamKind::Affine(_) => 4,
-                StreamKind::Indirect { .. } => self.cfg.indirect_ways,
+            if self.descs[sid.index()].affine {
+                4
+            } else {
+                self.cfg.indirect_ways
             }
         } else {
             1
@@ -849,10 +839,7 @@ impl NdpSystem {
                 .map(|(si, gs)| {
                     let new_total: u64 =
                         gs.iter().map(crate::runtime::configure::AllocGroup::total).sum();
-                    let old_total = self
-                        .layouts
-                        .get(si)
-                        .map_or(0, |l| l.total_slots() * l.grain);
+                    let old_total = self.layouts.get(si).map_or(0, |l| l.total_slots() * l.grain);
                     new_total.abs_diff(old_total)
                 })
                 .sum();
@@ -880,11 +867,7 @@ impl NdpSystem {
                 .collect()
         } else {
             (0..units_n)
-                .map(|u| {
-                    (0..self.table.len())
-                        .filter(|&si| self.acc_counts[si][u] > 0)
-                        .collect()
-                })
+                .map(|u| (0..self.table.len()).filter(|&si| self.acc_counts[si][u] > 0).collect())
                 .collect()
         };
         let assignment = assign_samplers(&accessed, self.table.len(), self.cfg.samplers_per_unit);
@@ -897,7 +880,7 @@ impl NdpSystem {
         let caps = capacity_points(min_cap, global, self.cfg.sampler_points);
         for si in 0..self.table.len() {
             let target = assignment.unit_for_stream[si];
-            let grain = self.grain_of(StreamId(si as u16));
+            let grain = self.descs[si].grain;
             // Keep a warm sampler when the assignment is stable — resetting
             // the shadow sets every epoch would make short epochs look
             // cold-start-bound.

@@ -1,41 +1,63 @@
-//! Property tests for the runtime: miss curves, the sampler, max-flow
-//! assignment, and the configuration algorithm's capacity invariants.
+//! Randomized property tests for the runtime: miss curves, the sampler,
+//! max-flow assignment, and the configuration algorithm's capacity
+//! invariants.
+//!
+//! Cases are driven by the workspace's seeded [`Xoshiro256`] so the suite is
+//! deterministic and needs no external property-testing framework.
 
 use ndpx_core::config::PolicyKind;
 use ndpx_core::runtime::configure::{allocate_baseline, allocate_ndpext, ConfigCtx, StreamDemand};
 use ndpx_core::runtime::maxflow::assign_samplers;
 use ndpx_core::runtime::sampler::{capacity_points, MissCurve, SetSampler};
-use proptest::prelude::*;
+use ndpx_sim::rng::Xoshiro256;
 
-fn arb_curve() -> impl Strategy<Value = MissCurve> {
-    (1_000.0f64..1e6, prop::collection::vec((64u64..1 << 22, 0.0f64..1e6), 0..12))
-        .prop_map(|(total, pts)| MissCurve::from_samples(total, pts))
+fn random_curve(rng: &mut Xoshiro256) -> MissCurve {
+    let total = 1_000.0 + rng.next_f64() * 1e6;
+    let n = rng.below(12) as usize;
+    let pts: Vec<(u64, f64)> =
+        (0..n).map(|_| (64 + rng.below((1 << 22) - 64), rng.next_f64() * 1e6)).collect();
+    MissCurve::from_samples(total, pts)
 }
 
-proptest! {
-    #[test]
-    fn miss_curves_are_monotone_non_increasing(curve in arb_curve(), caps in prop::collection::vec(0u64..1 << 23, 2..20)) {
-        let mut sorted = caps.clone();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            prop_assert!(
+#[test]
+fn miss_curves_are_monotone_non_increasing() {
+    let mut rng = Xoshiro256::seed_from(0x30B0);
+    for _ in 0..64 {
+        let curve = random_curve(&mut rng);
+        let n = 2 + rng.below(18) as usize;
+        let mut caps: Vec<u64> = (0..n).map(|_| rng.below(1 << 23)).collect();
+        caps.sort_unstable();
+        for w in caps.windows(2) {
+            assert!(
                 curve.misses_at(w[0]) >= curve.misses_at(w[1]) - 1e-9,
-                "misses increased from {} to {}", w[0], w[1]
+                "misses increased from {} to {}",
+                w[0],
+                w[1]
             );
         }
     }
+}
 
-    #[test]
-    fn next_segment_always_improves(curve in arb_curve(), cap in 0u64..1 << 22) {
+#[test]
+fn next_segment_always_improves() {
+    let mut rng = Xoshiro256::seed_from(0x5E6);
+    for _ in 0..128 {
+        let curve = random_curve(&mut rng);
+        let cap = rng.below(1 << 22);
         if let Some((target, slope)) = curve.next_segment(cap) {
-            prop_assert!(target > cap);
-            prop_assert!(slope > 0.0);
-            prop_assert!(curve.misses_at(target) <= curve.misses_at(cap));
+            assert!(target > cap);
+            assert!(slope > 0.0);
+            assert!(curve.misses_at(target) <= curve.misses_at(cap));
         }
     }
+}
 
-    #[test]
-    fn sampler_curve_is_bounded_by_access_count(keys in prop::collection::vec(0u64..5000, 1..500)) {
+#[test]
+fn sampler_curve_is_bounded_by_access_count() {
+    let mut rng = Xoshiro256::seed_from(0x5A3);
+    for _ in 0..32 {
+        let n = 1 + rng.below(499) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.below(5000)).collect();
         let caps = capacity_points(1 << 10, 1 << 20, 16);
         let mut s = SetSampler::new(&caps, 64, 8);
         for &k in &keys {
@@ -44,43 +66,45 @@ proptest! {
         let total = keys.len() as u64;
         let curve = s.curve(total);
         for &(c, m) in curve.points() {
-            prop_assert!(m <= total as f64 + 1e-9, "misses {m} exceed accesses {total} at cap {c}");
-            prop_assert!(m >= 0.0);
+            assert!(m <= total as f64 + 1e-9, "misses {m} exceed accesses {total} at cap {c}");
+            assert!(m >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn maxflow_coverage_is_bounded(
-        unit_masks in prop::collection::vec(prop::collection::vec(any::<bool>(), 12), 1..10),
-        samplers in 1usize..5,
-    ) {
-        let accessed: Vec<Vec<usize>> = unit_masks
-            .iter()
-            .map(|m| m.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
-            .collect();
+#[test]
+fn maxflow_coverage_is_bounded() {
+    let mut rng = Xoshiro256::seed_from(0xF10);
+    for _ in 0..64 {
+        let units = 1 + rng.below(9) as usize;
+        let samplers = 1 + rng.below(4) as usize;
+        let accessed: Vec<Vec<usize>> =
+            (0..units).map(|_| (0..12).filter(|_| rng.chance(0.5)).collect()).collect();
         let touched: std::collections::HashSet<usize> =
             accessed.iter().flatten().copied().collect();
         let a = assign_samplers(&accessed, 12, samplers);
-        prop_assert!(a.covered <= touched.len());
-        prop_assert!(a.covered <= accessed.len() * samplers);
+        assert!(a.covered <= touched.len());
+        assert!(a.covered <= accessed.len() * samplers);
         // Every assignment is legal: the unit really accessed the stream.
         for (s, unit) in a.unit_for_stream.iter().enumerate() {
             if let Some(u) = unit {
-                prop_assert!(accessed[*u].contains(&s));
+                assert!(accessed[*u].contains(&s));
             }
         }
         // Per-unit sampler budgets hold.
         for u in 0..accessed.len() {
             let used = a.unit_for_stream.iter().filter(|x| **x == Some(u)).count();
-            prop_assert!(used <= samplers);
+            assert!(used <= samplers);
         }
     }
+}
 
-    #[test]
-    fn allocators_never_oversubscribe(
-        seed_caps in prop::collection::vec((64u64..1 << 16, 0u8..2), 1..12),
-        cap in (1u64..64).prop_map(|k| k << 12),
-    ) {
+#[test]
+fn allocators_never_oversubscribe() {
+    let mut rng = Xoshiro256::seed_from(0xA110);
+    for _ in 0..24 {
+        let streams = 1 + rng.below(11) as usize;
+        let cap = (1 + rng.below(63)) << 12;
         let units = 6usize;
         let attenuation: Vec<Vec<f64>> = (0..units)
             .map(|u| (0..units).map(|v| 1.0 / (1.0 + u.abs_diff(v) as f64 * 0.2)).collect())
@@ -93,17 +117,19 @@ proptest! {
             dram_lat_ps: 45_000.0,
             miss_extra_ps: 466_000.0,
         };
-        let demands: Vec<StreamDemand> = seed_caps
-            .iter()
-            .enumerate()
-            .map(|(i, &(fp, flags))| StreamDemand {
-                curve: MissCurve::from_samples(10_000.0, vec![(fp, 100.0)]),
-                acc_units: vec![(i % units, 500), ((i + 2) % units, 300)],
-                read_only: flags & 1 == 1,
-                affine: flags & 2 == 2,
-                grain: 64,
-                total_accesses: 10_000,
-                footprint: fp / 64 * 64 + 64,
+        let demands: Vec<StreamDemand> = (0..streams)
+            .map(|i| {
+                let fp = 64 + rng.below((1 << 16) - 64);
+                let flags = rng.below(4) as u8;
+                StreamDemand {
+                    curve: MissCurve::from_samples(10_000.0, vec![(fp, 100.0)]),
+                    acc_units: vec![(i % units, 500), ((i + 2) % units, 300)],
+                    read_only: flags & 1 == 1,
+                    affine: flags & 2 == 2,
+                    grain: 64,
+                    total_accesses: 10_000,
+                    footprint: fp / 64 * 64 + 64,
+                }
             })
             .collect();
         for policy in PolicyKind::ALL {
@@ -121,7 +147,7 @@ proptest! {
                 }
             }
             for (u, &x) in used.iter().enumerate() {
-                prop_assert!(x <= cap, "{policy:?} oversubscribed unit {u}: {x} > {cap}");
+                assert!(x <= cap, "{policy:?} oversubscribed unit {u}: {x} > {cap}");
             }
         }
     }

@@ -27,10 +27,9 @@ use ndpx_mem::device::{DramConfig, DramDevice};
 use ndpx_sim::energy::Energy;
 use ndpx_sim::stats::{Counter, LatencyStat};
 use ndpx_sim::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// CXL link parameters (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CxlParams {
     /// One-way link propagation latency (excluding DRAM access).
     pub link_latency: Time,
@@ -72,7 +71,7 @@ impl CxlParams {
 }
 
 /// Statistics for the extended memory path.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CxlStats {
     /// Requests served.
     pub requests: Counter,
@@ -188,7 +187,8 @@ mod tests {
         let mut e = ext();
         let done = e.access(0, 64, false, Time::ZERO);
         let dram = e.ddr.config().timing.row_empty();
-        let ser = e.params.serialization(REQUEST_BYTES) + e.params.serialization(REQUEST_BYTES + 64);
+        let ser =
+            e.params.serialization(REQUEST_BYTES) + e.params.serialization(REQUEST_BYTES + 64);
         assert_eq!(done, Time::from_ns(400) + dram + ser);
     }
 

@@ -9,12 +9,11 @@
 use ndpx_sim::energy::Energy;
 use ndpx_sim::stats::Counter;
 use ndpx_sim::time::Time;
-use serde::{Deserialize, Serialize};
 
 use crate::timing::{DramEnergy, DramTiming};
 
 /// Static configuration of one DRAM device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Timing parameter set.
     pub timing: DramTiming,
@@ -80,7 +79,7 @@ impl DramConfig {
 }
 
 /// Counters exposed by a [`DramDevice`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read accesses served.
     pub reads: Counter,

@@ -7,7 +7,6 @@
 
 use ndpx_sim::energy::{Energy, Power};
 use ndpx_sim::time::{Freq, Time};
-use serde::{Deserialize, Serialize};
 
 /// Core DRAM timing parameters, in device clock cycles.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// // 24 cycles at 1600 MHz = 15 ns.
 /// assert_eq!(hbm.freq.cycles_to_time(hbm.t_cas).as_ns(), 15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTiming {
     /// Command/data clock.
     pub freq: Freq,
@@ -75,7 +74,7 @@ impl DramTiming {
 }
 
 /// Per-device DRAM energy parameters (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramEnergy {
     /// Read/write data energy per bit transferred.
     pub rw_per_bit: Energy,

@@ -10,12 +10,11 @@
 use ndpx_sim::energy::Energy;
 use ndpx_sim::stats::Counter;
 use ndpx_sim::time::Time;
-use serde::{Deserialize, Serialize};
 
-use crate::topology::{Topology, UnitId};
+use crate::topology::{DistanceTable, Topology, UnitId};
 
 /// Bandwidth/latency/energy parameters of one link class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Per-hop header latency.
     pub hop_latency: Time,
@@ -47,7 +46,7 @@ impl LinkParams {
 }
 
 /// Network statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NocStats {
     /// Messages sent.
     pub messages: Counter,
@@ -93,6 +92,12 @@ pub struct Network {
     topo: Topology,
     intra: LinkParams,
     inter: LinkParams,
+    /// Precomputed intra-/inter-stack hop counts for every unit pair.
+    dist: DistanceTable,
+    /// Per `(src stack, dst stack)` pair (row-major): the directed
+    /// inter-stack link indices along the XY route, precomputed so `send`
+    /// reserves links without re-deriving coordinates per hop.
+    routes: Vec<Vec<u32>>,
     /// Injection (even) / ejection (odd) port channels per unit:
     /// `VIRTUAL_CHANNELS` next-free times each.
     unit_ports: Vec<Time>,
@@ -103,6 +108,25 @@ pub struct Network {
     dynamic: Energy,
 }
 
+/// The directed link indices (`stack × 4 + dir`; 0=E, 1=W, 2=N, 3=S) an XY
+/// route from `src_stack` to `dst_stack` traverses, in order.
+fn route_links(topo: &Topology, src_stack: usize, dst_stack: usize) -> Vec<u32> {
+    let (mut sx, mut sy) = topo.stack_coords(src_stack);
+    let (dx, dy) = topo.stack_coords(dst_stack);
+    let mut links = Vec::new();
+    while sx != dx {
+        let (dir, nx) = if sx < dx { (0usize, sx + 1) } else { (1, sx - 1) };
+        links.push(((sy * topo.stacks_x + sx) * 4 + dir) as u32);
+        sx = nx;
+    }
+    while sy != dy {
+        let (dir, ny) = if sy < dy { (2usize, sy + 1) } else { (3, sy - 1) };
+        links.push(((sy * topo.stacks_x + sx) * 4 + dir) as u32);
+        sy = ny;
+    }
+    links
+}
+
 impl Network {
     /// Creates a network with all links idle.
     ///
@@ -111,9 +135,14 @@ impl Network {
     /// Panics if the topology fails validation.
     pub fn new(topo: Topology, intra: LinkParams, inter: LinkParams) -> Self {
         topo.validate().expect("invalid topology");
+        let stacks = topo.stacks();
+        let routes =
+            (0..stacks * stacks).map(|i| route_links(&topo, i / stacks, i % stacks)).collect();
         Network {
             unit_ports: vec![Time::ZERO; topo.units() * 2 * VIRTUAL_CHANNELS],
-            stack_links: vec![Time::ZERO; topo.stacks() * 4 * VIRTUAL_CHANNELS],
+            stack_links: vec![Time::ZERO; stacks * 4 * VIRTUAL_CHANNELS],
+            dist: DistanceTable::new(&topo),
+            routes,
             topo,
             intra,
             inter,
@@ -133,10 +162,14 @@ impl Network {
         if src == dst {
             return Time::ZERO;
         }
-        let intra_h = self.topo.intra_hops(src, dst) as u64;
-        let inter_h = self.topo.inter_hops(src, dst) as u64;
+        let intra_h = self.dist.intra_hops(src, dst) as u64;
+        let inter_h = self.dist.inter_hops(src, dst) as u64;
         let mut t = self.intra.hop_latency * intra_h + self.inter.hop_latency * inter_h;
-        t += if inter_h > 0 { self.inter.serialization(bytes) } else { self.intra.serialization(bytes) };
+        t += if inter_h > 0 {
+            self.inter.serialization(bytes)
+        } else {
+            self.intra.serialization(bytes)
+        };
         t
     }
 
@@ -147,8 +180,8 @@ impl Network {
         if src == dst {
             return now;
         }
-        let intra_h = self.topo.intra_hops(src, dst) as u64;
-        let inter_h = self.topo.inter_hops(src, dst) as u64;
+        let intra_h = self.dist.intra_hops(src, dst) as u64;
+        let inter_h = self.dist.inter_hops(src, dst) as u64;
         self.stats.messages.inc();
         self.stats.bytes.add(u64::from(bytes));
         self.stats.intra_hops.add(intra_h);
@@ -162,26 +195,20 @@ impl Network {
         let inter_ser = self.inter.serialization(bytes);
 
         // Source injection port.
-        let mut t = Self::reserve(port_channels(&mut self.unit_ports, src.index() * 2), now, intra_ser);
+        let mut t =
+            Self::reserve(port_channels(&mut self.unit_ports, src.index() * 2), now, intra_ser);
         t += self.intra.hop_latency * intra_h;
 
-        // Inter-stack XY route.
+        // Inter-stack XY route (links precomputed per stack pair).
         if inter_h > 0 {
-            let (mut sx, mut sy) = self.topo.stack_coords(self.topo.stack_of(src));
-            let (dx, dy) = self.topo.stack_coords(self.topo.stack_of(dst));
-            while sx != dx {
-                let (dir, nx) = if sx < dx { (0usize, sx + 1) } else { (1, sx - 1) };
-                let stack = sy * self.topo.stacks_x + sx;
-                t = Self::reserve(port_channels(&mut self.stack_links, stack * 4 + dir), t, inter_ser);
+            let pair = self.topo.stack_of(src) * self.topo.stacks() + self.topo.stack_of(dst);
+            for &link in &self.routes[pair] {
+                t = Self::reserve(
+                    port_channels(&mut self.stack_links, link as usize),
+                    t,
+                    inter_ser,
+                );
                 t += self.inter.hop_latency;
-                sx = nx;
-            }
-            while sy != dy {
-                let (dir, ny) = if sy < dy { (2usize, sy + 1) } else { (3, sy - 1) };
-                let stack = sy * self.topo.stacks_x + sx;
-                t = Self::reserve(port_channels(&mut self.stack_links, stack * 4 + dir), t, inter_ser);
-                t += self.inter.hop_latency;
-                sy = ny;
             }
         }
 

@@ -5,13 +5,11 @@
 //! NDP units either through a 4×4 mesh (HMC-style vaults) or a crossbar
 //! (HBM-style, one logic die behind a 2.5D interposer).
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one NDP unit (one core + its local memory region).
 ///
 /// Units are numbered stack-major: unit `u` lives in stack
 /// `u / units_per_stack` at local index `u % units_per_stack`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UnitId(pub usize);
 
 impl UnitId {
@@ -29,7 +27,7 @@ impl std::fmt::Display for UnitId {
 }
 
 /// How units inside one stack are connected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntraKind {
     /// 2D mesh of units (HMC-style vault network), XY routing.
     Mesh,
@@ -38,7 +36,7 @@ pub enum IntraKind {
 }
 
 /// Geometric description of the two-level topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     /// Stack-mesh width.
     pub stacks_x: usize,
@@ -148,6 +146,53 @@ impl Topology {
     }
 }
 
+/// Precomputed hop-count tables for every unit pair.
+///
+/// [`Topology::intra_hops`]/[`Topology::inter_hops`] re-derive coordinates
+/// and Manhattan distances on every call; on the simulation hot path that
+/// arithmetic runs per message. A `DistanceTable` materializes both counts
+/// once (`units² × u16`, 64 KB at the paper's 128 units) so lookups are one
+/// indexed load.
+#[derive(Debug, Clone)]
+pub struct DistanceTable {
+    units: usize,
+    intra: Vec<u16>,
+    inter: Vec<u16>,
+}
+
+impl DistanceTable {
+    /// Builds the tables from the topology's hop derivations.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.units();
+        let mut intra = Vec::with_capacity(n * n);
+        let mut inter = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                intra.push(topo.intra_hops(UnitId(a), UnitId(b)) as u16);
+                inter.push(topo.inter_hops(UnitId(a), UnitId(b)) as u16);
+            }
+        }
+        DistanceTable { units: n, intra, inter }
+    }
+
+    /// Precomputed [`Topology::intra_hops`].
+    #[inline]
+    pub fn intra_hops(&self, a: UnitId, b: UnitId) -> usize {
+        usize::from(self.intra[a.0 * self.units + b.0])
+    }
+
+    /// Precomputed [`Topology::inter_hops`].
+    #[inline]
+    pub fn inter_hops(&self, a: UnitId, b: UnitId) -> usize {
+        usize::from(self.inter[a.0 * self.units + b.0])
+    }
+
+    /// Unit count the table was built for.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +240,22 @@ mod tests {
         let t = Topology::paper_default(IntraKind::Crossbar);
         assert_eq!(t.intra_hops(UnitId(0), UnitId(15)), 1);
         assert_eq!(t.intra_hops(UnitId(0), UnitId(16)), 2);
+    }
+
+    #[test]
+    fn distance_table_matches_derivation() {
+        for intra in [IntraKind::Mesh, IntraKind::Crossbar] {
+            let t = Topology::paper_default(intra);
+            let d = DistanceTable::new(&t);
+            assert_eq!(d.units(), t.units());
+            for a in 0..t.units() {
+                for b in 0..t.units() {
+                    let (a, b) = (UnitId(a), UnitId(b));
+                    assert_eq!(d.intra_hops(a, b), t.intra_hops(a, b));
+                    assert_eq!(d.inter_hops(a, b), t.inter_hops(a, b));
+                }
+            }
+        }
     }
 
     #[test]

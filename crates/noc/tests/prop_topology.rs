@@ -1,0 +1,83 @@
+//! Property suite: the precomputed [`DistanceTable`] must agree with the
+//! coordinate-walking hop derivations for **every** unit pair, at every
+//! geometry the figure runs use (test, small, paper) and both intra-stack
+//! fabrics. The table is what the simulation hot path reads; the derivation
+//! is the specification.
+
+use ndpx_noc::topology::{DistanceTable, IntraKind, Topology, UnitId};
+
+/// The geometries exercised by the scale profiles: the test profile's
+/// 2×2 stacks of 2×2 units, a mid-size asymmetric mesh (catches x/y
+/// transposition bugs a square mesh would hide), and the paper's 4×2
+/// stacks of 4×4 units.
+fn geometries(intra: IntraKind) -> Vec<(&'static str, Topology)> {
+    vec![
+        ("test", Topology { stacks_x: 2, stacks_y: 2, units_x: 2, units_y: 2, intra }),
+        ("small", Topology { stacks_x: 3, stacks_y: 2, units_x: 2, units_y: 3, intra }),
+        ("paper", Topology::paper_default(intra)),
+    ]
+}
+
+#[test]
+fn distance_table_matches_derivation_at_all_geometries() {
+    for intra in [IntraKind::Mesh, IntraKind::Crossbar] {
+        for (name, topo) in geometries(intra) {
+            topo.validate().expect("geometry is well-formed");
+            let table = DistanceTable::new(&topo);
+            assert_eq!(table.units(), topo.units(), "{name}/{intra:?}");
+            for a in 0..topo.units() {
+                for b in 0..topo.units() {
+                    let (a, b) = (UnitId(a), UnitId(b));
+                    assert_eq!(
+                        table.intra_hops(a, b),
+                        topo.intra_hops(a, b),
+                        "{name}/{intra:?}: intra hops for {a:?} -> {b:?}"
+                    );
+                    assert_eq!(
+                        table.inter_hops(a, b),
+                        topo.inter_hops(a, b),
+                        "{name}/{intra:?}: inter hops for {a:?} -> {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_table_is_symmetric_like_the_derivation() {
+    // Manhattan distances are symmetric; the table must preserve that.
+    for intra in [IntraKind::Mesh, IntraKind::Crossbar] {
+        for (name, topo) in geometries(intra) {
+            let table = DistanceTable::new(&topo);
+            for a in 0..topo.units() {
+                for b in a..topo.units() {
+                    let (ua, ub) = (UnitId(a), UnitId(b));
+                    assert_eq!(
+                        table.intra_hops(ua, ub),
+                        table.intra_hops(ub, ua),
+                        "{name}/{intra:?}: intra symmetry {a} <-> {b}"
+                    );
+                    assert_eq!(
+                        table.inter_hops(ua, ub),
+                        table.inter_hops(ub, ua),
+                        "{name}/{intra:?}: inter symmetry {a} <-> {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_unit_has_zero_distance() {
+    for intra in [IntraKind::Mesh, IntraKind::Crossbar] {
+        for (_, topo) in geometries(intra) {
+            let table = DistanceTable::new(&topo);
+            for u in 0..topo.units() {
+                assert_eq!(table.intra_hops(UnitId(u), UnitId(u)), 0);
+                assert_eq!(table.inter_hops(UnitId(u), UnitId(u)), 0);
+            }
+        }
+    }
+}

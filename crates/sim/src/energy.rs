@@ -8,8 +8,6 @@
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Time;
 
 /// An amount of energy, in picojoules.
@@ -23,7 +21,7 @@ use crate::time::Time;
 /// let access = per_bit * (64.0 * 8.0); // 64-byte read
 /// assert!((access.as_nj() - 0.8704).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Energy(f64);
 
 impl Energy {
@@ -116,7 +114,7 @@ impl Sum for Energy {
 /// let e = leakage.over(Time::from_us(1));
 /// assert!((e.as_nj() - 100.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Power(f64);
 
 impl Power {

@@ -72,9 +72,53 @@ impl<T> EventQueue<T> {
         self.heap.push(Entry { time, seq, payload });
     }
 
+    /// Schedules `payload` at `time` with an explicit equal-time tiebreak
+    /// `rank` (lower pops first) in place of the insertion-order sequence
+    /// number. Use when events carry a natural priority — e.g. a core
+    /// index — that must be stable regardless of insertion interleaving.
+    /// Mixing ranked and FIFO pushes in one queue is not meaningful.
+    pub fn push_ranked(&mut self, time: Time, rank: u64, payload: T) {
+        self.heap.push(Entry { time, seq: rank, payload });
+    }
+
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Time, T)> {
         self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// [`push`](Self::push) fused with [`pop`](Self::pop): schedules the
+    /// event and returns the earliest pending one.
+    ///
+    /// Equivalent to `push(time, payload)` followed by `pop().unwrap()`,
+    /// but when the new event pops right back out it never touches the
+    /// heap, and otherwise the popped top is replaced in place (one
+    /// sift-down instead of a sift-up plus a sift-down). This is the hot
+    /// operation of a run loop where each completed event immediately
+    /// schedules its successor.
+    pub fn push_pop(&mut self, time: Time, payload: T) -> (Time, T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_pop_entry(Entry { time, seq, payload })
+    }
+
+    /// [`push_ranked`](Self::push_ranked) fused with [`pop`](Self::pop),
+    /// with the same fast path as [`push_pop`](Self::push_pop).
+    pub fn push_pop_ranked(&mut self, time: Time, rank: u64, payload: T) -> (Time, T) {
+        self.push_pop_entry(Entry { time, seq: rank, payload })
+    }
+
+    fn push_pop_entry(&mut self, e: Entry<T>) -> (Time, T) {
+        match self.heap.peek_mut() {
+            // The pending top pops before the new event: replace it in
+            // place (`PeekMut` sifts the replacement down on drop). Ties
+            // go to the top — its (time, seq) is lower or equal.
+            Some(mut top) if (top.time, top.seq) <= (e.time, e.seq) => {
+                let out = std::mem::replace(&mut *top, e);
+                (out.time, out.payload)
+            }
+            // The new event is the earliest: it would pop immediately.
+            _ => (e.time, e.payload),
+        }
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -125,6 +169,83 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_pop_matches_push_then_pop() {
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from(0xE0E0);
+        for _ in 0..64 {
+            let mut fast = EventQueue::new();
+            let mut slow = EventQueue::new();
+            // Random pre-population, including duplicate timestamps.
+            for i in 0..(1 + rng.below(20)) {
+                let t = Time::from_ns(rng.below(16));
+                fast.push(t, i);
+                slow.push(t, i);
+            }
+            for i in 100..150 {
+                let t = Time::from_ns(rng.below(16));
+                let a = fast.push_pop(t, i);
+                slow.push(t, i);
+                let b = slow.pop().expect("non-empty");
+                assert_eq!(a, b);
+            }
+            // Drain both: the remaining contents must agree too.
+            loop {
+                match (fast.pop(), slow.pop()) {
+                    (None, None) => break,
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_pushes_order_by_rank_not_insertion() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        q.push_ranked(t, 7, "late");
+        q.push_ranked(t, 2, "early");
+        q.push_ranked(Time::from_ns(1), 9, "first");
+        assert_eq!(q.pop(), Some((Time::from_ns(1), "first")));
+        assert_eq!(q.pop(), Some((t, "early")));
+        assert_eq!(q.pop(), Some((t, "late")));
+    }
+
+    #[test]
+    fn push_pop_ranked_matches_ranked_push_then_pop() {
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from(0x0A3B);
+        for _ in 0..64 {
+            let mut fast = EventQueue::new();
+            let mut slow = EventQueue::new();
+            // Model the run loops: each rank (core) has one pending event.
+            let ranks = 1 + rng.below(12);
+            for r in 0..ranks {
+                let t = Time::from_ns(rng.below(8));
+                fast.push_ranked(t, r, r);
+                slow.push_ranked(t, r, r);
+            }
+            let (mut tf, mut rf) = fast.pop().expect("non-empty");
+            let (ts, rs) = slow.pop().expect("non-empty");
+            assert_eq!((tf, rf), (ts, rs));
+            for _ in 0..200 {
+                let t = tf + Time::from_ns(rng.below(8));
+                let a = fast.push_pop_ranked(t, rf, rf);
+                slow.push_ranked(t, rf, rf);
+                let b = slow.pop().expect("non-empty");
+                assert_eq!(a, b);
+                (tf, rf) = a;
+            }
+        }
+    }
+
+    #[test]
+    fn push_pop_on_empty_returns_the_event() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.push_pop(Time::from_ns(3), 1), (Time::from_ns(3), 1));
+        assert!(q.is_empty());
     }
 
     #[test]

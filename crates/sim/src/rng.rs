@@ -6,8 +6,6 @@
 //! hashing) and xoshiro256\*\* (bulk generation) directly; both are public
 //! domain algorithms with well-known reference outputs that the tests pin.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 step: advances `state` and returns the next output.
 ///
 /// Used directly as a seeding sequence and as a cheap stateless mixer.
@@ -67,7 +65,7 @@ pub fn hash_range(x: u64, n: u64) -> u64 {
 /// let mut b = Xoshiro256::seed_from(7);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Xoshiro256 {
     s: [u64; 4],
 }
@@ -76,12 +74,8 @@ impl Xoshiro256 {
     /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Xoshiro256 { s }
     }
 
@@ -137,12 +131,49 @@ impl Xoshiro256 {
     ///
     /// Panics if `n` is zero or `alpha <= 1.0`.
     pub fn powerlaw_below(&mut self, n: u64, alpha: f64) -> u64 {
+        PowerlawSampler::new(n, alpha).sample(self)
+    }
+}
+
+/// Repeated truncated power-law draws with fixed `(n, alpha)`.
+///
+/// Inverse-CDF sampling needs two `powf` evaluations per draw, but one of
+/// them — the truncation term `n^(1-alpha)` — depends only on the
+/// distribution parameters. This sampler hoists it (and the inverse
+/// exponent) out of the per-draw path; every draw is bit-identical to
+/// [`Xoshiro256::powerlaw_below`] with the same parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerlawSampler {
+    last: u64,
+    /// `1 - n^(1-alpha)`: the truncated-CDF scale factor.
+    trunc: f64,
+    /// `1 / (1-alpha)`: the inverse-CDF exponent.
+    inv_exp: f64,
+}
+
+impl PowerlawSampler {
+    /// Prepares a sampler over `[0, n)` with exponent `alpha > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha <= 1.0`.
+    pub fn new(n: u64, alpha: f64) -> Self {
         assert!(n > 0, "powerlaw_below requires a non-empty range");
         assert!(alpha > 1.0, "powerlaw exponent must exceed 1");
+        PowerlawSampler {
+            last: n - 1,
+            trunc: 1.0 - (n as f64).powf(1.0 - alpha),
+            inv_exp: 1.0 / (1.0 - alpha),
+        }
+    }
+
+    /// Draws one value; small indices are most likely.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
         // Inverse-CDF sampling of a Pareto-like distribution truncated to n.
-        let u = self.next_f64();
-        let x = (1.0 - u * (1.0 - (n as f64).powf(1.0 - alpha))).powf(1.0 / (1.0 - alpha));
-        (x as u64).min(n - 1)
+        let u = rng.next_f64();
+        let x = (1.0 - u * self.trunc).powf(self.inv_exp);
+        (x as u64).min(self.last)
     }
 }
 

@@ -3,8 +3,6 @@
 //! The system models accumulate into these small value types and the bench
 //! harness reads them out at the end of a run; nothing here is thread-shared.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Time;
 
 /// A monotonically increasing event counter.
@@ -19,7 +17,7 @@ use crate::time::Time;
 /// hits.add(2);
 /// assert_eq!(hits.get(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -69,7 +67,7 @@ impl Counter {
 /// s.record(Time::from_ns(30));
 /// assert_eq!(s.mean().as_ns(), 20);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStat {
     total: Time,
     count: u64,
@@ -100,10 +98,9 @@ impl LatencyStat {
 
     /// Mean sample value ([`Time::ZERO`] when empty).
     pub fn mean(&self) -> Time {
-        if self.count == 0 {
-            Time::ZERO
-        } else {
-            Time::from_ps(self.total.as_ps() / self.count)
+        match self.total.as_ps().checked_div(self.count) {
+            Some(ps) => Time::from_ps(ps),
+            None => Time::ZERO,
         }
     }
 
@@ -119,7 +116,7 @@ impl LatencyStat {
 /// Bucket `i` covers latencies in `[2^i, 2^(i+1))` nanoseconds, with bucket 0
 /// also absorbing sub-nanosecond samples. Used for latency-distribution
 /// reporting in the harness.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: Vec<u64>,
 }
@@ -142,7 +139,8 @@ impl LogHistogram {
     /// Records one duration.
     pub fn record(&mut self, t: Time) {
         let ns = t.as_ns();
-        let idx = if ns == 0 { 0 } else { (63 - ns.leading_zeros() as usize).min(Self::BUCKETS - 1) };
+        let idx =
+            if ns == 0 { 0 } else { (63 - ns.leading_zeros() as usize).min(Self::BUCKETS - 1) };
         self.buckets[idx] += 1;
     }
 

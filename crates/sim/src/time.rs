@@ -9,8 +9,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, or a duration, in picoseconds.
 ///
 /// `Time` is used both as an absolute timestamp and as a duration; the
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let t = Time::ZERO + hop * 3;
 /// assert_eq!(t.as_ns(), 30);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 impl Time {
@@ -187,7 +185,7 @@ impl fmt::Display for Time {
 /// assert_eq!(core.cycle().as_ps(), 500);
 /// assert_eq!(core.cycles_to_time(4).as_ns(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Freq {
     cycle_ps: u64,
 }

@@ -1,78 +1,114 @@
-//! Property tests for the simulation substrate: time arithmetic, event
-//! ordering, and RNG range guarantees.
+//! Randomized property tests for the simulation substrate: time arithmetic,
+//! event ordering, and RNG range guarantees.
+//!
+//! Cases are driven by the crate's own seeded [`Xoshiro256`] so the suite is
+//! deterministic and needs no external property-testing framework (the
+//! workspace builds fully offline).
 
 use ndpx_sim::engine::EventQueue;
 use ndpx_sim::rng::{hash_range, Xoshiro256};
 use ndpx_sim::time::{Freq, Time};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn time_addition_is_commutative_and_monotonic(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+const CASES: u64 = 256;
+
+#[test]
+fn time_addition_is_commutative_and_monotonic() {
+    let mut rng = Xoshiro256::seed_from(0xA11CE);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 40);
+        let b = rng.below(1 << 40);
         let ta = Time::from_ps(a);
         let tb = Time::from_ps(b);
-        prop_assert_eq!(ta + tb, tb + ta);
-        prop_assert!(ta + tb >= ta);
-        prop_assert_eq!((ta + tb) - tb, ta);
-        prop_assert_eq!(ta.max(tb).min(ta), ta.min(tb).max(ta));
+        assert_eq!(ta + tb, tb + ta);
+        assert!(ta + tb >= ta);
+        assert_eq!((ta + tb) - tb, ta);
+        assert_eq!(ta.max(tb).min(ta), ta.min(tb).max(ta));
     }
+}
 
-    #[test]
-    fn saturating_sub_never_underflows(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+#[test]
+fn saturating_sub_never_underflows() {
+    let mut rng = Xoshiro256::seed_from(0xB0B);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 40);
+        let b = rng.below(1 << 40);
         let d = Time::from_ps(a).saturating_sub(Time::from_ps(b));
-        prop_assert_eq!(d.as_ps(), a.saturating_sub(b));
+        assert_eq!(d.as_ps(), a.saturating_sub(b));
     }
+}
 
-    #[test]
-    fn cycle_conversions_round_trip(mhz in 1u64..5000, cycles in 0u64..1 << 24) {
+#[test]
+fn cycle_conversions_round_trip() {
+    let mut rng = Xoshiro256::seed_from(0xC1C);
+    for _ in 0..CASES {
+        let mhz = 1 + rng.below(4999);
+        let cycles = rng.below(1 << 24);
         let f = Freq::from_mhz(mhz);
         let t = f.cycles_to_time(cycles);
-        prop_assert_eq!(f.time_to_cycles(t), cycles);
+        assert_eq!(f.time_to_cycles(t), cycles);
     }
+}
 
-    #[test]
-    fn event_queue_pops_sorted_and_stable(events in prop::collection::vec((0u64..1000, 0u32..100), 1..200)) {
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    let mut rng = Xoshiro256::seed_from(0xE7E);
+    for _ in 0..64 {
+        let n = 1 + rng.below(200) as usize;
         let mut q = EventQueue::new();
-        for (i, &(t, tag)) in events.iter().enumerate() {
-            q.push(Time::from_ns(t), (tag, i));
+        for i in 0..n {
+            q.push(Time::from_ns(rng.below(1000)), i);
         }
         let mut last: Option<(Time, usize)> = None;
-        while let Some((t, (_, i))) = q.pop() {
+        while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt, "events out of time order");
+                assert!(t >= lt, "events out of time order");
                 if t == lt {
-                    prop_assert!(i > li, "equal-time events must be FIFO");
+                    assert!(i > li, "equal-time events must be FIFO");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    #[test]
-    fn hash_range_is_deterministic_and_bounded(x in any::<u64>(), n in 1u64..1 << 32) {
+#[test]
+fn hash_range_is_deterministic_and_bounded() {
+    let mut rng = Xoshiro256::seed_from(0x44A);
+    for _ in 0..CASES {
+        let x = rng.next_u64();
+        let n = 1 + rng.below((1 << 32) - 1);
         let h = hash_range(x, n);
-        prop_assert!(h < n);
-        prop_assert_eq!(h, hash_range(x, n));
+        assert!(h < n);
+        assert_eq!(h, hash_range(x, n));
     }
+}
 
-    #[test]
-    fn rng_below_and_powerlaw_bounded(seed in any::<u64>(), n in 1u64..1 << 20) {
+#[test]
+fn rng_below_and_powerlaw_bounded() {
+    let mut meta = Xoshiro256::seed_from(0x9999);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let n = 1 + meta.below((1 << 20) - 1);
         let mut rng = Xoshiro256::seed_from(seed);
         for _ in 0..32 {
-            prop_assert!(rng.below(n) < n);
+            assert!(rng.below(n) < n);
         }
         let n2 = n.max(2);
         for _ in 0..32 {
-            prop_assert!(rng.powerlaw_below(n2, 1.8) < n2);
+            assert!(rng.powerlaw_below(n2, 1.8) < n2);
         }
     }
+}
 
-    #[test]
-    fn same_seed_same_stream(seed in any::<u64>()) {
+#[test]
+fn same_seed_same_stream() {
+    let mut meta = Xoshiro256::seed_from(0x5EED);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
         let mut a = Xoshiro256::seed_from(seed);
         let mut b = Xoshiro256::seed_from(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 }

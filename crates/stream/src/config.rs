@@ -7,11 +7,9 @@
 //! stream). The metadata widths follow Table I of the paper: 9-bit stream
 //! IDs, 48-bit base/size, 3-bit dimension order.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a configured stream. At most [`StreamId::MAX_STREAMS`] streams
 /// exist at a time (Table I: 9-bit `sid`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(pub u16);
 
 impl StreamId {
@@ -57,12 +55,24 @@ pub enum StreamError {
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StreamError::TableFull => write!(f, "stream table full (max {})", StreamId::MAX_STREAMS),
-            StreamError::FieldOverflow { field } => write!(f, "stream field `{field}` exceeds its bit width"),
-            StreamError::BadElementSize => write!(f, "element size must be positive and divide the stream size"),
-            StreamError::BadShape => write!(f, "affine dimension lengths do not cover the element count"),
-            StreamError::Overlap { with } => write!(f, "stream range overlaps existing stream {with}"),
-            StreamError::OverlappingStrides => write!(f, "affine strides overlap; addresses are ambiguous"),
+            StreamError::TableFull => {
+                write!(f, "stream table full (max {})", StreamId::MAX_STREAMS)
+            }
+            StreamError::FieldOverflow { field } => {
+                write!(f, "stream field `{field}` exceeds its bit width")
+            }
+            StreamError::BadElementSize => {
+                write!(f, "element size must be positive and divide the stream size")
+            }
+            StreamError::BadShape => {
+                write!(f, "affine dimension lengths do not cover the element count")
+            }
+            StreamError::Overlap { with } => {
+                write!(f, "stream range overlaps existing stream {with}")
+            }
+            StreamError::OverlappingStrides => {
+                write!(f, "affine strides overlap; addresses are ambiguous")
+            }
         }
     }
 }
@@ -75,7 +85,7 @@ impl std::error::Error for StreamError {}
 /// dimensions from fastest-varying to slowest-varying during *access*; the
 /// canonical row-major traversal is [`DimOrder::D012`]. Encoded in the 3-bit
 /// `order` field of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DimOrder {
     /// dim0 fastest (storage order).
     #[default]
@@ -94,8 +104,14 @@ pub enum DimOrder {
 
 impl DimOrder {
     /// All six orders, indexed by their 3-bit encoding.
-    pub const ALL: [DimOrder; 6] =
-        [DimOrder::D012, DimOrder::D021, DimOrder::D102, DimOrder::D120, DimOrder::D201, DimOrder::D210];
+    pub const ALL: [DimOrder; 6] = [
+        DimOrder::D012,
+        DimOrder::D021,
+        DimOrder::D102,
+        DimOrder::D120,
+        DimOrder::D201,
+        DimOrder::D210,
+    ];
 
     /// The dimension permutation, fastest first.
     #[inline]
@@ -135,7 +151,7 @@ impl DimOrder {
 /// Storage offset of coordinates `(c0, c1, c2)` is
 /// `c0 * strides[0] + c1 * strides[1] + c2 * strides[2]` bytes. Unused
 /// dimensions have length 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AffineShape {
     /// Per-dimension element counts (Table I: `length` along Y/Z; X derived).
     pub lengths: [u64; 3],
@@ -159,11 +175,7 @@ impl AffineShape {
     /// the given order.
     pub fn matrix(rows: u64, cols: u64, elem_size: u32, order: DimOrder) -> Self {
         let es = u64::from(elem_size);
-        AffineShape {
-            lengths: [cols, rows, 1],
-            strides: [es, cols * es, rows * cols * es],
-            order,
-        }
+        AffineShape { lengths: [cols, rows, 1], strides: [es, cols * es, rows * cols * es], order }
     }
 
     /// Total element count.
@@ -225,7 +237,7 @@ impl AffineShape {
 
     /// Validates that strides do not overlap (unique decomposition).
     pub fn validate(&self, elem_size: u32) -> Result<(), StreamError> {
-        if self.lengths.iter().any(|&l| l == 0) {
+        if self.lengths.contains(&0) {
             return Err(StreamError::BadShape);
         }
         let mut dims: Vec<usize> = (0..3).filter(|&i| self.lengths[i] > 1).collect();
@@ -242,7 +254,7 @@ impl AffineShape {
 }
 
 /// The stream's kind: affine or indirect (paper §II-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamKind {
     /// Addresses follow an affine function of the iteration index.
     Affine(AffineShape),
@@ -262,7 +274,7 @@ impl StreamKind {
 }
 
 /// Full per-stream metadata, as configured by `configure_stream` (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
     /// Stream ID (assigned by the table).
     pub sid: StreamId,
@@ -345,7 +357,7 @@ impl StreamConfig {
         if self.size >= (1 << ADDR_BITS) {
             return Err(StreamError::FieldOverflow { field: "size" });
         }
-        if self.elem_size == 0 || self.size % u64::from(self.elem_size) != 0 {
+        if self.elem_size == 0 || !self.size.is_multiple_of(u64::from(self.elem_size)) {
             return Err(StreamError::BadElementSize);
         }
         if let StreamKind::Affine(shape) = &self.kind {
@@ -411,7 +423,7 @@ mod tests {
         assert_eq!(s.addr_of(0), 0);
         assert_eq!(s.addr_of(1), 8 * 4); // next row, same column
         assert_eq!(s.addr_of(4), 4); // column 1, row 0
-        // Round trip across all elements.
+                                     // Round trip across all elements.
         for k in 0..32 {
             assert_eq!(s.elem_of(s.addr_of(k)), Some(k));
         }
@@ -420,11 +432,7 @@ mod tests {
     #[test]
     fn padded_matrix_detects_padding() {
         // 2 rows of 3 elements, but rows padded to 4 elements (stride 16).
-        let shape = AffineShape {
-            lengths: [3, 2, 1],
-            strides: [4, 16, 32],
-            order: DimOrder::D012,
-        };
+        let shape = AffineShape { lengths: [3, 2, 1], strides: [4, 16, 32], order: DimOrder::D012 };
         let s = StreamConfig {
             sid: StreamId(2),
             kind: StreamKind::Affine(shape),
@@ -441,7 +449,8 @@ mod tests {
 
     #[test]
     fn overlapping_strides_rejected() {
-        let shape = AffineShape { lengths: [8, 8, 1], strides: [4, 16, 256], order: DimOrder::D012 };
+        let shape =
+            AffineShape { lengths: [8, 8, 1], strides: [4, 16, 256], order: DimOrder::D012 };
         assert_eq!(shape.validate(4), Err(StreamError::OverlappingStrides));
     }
 
@@ -492,11 +501,7 @@ mod tests {
     #[test]
     fn three_dim_order_round_trip() {
         let es = 2u32;
-        let shape = AffineShape {
-            lengths: [4, 3, 5],
-            strides: [2, 8, 24],
-            order: DimOrder::D210,
-        };
+        let shape = AffineShape { lengths: [4, 3, 5], strides: [2, 8, 24], order: DimOrder::D210 };
         let s = StreamConfig {
             sid: StreamId(4),
             kind: StreamKind::Affine(shape),

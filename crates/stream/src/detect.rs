@@ -29,12 +29,10 @@
 //! assert!(!found[1].is_affine);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::table::StreamSpec;
 
 /// Tuning knobs for the detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DetectorConfig {
     /// Addresses farther apart than this start a new region.
     pub region_gap: u64,
@@ -52,7 +50,7 @@ impl Default for DetectorConfig {
 }
 
 /// One detected stream candidate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectedStream {
     /// Lowest address observed in the region.
     pub base: u64,
@@ -218,8 +216,8 @@ impl StreamDetector {
             .map(|r| {
                 let (top_stride, top_count) =
                     r.strides.iter().copied().max_by_key(|&(_, c)| c).unwrap_or((0, 0));
-                let is_affine =
-                    r.deltas > 0 && top_count * 100 >= r.deltas * u64::from(cfg.affine_threshold_pct);
+                let is_affine = r.deltas > 0
+                    && top_count * 100 >= r.deltas * u64::from(cfg.affine_threshold_pct);
                 let elem_size = r.delta_gcd.clamp(1, 64) as u32;
                 let size = (r.hi - r.lo) + u64::from(elem_size);
                 DetectedStream {

@@ -6,15 +6,13 @@
 //! address maps to at most one stream), and answers the address→(stream,
 //! element) queries the SLB hardware performs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{AffineShape, StreamConfig, StreamError, StreamId, StreamKind};
 
 /// Arguments of the `configure_stream` call, before an ID is assigned.
 ///
 /// Mirrors the paper's API:
 /// `configure_stream(type, base, size, elemSize, [stride, length, order])`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamSpec {
     /// Affine shape (with strides/lengths/order) or indirect.
     pub kind: StreamKind,
@@ -60,7 +58,7 @@ impl StreamSpec {
 /// assert_eq!(table.lookup(0x0), None);
 /// # Ok::<(), ndpx_stream::config::StreamError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamTable {
     streams: Vec<StreamConfig>,
     /// Stream indices sorted by base address for binary-search lookup.

@@ -1,59 +1,74 @@
-//! Property tests for stream address math and the stream table.
+//! Randomized property tests for stream address math and the stream table.
+//!
+//! Cases are driven by the workspace's seeded [`Xoshiro256`] so the suite is
+//! deterministic and needs no external property-testing framework.
 
-use ndpx_stream::{AffineShape, DimOrder, StreamConfig, StreamId, StreamKind, StreamSpec, StreamTable};
-use proptest::prelude::*;
+use ndpx_sim::rng::Xoshiro256;
+use ndpx_stream::{
+    AffineShape, DimOrder, StreamConfig, StreamId, StreamKind, StreamSpec, StreamTable,
+};
 
-/// Strategy: a valid dense affine shape (≤3 dims, canonical strides) plus
-/// element size.
-fn affine_config() -> impl Strategy<Value = StreamConfig> {
-    (1u64..32, 1u64..16, 1u64..8, prop::sample::select(vec![1u32, 2, 4, 8, 16]), 0u8..6)
-        .prop_map(|(l0, l1, l2, es, ord)| {
-            let order = DimOrder::from_encoding(ord).expect("0..6 is valid");
-            let shape = AffineShape {
-                lengths: [l0, l1, l2],
-                strides: [
-                    u64::from(es),
-                    l0 * u64::from(es),
-                    l0 * l1 * u64::from(es),
-                ],
-                order,
-            };
-            StreamConfig {
-                sid: StreamId(0),
-                kind: StreamKind::Affine(shape),
-                base: 0x10_0000,
-                size: l0 * l1 * l2 * u64::from(es),
-                elem_size: es,
-                read_only: true,
-            }
-        })
+const ELEM_SIZES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// A valid dense affine stream (≤3 dims, canonical strides) with random
+/// lengths, element size, and access order.
+fn random_affine(rng: &mut Xoshiro256) -> StreamConfig {
+    let l0 = 1 + rng.below(31);
+    let l1 = 1 + rng.below(15);
+    let l2 = 1 + rng.below(7);
+    let es = ELEM_SIZES[rng.below(ELEM_SIZES.len() as u64) as usize];
+    let order = DimOrder::ALL[rng.below(6) as usize];
+    let shape = AffineShape {
+        lengths: [l0, l1, l2],
+        strides: [u64::from(es), l0 * u64::from(es), l0 * l1 * u64::from(es)],
+        order,
+    };
+    StreamConfig {
+        sid: StreamId(0),
+        kind: StreamKind::Affine(shape),
+        base: 0x10_0000,
+        size: l0 * l1 * l2 * u64::from(es),
+        elem_size: es,
+        read_only: true,
+    }
 }
 
-proptest! {
-    #[test]
-    fn affine_round_trips_every_element(cfg in affine_config()) {
+#[test]
+fn affine_round_trips_every_element() {
+    let mut rng = Xoshiro256::seed_from(0xAFF1);
+    for _ in 0..64 {
+        let cfg = random_affine(&mut rng);
         cfg.validate().expect("constructed valid");
         let n = cfg.elems();
         let mut seen = std::collections::HashSet::new();
         for k in 0..n {
             let a = cfg.addr_of(k);
-            prop_assert!(cfg.contains(a), "addr outside range");
-            prop_assert!(seen.insert(a), "duplicate address for element {k}");
-            prop_assert_eq!(cfg.elem_of(a), Some(k));
+            assert!(cfg.contains(a), "addr outside range");
+            assert!(seen.insert(a), "duplicate address for element {k}");
+            assert_eq!(cfg.elem_of(a), Some(k));
         }
     }
+}
 
-    #[test]
-    fn out_of_range_addresses_never_resolve(cfg in affine_config(), off in 0u64..1 << 20) {
-        let below = cfg.base.checked_sub(1 + off % cfg.base.max(1));
-        if let Some(a) = below {
-            prop_assert_eq!(cfg.elem_of(a), None);
+#[test]
+fn out_of_range_addresses_never_resolve() {
+    let mut rng = Xoshiro256::seed_from(0x0072);
+    for _ in 0..128 {
+        let cfg = random_affine(&mut rng);
+        let off = rng.below(1 << 20);
+        if let Some(a) = cfg.base.checked_sub(1 + off % cfg.base.max(1)) {
+            assert_eq!(cfg.elem_of(a), None);
         }
-        prop_assert_eq!(cfg.elem_of(cfg.end() + off), None);
+        assert_eq!(cfg.elem_of(cfg.end() + off), None);
     }
+}
 
-    #[test]
-    fn indirect_round_trips(n in 1u64..4096, es in prop::sample::select(vec![1u32, 2, 4, 8, 16]), k_frac in 0.0f64..1.0) {
+#[test]
+fn indirect_round_trips() {
+    let mut rng = Xoshiro256::seed_from(0x17D1);
+    for _ in 0..128 {
+        let n = 1 + rng.below(4095);
+        let es = ELEM_SIZES[rng.below(ELEM_SIZES.len() as u64) as usize];
         let cfg = StreamConfig {
             sid: StreamId(1),
             kind: StreamKind::Indirect { source: None },
@@ -63,42 +78,59 @@ proptest! {
             read_only: true,
         };
         cfg.validate().expect("valid");
-        let k = ((n - 1) as f64 * k_frac) as u64;
-        prop_assert_eq!(cfg.elem_of(cfg.addr_of(k)), Some(k));
+        let k = rng.below(n);
+        assert_eq!(cfg.elem_of(cfg.addr_of(k)), Some(k));
     }
+}
 
-    #[test]
-    fn table_lookup_agrees_with_configs(sizes in prop::collection::vec((64u64..4096, prop::sample::select(vec![4u32, 8])), 1..20), probe in 0u64..1 << 22) {
+#[test]
+fn table_lookup_agrees_with_configs() {
+    let mut rng = Xoshiro256::seed_from(0x7AB1);
+    for _ in 0..32 {
+        let streams = 1 + rng.below(19) as usize;
         let mut table = StreamTable::new();
         let mut next = 0x1000u64;
-        for (bytes, es) in sizes {
+        for _ in 0..streams {
+            let es = if rng.chance(0.5) { 4u32 } else { 8 };
+            let bytes = 64 + rng.below(4032);
             let size = bytes / u64::from(es) * u64::from(es);
-            if size == 0 { continue; }
+            if size == 0 {
+                continue;
+            }
             table.configure(StreamSpec::affine_linear(next, size, es)).expect("disjoint");
             next += size + 64;
         }
-        match table.lookup(probe) {
-            Some((sid, elem)) => {
-                let cfg = table.get(sid);
-                prop_assert!(cfg.contains(probe));
-                prop_assert_eq!(cfg.elem_of(probe), Some(elem));
-            }
-            None => {
-                for s in table.iter() {
-                    prop_assert!(s.elem_of(probe).is_none());
+        for _ in 0..64 {
+            let probe = rng.below(1 << 22);
+            match table.lookup(probe) {
+                Some((sid, elem)) => {
+                    let cfg = table.get(sid);
+                    assert!(cfg.contains(probe));
+                    assert_eq!(cfg.elem_of(probe), Some(elem));
+                }
+                None => {
+                    for s in table.iter() {
+                        assert!(s.elem_of(probe).is_none());
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn overlapping_ranges_always_rejected(base in 0u64..1 << 20, size in 64u64..4096, shift in 0u64..4095) {
+#[test]
+fn overlapping_ranges_always_rejected() {
+    let mut rng = Xoshiro256::seed_from(0x0E71);
+    for _ in 0..128 {
+        let base = rng.below(1 << 20);
+        let size = (64 + rng.below(4032)) / 8 * 8;
+        if size < 8 {
+            continue;
+        }
         let mut table = StreamTable::new();
-        let size = size / 8 * 8;
-        prop_assume!(size >= 8);
         table.configure(StreamSpec::affine_linear(base, size, 8)).expect("first");
-        let overlap_base = base + (shift % size);
+        let overlap_base = base + rng.below(size);
         let r = table.configure(StreamSpec::affine_linear(overlap_base, size, 8));
-        prop_assert!(r.is_err(), "overlap accepted at {overlap_base:#x}");
+        assert!(r.is_err(), "overlap accepted at {overlap_base:#x}");
     }
 }

@@ -50,7 +50,7 @@ impl PingPong {
     /// The stream active in iteration `iter`.
     #[inline]
     pub fn at(self, iter: u32) -> StreamId {
-        if iter % 2 == 0 {
+        if iter.is_multiple_of(2) {
             self.0
         } else {
             self.1
@@ -333,7 +333,14 @@ impl ScanReuse {
         let state = (0..cores)
             .map(|c| {
                 let (b, e) = partition(spec.rows, cores, c);
-                ScanCoreState { row: b, row_begin: b, row_end: e, col: 0, iter: 0, buf: VecDeque::new() }
+                ScanCoreState {
+                    row: b,
+                    row_begin: b,
+                    row_end: e,
+                    col: 0,
+                    iter: 0,
+                    buf: VecDeque::new(),
+                }
             })
             .collect();
         ScanReuse { spec, elems_per_chunk, state }
@@ -464,7 +471,14 @@ impl Stencil {
         let state = (0..cores)
             .map(|c| {
                 let (b, e) = partition(spec.rows, cores, c);
-                StencilCoreState { row: b, row_begin: b, row_end: e, col: 0, iter: 0, buf: VecDeque::new() }
+                StencilCoreState {
+                    row: b,
+                    row_begin: b,
+                    row_end: e,
+                    col: 0,
+                    iter: 0,
+                    buf: VecDeque::new(),
+                }
             })
             .collect();
         Stencil { spec, state }
@@ -576,7 +590,8 @@ impl Gather {
         // Inverse-CDF power law on a uniform double derived from the hash.
         let u = h as f64 / u64::MAX as f64;
         let n = self.spec.rows_per_table as f64;
-        let x = (1.0 - u * (1.0 - n.powf(1.0 - self.spec.alpha))).powf(1.0 / (1.0 - self.spec.alpha));
+        let x =
+            (1.0 - u * (1.0 - n.powf(1.0 - self.spec.alpha))).powf(1.0 / (1.0 - self.spec.alpha));
         (x as u64).min(self.spec.rows_per_table - 1)
     }
 
@@ -707,7 +722,11 @@ mod tests {
     #[test]
     fn graph_kernel_emits_edges_and_indirections() {
         let mut k = tiny_graph_kernel(
-            vec![EdgeAction::DstScaled { sid: PingPong(StreamId(3), StreamId(4)), elems: 1, write: false }],
+            vec![EdgeAction::DstScaled {
+                sid: PingPong(StreamId(3), StreamId(4)),
+                elems: 1,
+                write: false,
+            }],
             Visit::All,
         );
         let mut edge_reads = 0;
@@ -746,9 +765,7 @@ mod tests {
         let mut all = tiny_graph_kernel(vec![], Visit::All);
         let mut wave = tiny_graph_kernel(vec![], Visit::FrontierWave);
         let count_offsets = |k: &mut GraphKernel| {
-            (0..2000)
-                .filter(|_| matches!(k.next_op(1), Op::Mem(m) if m.sid == StreamId(0)))
-                .count()
+            (0..2000).filter(|_| matches!(k.next_op(1), Op::Mem(m) if m.sid == StreamId(0))).count()
         };
         // The wave skips vertices, so among a fixed op budget it reaches
         // iteration boundaries faster; both still make progress.
@@ -919,9 +936,7 @@ mod tests {
             },
         );
         let mut w = WithRareRaw::new(g, 0xDEAD_0000, 100, 1);
-        let raws = (0..10_000)
-            .filter(|_| matches!(w.next_op(0), Op::RawMem { .. }))
-            .count();
+        let raws = (0..10_000).filter(|_| matches!(w.next_op(0), Op::RawMem { .. })).count();
         assert_eq!(raws, 100);
     }
 }

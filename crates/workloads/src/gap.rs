@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use ndpx_stream::StreamError;
 
-use crate::engines::{EdgeAction, GraphKernel, GraphKernelSpec, PingPong, VertexWrite, Visit, WithRareRaw};
+use crate::engines::{
+    EdgeAction, GraphKernel, GraphKernelSpec, PingPong, VertexWrite, Visit, WithRareRaw,
+};
 use crate::graph::CsrGraph;
 use crate::layout::AddressSpace;
 use crate::trace::{ScaleParams, Workload};

@@ -5,11 +5,10 @@
 //! same indirect-stream locality behaviour (hot high-degree vertices are
 //! cache-friendly; the cold tail misses). See DESIGN.md §3.
 
-use ndpx_sim::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
+use ndpx_sim::rng::{PowerlawSampler, Xoshiro256};
 
 /// A directed graph in compressed-sparse-row form.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` indexes `edges` for vertex `v`.
     offsets: Vec<u64>,
@@ -35,12 +34,13 @@ impl CsrGraph {
         offsets.push(0);
         // Out-degree is skewed: hubs emit many edges. Destination choice is
         // also skewed toward hubs (preferential attachment flavour).
+        let dst = PowerlawSampler::new(u64::from(vertices), 1.8);
         for v in 0..n {
             let deg_scale = if v < n / 100 + 1 { 8 } else { 1 };
             let deg = 1 + rng.below(u64::from(avg_degree) * 2 * deg_scale - 1) as usize;
             let deg = deg.min(n - 1);
             for _ in 0..deg {
-                edges.push(rng.powerlaw_below(u64::from(vertices), 1.8) as u32);
+                edges.push(dst.sample(&mut rng) as u32);
             }
             offsets.push(edges.len() as u64);
         }
@@ -69,13 +69,12 @@ impl CsrGraph {
                                 if dx == 0 && dy == 0 && dz == 0 {
                                     continue;
                                 }
-                                let (nx, ny, nz) = (
-                                    i64::from(x) + dx,
-                                    i64::from(y) + dy,
-                                    i64::from(z) + dz,
-                                );
+                                let (nx, ny, nz) =
+                                    (i64::from(x) + dx, i64::from(y) + dy, i64::from(z) + dz);
                                 let lim = i64::from(dim);
-                                if (0..lim).contains(&nx) && (0..lim).contains(&ny) && (0..lim).contains(&nz)
+                                if (0..lim).contains(&nx)
+                                    && (0..lim).contains(&ny)
+                                    && (0..lim).contains(&nz)
                                 {
                                     edges.push((nz as u32 * dim + ny as u32) * dim + nx as u32);
                                 }

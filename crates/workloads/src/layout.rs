@@ -46,7 +46,11 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Propagates stream-configuration failures.
-    pub fn alloc_affine(&mut self, size: u64, elem_size: u32) -> Result<(StreamId, u64), StreamError> {
+    pub fn alloc_affine(
+        &mut self,
+        size: u64,
+        elem_size: u32,
+    ) -> Result<(StreamId, u64), StreamError> {
         let base = self.bump(size);
         let sid = self.table.configure(StreamSpec::affine_linear(base, size, elem_size))?;
         Ok((sid, base))

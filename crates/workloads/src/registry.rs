@@ -8,12 +8,24 @@ use crate::{gap, rodinia, tensor};
 /// The names of all evaluated workloads, in the paper's grouping order:
 /// tensor, Rodinia, GAP.
 pub const ALL_WORKLOADS: [&str; 13] = [
-    "recsys", "mv", "gnn", "backprop", "hotspot", "lavaMD", "lud", "pathfinder", "bfs", "pr",
-    "cc", "bc", "tc",
+    "recsys",
+    "mv",
+    "gnn",
+    "backprop",
+    "hotspot",
+    "lavaMD",
+    "lud",
+    "pathfinder",
+    "bfs",
+    "pr",
+    "cc",
+    "bc",
+    "tc",
 ];
 
 /// A representative subset used by latency/miss-rate figures (Fig. 7).
-pub const REPRESENTATIVE_WORKLOADS: [&str; 6] = ["recsys", "mv", "hotspot", "pathfinder", "pr", "tc"];
+pub const REPRESENTATIVE_WORKLOADS: [&str; 6] =
+    ["recsys", "mv", "hotspot", "pathfinder", "pr", "tc"];
 
 /// Constructs the named workload.
 ///
@@ -70,10 +82,8 @@ mod tests {
     fn stream_counts_span_the_paper_range() {
         // The paper reports 4 to 256 streams across workloads.
         let p = ScaleParams { cores: 2, footprint: 4 << 20, seed: 9 };
-        let counts: Vec<usize> = ALL_WORKLOADS
-            .iter()
-            .map(|n| build(n, &p).unwrap().unwrap().table.len())
-            .collect();
+        let counts: Vec<usize> =
+            ALL_WORKLOADS.iter().map(|n| build(n, &p).unwrap().unwrap().table.len()).collect();
         assert!(counts.iter().any(|&c| c <= 8), "some workload should have few streams");
         assert!(counts.iter().any(|&c| c >= 32), "some workload should have many streams");
     }

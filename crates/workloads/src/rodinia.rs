@@ -135,7 +135,10 @@ pub fn lavamd(p: &ScaleParams) -> Result<Workload, StreamError> {
                 elems: LAVAMD_BOX_ELEMS,
                 write: false,
             }],
-            vertex_writes: vec![VertexWrite { sid: PingPong::fixed(forces), elems: LAVAMD_BOX_ELEMS }],
+            vertex_writes: vec![VertexWrite {
+                sid: PingPong::fixed(forces),
+                elems: LAVAMD_BOX_ELEMS,
+            }],
             compute_per_edge: 16,
             compute_per_vertex: 8,
             visit: Visit::All,

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use ndpx_stream::{StreamError, StreamId};
 
 use crate::engines::{
-    EdgeAction, Gather, GatherSpec, GraphKernel, GraphKernelSpec, PingPong, ScanReuse, ScanReuseSpec,
-    VertexWrite, Visit, WithRareRaw,
+    EdgeAction, Gather, GatherSpec, GraphKernel, GraphKernelSpec, PingPong, ScanReuse,
+    ScanReuseSpec, VertexWrite, Visit, WithRareRaw,
 };
 use crate::graph::CsrGraph;
 use crate::layout::AddressSpace;
@@ -106,7 +106,10 @@ pub fn gnn(p: &ScaleParams) -> Result<Workload, StreamError> {
                 elems: GNN_FEATURE_ELEMS,
                 write: false,
             }],
-            vertex_writes: vec![VertexWrite { sid: PingPong::fixed(out), elems: GNN_FEATURE_ELEMS }],
+            vertex_writes: vec![VertexWrite {
+                sid: PingPong::fixed(out),
+                elems: GNN_FEATURE_ELEMS,
+            }],
             compute_per_edge: 4,
             compute_per_vertex: 8,
             visit: Visit::All,
@@ -207,7 +210,13 @@ mod tests {
                 for _ in 0..2000 {
                     if let Op::Mem(m) = w.source.next_op(core) {
                         let cfg = w.table.get(m.sid);
-                        assert!(m.elem < cfg.elems(), "{}: {} elem {} out of range", w.name, m.sid, m.elem);
+                        assert!(
+                            m.elem < cfg.elems(),
+                            "{}: {} elem {} out of range",
+                            w.name,
+                            m.sid,
+                            m.elem
+                        );
                     }
                 }
             }

@@ -26,10 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, r) in [("Nexus (cacheline NUCA)", &nexus), ("NDPExt (stream cache)", &ndpx)] {
         println!("{label}");
-        println!("  time {:>12}   miss {:>5.1}%   energy {:.3} mJ", r.sim_time.to_string(), r.miss_rate() * 100.0, r.energy.total().as_mj());
+        println!(
+            "  time {:>12}   miss {:>5.1}%   energy {:.3} mJ",
+            r.sim_time.to_string(),
+            r.miss_rate() * 100.0,
+            r.energy.total().as_mj()
+        );
         let meta = r.breakdown.fraction(LatComponent::Metadata);
         let ext = r.breakdown.fraction(LatComponent::ExtMem);
-        println!("  metadata share {:>5.1}%   extended-memory share {:>5.1}%", meta * 100.0, ext * 100.0);
+        println!(
+            "  metadata share {:>5.1}%   extended-memory share {:>5.1}%",
+            meta * 100.0,
+            ext * 100.0
+        );
         println!("  in-DRAM metadata accesses: {}", r.metadata_dram);
     }
     println!(

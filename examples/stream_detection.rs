@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let found = det.finish();
-    println!("workload `{name}`: {} annotated streams; detector saw {fed} accesses\n", wl.table.len());
+    println!(
+        "workload `{name}`: {} annotated streams; detector saw {fed} accesses\n",
+        wl.table.len()
+    );
     println!(
         "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7}",
         "#", "base", "size", "elem", "kind", "stride", "write%"

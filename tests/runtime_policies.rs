@@ -3,7 +3,9 @@
 //! sets, checked for the properties the paper relies on.
 
 use ndpx_core::config::PolicyKind;
-use ndpx_core::runtime::configure::{allocate_baseline, allocate_ndpext, AllocGroup, Allocation, ConfigCtx, StreamDemand};
+use ndpx_core::runtime::configure::{
+    allocate_baseline, allocate_ndpext, AllocGroup, Allocation, ConfigCtx, StreamDemand,
+};
 use ndpx_core::runtime::sampler::MissCurve;
 use ndpx_sim::rng::Xoshiro256;
 
@@ -27,9 +29,8 @@ fn random_demands(n: usize, units: usize, seed: u64) -> Vec<StreamDemand> {
         .map(|i| {
             let total = 1_000.0 + rng.below(50_000) as f64;
             let footprint = 64 * (64 + rng.below(4096));
-            let pts: Vec<(u64, f64)> = (1..=8)
-                .map(|k| (footprint * k / 8, total * (8 - k) as f64 / 8.0))
-                .collect();
+            let pts: Vec<(u64, f64)> =
+                (1..=8).map(|k| (footprint * k / 8, total * (8 - k) as f64 / 8.0)).collect();
             let mut acc: Vec<(usize, u64)> = Vec::new();
             for u in 0..units {
                 if rng.chance(0.4) {
@@ -140,8 +141,7 @@ fn jigsaw_concentrates_whirlpool_covers_accessors() {
     }];
     let c = ctx(units, 1 << 20);
     let whirl = allocate_baseline(PolicyKind::Whirlpool, &demands, &c, 2);
-    let whirl_units: Vec<usize> =
-        whirl.streams[0][0].unit_bytes.iter().map(|&(u, _)| u).collect();
+    let whirl_units: Vec<usize> = whirl.streams[0][0].unit_bytes.iter().map(|&(u, _)| u).collect();
     assert!(
         whirl_units.contains(&0) && whirl_units.contains(&7),
         "whirlpool should allocate at both accessing units: {whirl_units:?}"
