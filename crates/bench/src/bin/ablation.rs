@@ -10,13 +10,17 @@
 //!   prefetch from the stream abstraction);
 //! * `no-reconfig`      — freeze the warmup configuration (≈NDPExt-static).
 
-use ndpx_bench::runner::{geomean, run_many, BenchScale, RunSpec};
+use ndpx_bench::pool::CellPool;
+use ndpx_bench::runner::{geomean, run_many_with, BenchScale, RunSpec};
+use ndpx_bench::TraceCache;
 use ndpx_core::config::{MemKind, PolicyKind, ReconfigTransfer};
 use ndpx_workloads::REPRESENTATIVE_WORKLOADS;
 
 type Tweak = Option<fn(&mut ndpx_core::SystemConfig)>;
 
-fn geotime(scale: BenchScale, policy: PolicyKind, tweak: Tweak) -> f64 {
+/// Geomean runtime of `policy` over the representative set. The cache is
+/// shared across variants: tweaks change the configuration, not the trace.
+fn geotime(scale: BenchScale, cache: &TraceCache, policy: PolicyKind, tweak: Tweak) -> f64 {
     let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
         .iter()
         .map(|&w| {
@@ -27,13 +31,15 @@ fn geotime(scale: BenchScale, policy: PolicyKind, tweak: Tweak) -> f64 {
             s
         })
         .collect();
-    geomean(run_many(specs).iter().map(|r| r.sim_time.as_ps() as f64))
+    let reports = run_many_with(CellPool::from_env(), cache, &specs);
+    geomean(reports.iter().map(|r| r.sim_time.as_ps() as f64))
 }
 
 fn main() {
     let scale = BenchScale::from_env();
+    let cache = TraceCache::from_env();
     println!("# Ablation: slowdown vs full NDPExt (geomean, representative set)");
-    let full = geotime(scale, PolicyKind::NdpExt, None);
+    let full = geotime(scale, &cache, PolicyKind::NdpExt, None);
 
     let rows: [(&str, PolicyKind, Tweak); 4] = [
         (
@@ -55,7 +61,7 @@ fn main() {
     println!("{:>16} {:>10}", "variant", "slowdown");
     println!("{:>16} {:>10.3}", "full-ndpext", 1.0);
     for (label, policy, tweak) in rows {
-        let t = geotime(scale, policy, tweak);
+        let t = geotime(scale, &cache, policy, tweak);
         println!("{label:>16} {:>10.3}", t / full);
     }
     println!("\n(>1.0 means the removed mechanism was helping)");

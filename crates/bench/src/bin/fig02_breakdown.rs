@@ -6,9 +6,11 @@
 //! visible share on metadata, while achieving a much higher cache hit rate
 //! (70% vs 47%) and thus a smaller next-level-memory share.
 
-use ndpx_bench::runner::{run_host, run_ndp, BenchScale, RunSpec};
+use ndpx_bench::pool::{CellPool, CellTask};
+use ndpx_bench::runner::{run_host_cached, run_ndp_cached, BenchScale, RunSpec};
+use ndpx_bench::TraceCache;
 use ndpx_core::config::{MemKind, PolicyKind};
-use ndpx_core::stats::LatComponent;
+use ndpx_core::stats::{LatComponent, RunReport};
 
 fn print_breakdown(label: &str, r: &ndpx_core::stats::RunReport) {
     let parts: Vec<String> = LatComponent::ALL
@@ -22,8 +24,16 @@ fn main() {
     let scale = BenchScale::from_env();
     println!("# Fig 2a: latency breakdown under static interleaving, PageRank");
 
-    let ndp = run_ndp(&RunSpec::new(MemKind::Hbm, PolicyKind::StaticInterleave, "pr", scale));
-    let host = run_host("pr", scale, scale.ops_per_core());
+    let spec = RunSpec::new(MemKind::Hbm, PolicyKind::StaticInterleave, "pr", scale);
+    let cache = TraceCache::from_env();
+    let (spec, cache) = (&spec, &cache);
+    let tasks: Vec<CellTask<'_, RunReport>> = vec![
+        Box::new(move || run_ndp_cached(spec, cache)),
+        Box::new(move || run_host_cached("pr", scale, scale.ops_per_core(), cache)),
+    ];
+    let mut reports = CellPool::from_env().run_values(tasks);
+    let host = reports.pop().expect("two tasks");
+    let ndp = reports.pop().expect("two tasks");
 
     print_breakdown("NUCA", &host);
     print_breakdown("NDP", &ndp);

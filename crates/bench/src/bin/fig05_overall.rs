@@ -8,8 +8,11 @@
 //! ≈1.41× (HBM) / 1.48× (HMC) over Nexus on average, up to ≈2.43× on recsys;
 //! NDPExt-static between the baselines and NDPExt.
 
-use ndpx_bench::runner::{geomean, run_host, run_many, BenchScale, RunSpec};
+use ndpx_bench::pool::{CellPool, CellTask};
+use ndpx_bench::runner::{geomean, run_host_cached, run_ndp_cached, BenchScale, RunSpec};
+use ndpx_bench::TraceCache;
 use ndpx_core::config::{MemKind, PolicyKind};
+use ndpx_core::stats::RunReport;
 use ndpx_workloads::ALL_WORKLOADS;
 
 fn main() {
@@ -28,7 +31,21 @@ fn main() {
         .iter()
         .flat_map(|&w| PolicyKind::ALL.iter().map(move |&p| RunSpec::new(mem, p, w, scale)))
         .collect();
-    let reports = run_many(specs);
+    // One pooled submission covers the NDP matrix and the per-workload host
+    // baselines, so host runs overlap with NDP cells instead of serializing
+    // after them.
+    let cache = TraceCache::from_env();
+    let cache = &cache;
+    let tasks: Vec<CellTask<'_, RunReport>> = specs
+        .iter()
+        .map(|spec| Box::new(move || run_ndp_cached(spec, cache)) as CellTask<'_, RunReport>)
+        .chain(ALL_WORKLOADS.iter().map(|&w| {
+            Box::new(move || run_host_cached(w, scale, scale.ops_per_core(), cache))
+                as CellTask<'_, RunReport>
+        }))
+        .collect();
+    let mut reports = CellPool::from_env().run_values(tasks);
+    let hosts = reports.split_off(specs.len());
 
     let header: Vec<String> = std::iter::once("workload".to_string())
         .chain(PolicyKind::ALL.iter().map(|p| p.label().to_string()))
@@ -38,7 +55,7 @@ fn main() {
 
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); PolicyKind::ALL.len()];
     for (wi, &w) in ALL_WORKLOADS.iter().enumerate() {
-        let host = run_host(w, scale, scale.ops_per_core());
+        let host = &hosts[wi];
         // Same total op count on both systems: speedup is the makespan
         // ratio scaled by the op-count ratio.
         let mut cells = vec![w.to_string()];

@@ -11,14 +11,19 @@
 //! All results are NDPExt runtimes normalized to the paper's default value
 //! of the swept parameter (so 1.00 = default; higher = faster).
 
-use ndpx_bench::runner::{geomean, run_many, BenchScale, RunSpec};
+use ndpx_bench::pool::CellPool;
+use ndpx_bench::runner::{geomean, run_many_with, BenchScale, RunSpec};
+use ndpx_bench::TraceCache;
 use ndpx_core::config::{MemKind, PolicyKind};
 use ndpx_workloads::REPRESENTATIVE_WORKLOADS;
 
 /// Runs NDPExt on the representative set with `tweak`, returning the
-/// geomean runtime in picoseconds.
+/// geomean runtime in picoseconds. The cache is shared across the whole
+/// sweep: tweaks change the system configuration, never the trace, so every
+/// sweep value replays the same materialized workloads.
 fn run_with(
     scale: BenchScale,
+    cache: &TraceCache,
     tweak: impl Fn(&mut ndpx_core::SystemConfig) + Send + Sync + Clone + 'static,
 ) -> f64 {
     let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
@@ -27,12 +32,13 @@ fn run_with(
             RunSpec::new(MemKind::Hbm, PolicyKind::NdpExt, w, scale).with_tweak(tweak.clone())
         })
         .collect();
-    let reports = run_many(specs);
+    let reports = run_many_with(CellPool::from_env(), cache, &specs);
     geomean(reports.iter().map(|r| r.sim_time.as_ps() as f64))
 }
 
 fn normalized_sweep<T: Copy + std::fmt::Display + Send + Sync + 'static>(
     scale: BenchScale,
+    cache: &TraceCache,
     name: &str,
     values: &[T],
     default_idx: usize,
@@ -43,7 +49,7 @@ fn normalized_sweep<T: Copy + std::fmt::Display + Send + Sync + 'static>(
         .iter()
         .map(|&v| {
             let apply = apply.clone();
-            run_with(scale, move |cfg| apply(cfg, v))
+            run_with(scale, cache, move |cfg| apply(cfg, v))
         })
         .collect();
     let base = times[default_idx];
@@ -54,13 +60,16 @@ fn normalized_sweep<T: Copy + std::fmt::Display + Send + Sync + 'static>(
     println!();
 }
 
-fn panel(scale: BenchScale, which: &str) {
+fn panel(scale: BenchScale, cache: &TraceCache, which: &str) {
     match which {
-        "assoc" => normalized_sweep(scale, "indirect ways", &[1usize, 4, 16, 64], 0, |cfg, v| {
-            cfg.indirect_ways = v;
-        }),
+        "assoc" => {
+            normalized_sweep(scale, cache, "indirect ways", &[1usize, 4, 16, 64], 0, |cfg, v| {
+                cfg.indirect_ways = v;
+            })
+        }
         "block" => normalized_sweep(
             scale,
+            cache,
             "affine block B",
             &[256u64, 512, 1024, 2048, 4096],
             2,
@@ -73,7 +82,7 @@ fn panel(scale: BenchScale, which: &str) {
             let times: Vec<f64> = fractions
                 .iter()
                 .map(|&(_, div)| {
-                    run_with(scale, move |cfg| {
+                    run_with(scale, cache, move |cfg| {
                         cfg.affine_cap =
                             if div == 1 { cfg.unit_capacity } else { cfg.unit_capacity / div }
                     })
@@ -87,7 +96,7 @@ fn panel(scale: BenchScale, which: &str) {
             println!();
         }
         "sampler" => {
-            normalized_sweep(scale, "sampled sets k", &[8usize, 16, 32, 64], 2, |cfg, v| {
+            normalized_sweep(scale, cache, "sampled sets k", &[8usize, 16, 32, 64], 2, |cfg, v| {
                 cfg.sampler_sets = v;
             })
         }
@@ -98,10 +107,11 @@ fn panel(scale: BenchScale, which: &str) {
                     .iter()
                     .map(|&w| RunSpec::new(MemKind::Hbm, PolicyKind::NdpExtStatic, w, scale))
                     .collect();
-                geomean(run_many(specs).iter().map(|r| r.sim_time.as_ps() as f64))
+                let reports = run_many_with(CellPool::from_env(), cache, &specs);
+                geomean(reports.iter().map(|r| r.sim_time.as_ps() as f64))
             };
-            let partial_t = run_with(scale, |cfg| cfg.max_reconfigs = Some(2));
-            let full_t = run_with(scale, |_| {});
+            let partial_t = run_with(scale, cache, |cfg| cfg.max_reconfigs = Some(2));
+            let full_t = run_with(scale, cache, |_| {});
             println!("{:>12} {:>10}", "method", "speedup");
             for (label, t) in [("S(tatic)", static_t), ("P(artial)", partial_t), ("F(ull)", full_t)]
             {
@@ -116,7 +126,9 @@ fn panel(scale: BenchScale, which: &str) {
             let times: Vec<f64> = muls
                 .iter()
                 .map(|&(_, div, mul)| {
-                    run_with(scale, move |cfg| cfg.epoch_cycles = cfg.epoch_cycles / div * mul)
+                    run_with(scale, cache, move |cfg| {
+                        cfg.epoch_cycles = cfg.epoch_cycles / div * mul
+                    })
                 })
                 .collect();
             let base = times[2];
@@ -137,12 +149,13 @@ fn panel(scale: BenchScale, which: &str) {
 
 fn main() {
     let scale = BenchScale::from_env();
+    let cache = TraceCache::from_env();
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if which == "all" {
         for p in ["assoc", "block", "affine-cap", "sampler", "method", "interval"] {
-            panel(scale, p);
+            panel(scale, &cache, p);
         }
     } else {
-        panel(scale, &which);
+        panel(scale, &cache, &which);
     }
 }

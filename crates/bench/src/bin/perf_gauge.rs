@@ -1,46 +1,46 @@
 //! Wall-clock performance gauge for the simulator itself.
 //!
-//! Runs a fixed (mem, policy, workload) spec matrix at the `NDPX_SCALE`
-//! profile, digests every `RunReport` (makespan, counters, breakdown,
-//! energy), and writes `BENCH_PERF.json` with simulated ops per wall-clock
-//! second, per cell and per policy. Perf optimisations must keep every
-//! digest byte-identical — only the wall clock may move.
+//! Runs the fixed 36-cell `(mem, policy, workload)` matrix (see
+//! [`ndpx_bench::gauge`]) twice at the `NDPX_SCALE` profile: once serial
+//! with live trace generation (the historical baseline path) and once on
+//! the [`CellPool`] with the shared trace cache (the optimized path), then
+//! asserts the two phases produced byte-identical report digests before
+//! writing `BENCH_PERF.json`. Perf optimisations must keep every digest
+//! byte-identical — only the wall clock may move.
 //!
 //! Usage:
 //!   perf_gauge                      # measure, write BENCH_PERF.json
 //!   perf_gauge --check OLD.json     # additionally assert digests match
 //!                                   # OLD.json and report the speedup
+//!   NDPX_THREADS=n perf_gauge       # pool width of the optimized phase
+//!   NDPX_THREAD_SWEEP=1,2,4 ...     # extra cached runs per thread count
 //!   NDPX_PERF_OUT=path perf_gauge   # write somewhere else
 //!
-//! `--check` exits non-zero on any digest mismatch, so the CI smoke run
-//! doubles as a regression gate for simulated results.
+//! `--check` exits non-zero on any digest mismatch (against the baseline
+//! file or between the two phases), so the CI smoke run doubles as a
+//! regression gate for simulated results at every thread count.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ndpx_bench::digest::report_digest;
-use ndpx_bench::runner::{run_ndp, BenchScale, RunSpec};
-use ndpx_core::config::{MemKind, PolicyKind};
-
-/// The fixed matrix: both memory families, every policy, and one workload
-/// per pattern class (dense affine, skewed indirect, graph).
-const WORKLOADS: [&str; 3] = ["mv", "pr", "recsys"];
-const MEMS: [(MemKind, &str); 2] = [(MemKind::Hbm, "hbm"), (MemKind::Hmc, "hmc")];
+use ndpx_bench::gauge::{cell_key, gauge_ops, gauge_specs, scale_name};
+use ndpx_bench::pool::{CellPool, CellTask};
+use ndpx_bench::runner::{run_ndp_cached, BenchScale, RunSpec};
+use ndpx_core::config::PolicyKind;
+use ndpx_core::stats::RunReport;
+use ndpx_workloads::TraceCache;
 
 struct Cell {
-    mem: &'static str,
+    key: String,
     policy: PolicyKind,
-    workload: &'static str,
     ops: u64,
     wall_s: f64,
+    worker: usize,
     digest: u64,
 }
 
 impl Cell {
-    fn key(&self) -> String {
-        format!("{}/{}/{}", self.mem, self.policy.label(), self.workload)
-    }
-
     fn ops_per_sec(&self) -> f64 {
         if self.wall_s > 0.0 {
             self.ops as f64 / self.wall_s
@@ -50,12 +50,49 @@ impl Cell {
     }
 }
 
-fn scale_name(scale: BenchScale) -> &'static str {
-    match scale {
-        BenchScale::Test => "test",
-        BenchScale::Small => "small",
-        BenchScale::Paper => "paper",
+/// One timed pass over the whole matrix.
+struct Phase {
+    threads: usize,
+    cached: bool,
+    cells: Vec<Cell>,
+    wall_s: f64,
+}
+
+impl Phase {
+    fn ops_total(&self) -> u64 {
+        self.cells.iter().map(|c| c.ops).sum()
     }
+
+    fn rate(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.ops_total() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_matrix(specs: &[RunSpec], pool: CellPool, cache: &TraceCache) -> Phase {
+    let t0 = Instant::now();
+    let tasks: Vec<CellTask<'_, RunReport>> = specs
+        .iter()
+        .map(|spec| Box::new(move || run_ndp_cached(spec, cache)) as CellTask<'_, RunReport>)
+        .collect();
+    let results = pool.run(tasks);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let cells = specs
+        .iter()
+        .zip(results)
+        .map(|(spec, r)| Cell {
+            key: cell_key(spec),
+            policy: spec.policy,
+            ops: r.value.ops,
+            wall_s: r.wall_s,
+            worker: r.worker,
+            digest: report_digest(&r.value),
+        })
+        .collect();
+    Phase { threads: pool.threads(), cached: cache.is_enabled(), cells, wall_s }
 }
 
 fn main() {
@@ -65,41 +102,70 @@ fn main() {
         .iter()
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check needs a path").clone());
-    // Divisor keeps the gauge itself fast: the matrix has 36 cells.
-    let ops = (scale.ops_per_core() / 4).max(1000);
+    let ops = gauge_ops(scale);
+    let specs = gauge_specs(scale, ops);
 
-    let mut cells = Vec::new();
-    let t_total = Instant::now();
-    for (mem, mem_name) in MEMS {
-        for policy in PolicyKind::ALL {
-            for workload in WORKLOADS {
-                let spec =
-                    RunSpec { ops_per_core: ops, ..RunSpec::new(mem, policy, workload, scale) };
-                let t0 = Instant::now();
-                let report = run_ndp(&spec);
-                let wall_s = t0.elapsed().as_secs_f64();
-                let cell = Cell {
-                    mem: mem_name,
-                    policy,
-                    workload,
-                    ops: report.ops,
-                    wall_s,
-                    digest: report_digest(&report),
-                };
-                eprintln!(
-                    "{:<28} {:>9.0} ops/s  digest {:016x}",
-                    cell.key(),
-                    cell.ops_per_sec(),
-                    cell.digest
-                );
-                cells.push(cell);
-            }
+    // Phase 1: the historical path — serial, every cell generates its own
+    // trace. This is the in-report speedup denominator.
+    let serial = run_matrix(&specs, CellPool::with_threads(1), &TraceCache::disabled());
+
+    // Phase 2: the optimized path — pool at the environment's width, traces
+    // shared across cells.
+    let pool = CellPool::from_env();
+    let cache = TraceCache::from_env();
+    let parallel = run_matrix(&specs, pool, &cache);
+
+    // The two phases must agree cell for cell before anything is reported:
+    // parallelism and replay may only move the wall clock.
+    let mut phase_mismatches = 0;
+    for (s, p) in serial.cells.iter().zip(parallel.cells.iter()) {
+        if s.digest != p.digest {
+            eprintln!(
+                "PHASE MISMATCH {}: serial {:016x} != threads={} {:016x}",
+                s.key, s.digest, parallel.threads, p.digest
+            );
+            phase_mismatches += 1;
         }
     }
-    let wall_total = t_total.elapsed().as_secs_f64();
-    let ops_total: u64 = cells.iter().map(|c| c.ops).sum();
-    let agg = ops_total as f64 / wall_total;
+    if phase_mismatches > 0 {
+        eprintln!("{phase_mismatches} cell(s) differ between serial and pooled execution");
+        std::process::exit(1);
+    }
 
+    for c in &parallel.cells {
+        eprintln!(
+            "{:<28} {:>9.0} ops/s  worker {:>2}  digest {:016x}",
+            c.key,
+            c.ops_per_sec(),
+            c.worker,
+            c.digest
+        );
+    }
+    let cache_stats = cache.stats();
+    eprintln!(
+        "serial {:.3}s -> threads={} cached {:.3}s ({:.2}x); trace cache {} hits / {} misses, {:.3}s generation saved",
+        serial.wall_s,
+        parallel.threads,
+        parallel.wall_s,
+        serial.wall_s / parallel.wall_s.max(1e-9),
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.saved().as_secs_f64()
+    );
+
+    // Optional sweep: extra cached passes at other widths, reusing the now
+    // warm cache so the entries compare pure simulation scaling.
+    let mut phases = vec![serial, parallel];
+    if let Ok(sweep) = std::env::var("NDPX_THREAD_SWEEP") {
+        for n in sweep.split(',').filter_map(|s| s.trim().parse::<usize>().ok()) {
+            let p = run_matrix(&specs, CellPool::with_threads(n), &cache);
+            eprintln!("sweep threads={n}: {:.3}s ({:.0} ops/s)", p.wall_s, p.rate());
+            phases.push(p);
+        }
+    }
+    let (serial, parallel) = (&phases[0], &phases[1]);
+
+    let agg = parallel.rate();
     let mut baseline_agg = None;
     if let Some(path) = check_path {
         let old = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -108,18 +174,17 @@ fn main() {
         });
         let old_digests = parse_digests(&old);
         let mut mismatches = 0;
-        for cell in &cells {
-            match old_digests.iter().find(|(k, _)| *k == cell.key()) {
+        for cell in &parallel.cells {
+            match old_digests.iter().find(|(k, _)| *k == cell.key) {
                 Some((_, d)) if *d == cell.digest => {}
                 Some((_, d)) => {
                     eprintln!(
                         "DIGEST MISMATCH {}: baseline {d:016x} != current {:016x}",
-                        cell.key(),
-                        cell.digest
+                        cell.key, cell.digest
                     );
                     mismatches += 1;
                 }
-                None => eprintln!("note: baseline has no cell {}", cell.key()),
+                None => eprintln!("note: baseline has no cell {}", cell.key),
             }
         }
         if mismatches > 0 {
@@ -130,41 +195,80 @@ fn main() {
         if let Some(b) = baseline_agg {
             eprintln!("digests unchanged; speedup over baseline: {:.2}x", agg / b);
         } else {
-            eprintln!("digests unchanged ({} cells)", cells.len());
+            eprintln!("digests unchanged ({} cells)", parallel.cells.len());
         }
     }
 
     let out_path = std::env::var("NDPX_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
-    let json = render_json(scale, &cells, ops_total, wall_total, agg, baseline_agg);
+    let json = render_json(scale, &phases, &cache_stats, baseline_agg);
     std::fs::write(&out_path, json).expect("write BENCH_PERF.json");
-    println!("{agg:.0} simulated ops/sec over {} cells -> {out_path}", cells.len());
+    println!(
+        "{agg:.0} simulated ops/sec over {} cells at {} thread(s) ({:.2}x vs serial) -> {out_path}",
+        parallel.cells.len(),
+        parallel.threads,
+        serial.wall_s / parallel.wall_s.max(1e-9)
+    );
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Renders the report. Hand-rolled: the workspace has no JSON dependency,
 /// and the format below is line-oriented so `parse_digests` can read it
-/// back without a parser.
+/// back without a parser (v1 baselines parse the same way).
 fn render_json(
     scale: BenchScale,
-    cells: &[Cell],
-    ops_total: u64,
-    wall_total: f64,
-    agg: f64,
+    phases: &[Phase],
+    cache_stats: &ndpx_workloads::TraceCacheStats,
     baseline_agg: Option<f64>,
 ) -> String {
+    let (serial, parallel) = (&phases[0], &phases[1]);
+    let agg = parallel.rate();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v2\",");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
-    let _ = writeln!(s, "  \"ops_total\": {ops_total},");
-    let _ = writeln!(s, "  \"wall_seconds\": {wall_total:.3},");
+    let _ = writeln!(s, "  \"threads\": {},", parallel.threads);
+    let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
+    let _ = writeln!(s, "  \"ops_total\": {},", parallel.ops_total());
+    let _ = writeln!(s, "  \"wall_seconds\": {:.3},", parallel.wall_s);
     let _ = writeln!(s, "  \"sim_ops_per_sec\": {agg:.1},");
+    let _ = writeln!(s, "  \"serial_wall_seconds\": {:.3},", serial.wall_s);
+    let _ = writeln!(s, "  \"serial_sim_ops_per_sec\": {:.1},", serial.rate());
+    let _ = writeln!(
+        s,
+        "  \"parallel_speedup_vs_serial\": {:.3},",
+        serial.wall_s / parallel.wall_s.max(1e-9)
+    );
+    let _ = writeln!(
+        s,
+        "  \"trace_cache\": {{\"hits\": {}, \"misses\": {}, \"saved_seconds\": {:.3}}},",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.saved().as_secs_f64()
+    );
     if let Some(b) = baseline_agg {
         let _ = writeln!(s, "  \"baseline_sim_ops_per_sec\": {b:.1},");
         let _ = writeln!(s, "  \"speedup_over_baseline\": {:.3},", agg / b);
     }
+    s.push_str("  \"runs\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"threads\": {}, \"trace_cache\": {}, \"wall_seconds\": {:.3}, \"sim_ops_per_sec\": {:.1}}}{comma}",
+            p.threads,
+            p.cached,
+            p.wall_s,
+            p.rate()
+        );
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"per_policy\": {\n");
     for (i, policy) in PolicyKind::ALL.iter().enumerate() {
-        let (ops, wall): (u64, f64) = cells
+        let (ops, wall): (u64, f64) = parallel
+            .cells
             .iter()
             .filter(|c| c.policy == *policy)
             .fold((0, 0.0), |(o, w), c| (o + c.ops, w + c.wall_s));
@@ -174,15 +278,16 @@ fn render_json(
     }
     s.push_str("  },\n");
     s.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let comma = if i + 1 < cells.len() { "," } else { "" };
+    for (i, c) in parallel.cells.iter().enumerate() {
+        let comma = if i + 1 < parallel.cells.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"digest\": \"{:016x}\"}}{comma}",
-            c.key(),
+            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"worker\": {}, \"digest\": \"{:016x}\"}}{comma}",
+            c.key,
             c.ops,
             c.wall_s * 1e3,
             c.ops_per_sec(),
+            c.worker,
             c.digest
         );
     }
@@ -190,7 +295,8 @@ fn render_json(
     s
 }
 
-/// Extracts `("cell", digest)` pairs from a previously written report.
+/// Extracts `("cell", digest)` pairs from a previously written report
+/// (v1 or v2 — the cell line format is unchanged).
 fn parse_digests(json: &str) -> Vec<(String, u64)> {
     let mut out = Vec::new();
     for line in json.lines() {

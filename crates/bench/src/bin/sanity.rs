@@ -1,29 +1,52 @@
 //! Quick trend sanity check: NDPExt vs baselines vs host on one workload.
-use ndpx_bench::runner::{run_host, run_ndp, BenchScale, RunSpec};
+//!
+//! All runs (host included) go through the [`CellPool`], so the check
+//! parallelizes under `NDPX_THREADS`; printing happens after collection, in
+//! canonical policy order, so the output is identical at any width.
+use ndpx_bench::pool::{CellPool, CellTask};
+use ndpx_bench::runner::{run_host_cached, run_ndp_cached, BenchScale, RunSpec};
+use ndpx_bench::TraceCache;
 use ndpx_core::config::{MemKind, PolicyKind};
+use ndpx_core::stats::RunReport;
 
 fn main() {
     let scale = BenchScale::from_env();
     let workload: &'static str = std::env::args().nth(1).map(|s| &*s.leak()).unwrap_or("pr");
     let ops =
         std::env::var("NDPX_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(scale.ops_per_core());
-    let host = run_host(workload, scale, ops);
+    let filter = std::env::var("NDPX_POLICY").ok();
+    let policies: Vec<PolicyKind> = PolicyKind::ALL
+        .into_iter()
+        .filter(|p| filter.as_deref().is_none_or(|f| p.label() == f))
+        .collect();
+
+    let cache = TraceCache::from_env();
+    let cache = &cache;
+    let tasks: Vec<CellTask<'_, RunReport>> =
+        std::iter::once(
+            Box::new(move || run_host_cached(workload, scale, ops, cache)) as CellTask<'_, _>
+        )
+        .chain(policies.iter().map(|&policy| {
+            Box::new(move || {
+                let spec = RunSpec {
+                    ops_per_core: ops,
+                    ..RunSpec::new(MemKind::Hbm, policy, workload, scale)
+                };
+                run_ndp_cached(&spec, cache)
+            }) as CellTask<'_, RunReport>
+        }))
+        .collect();
+    let mut reports = CellPool::from_env().run_values(tasks);
+    let rest = reports.split_off(1);
+    let host = reports.pop().expect("host task ran");
+
     println!(
         "host      : time {:>12}  miss {:.3}  ops/us {:.1}",
         host.sim_time.to_string(),
         host.miss_rate(),
         host.ops_per_us()
     );
-    let filter = std::env::var("NDPX_POLICY").ok();
-    for policy in PolicyKind::ALL {
-        if let Some(f) = &filter {
-            if policy.label() != f {
-                continue;
-            }
-        }
-        let spec =
-            RunSpec { ops_per_core: ops, ..RunSpec::new(MemKind::Hbm, policy, workload, scale) };
-        let r = run_ndp(&spec);
+    for (policy, r) in policies.iter().zip(&rest) {
         if std::env::var("NDPX_DEBUG").is_ok() {
             use ndpx_core::stats::LatComponent;
             let parts: Vec<String> = LatComponent::ALL

@@ -9,6 +9,13 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod gauge;
+pub mod pool;
 pub mod runner;
 
-pub use runner::{geomean, run_host, run_many, run_ndp, BenchScale, RunSpec};
+pub use ndpx_workloads::TraceCache;
+pub use pool::{CellPool, CellResult, CellTask};
+pub use runner::{
+    geomean, run_host, run_host_cached, run_many, run_many_with, run_ndp, run_ndp_cached,
+    BenchScale, RunSpec,
+};

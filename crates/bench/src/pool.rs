@@ -1,0 +1,178 @@
+//! Deterministic parallel execution of independent benchmark cells.
+//!
+//! The paper's evaluation is a large matrix of independent simulations
+//! (memory families × policies × workloads); [`CellPool`] executes such a
+//! matrix on a work-stealing pool of scoped threads and hands results back
+//! in canonical submission order, so tables, digests, and reports are
+//! byte-identical at any thread count. `NDPX_THREADS` controls the width
+//! (default: all available cores); `1` runs every cell inline on the
+//! calling thread in submission order — exactly the historical serial
+//! behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One unit of pool work. Boxed so heterogeneous cells (NDP runs, host
+/// baselines, tweaked sweeps) can share a matrix; the lifetime lets tasks
+/// borrow shared immutable state such as a trace cache.
+pub type CellTask<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// The outcome of one cell, tagged with where and how long it ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult<T> {
+    /// The task's return value.
+    pub value: T,
+    /// Index of the worker thread that executed the cell (0 when serial).
+    pub worker: usize,
+    /// Wall-clock seconds the cell took on its worker.
+    pub wall_s: f64,
+}
+
+/// A scoped work-stealing thread pool over independent cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPool {
+    threads: usize,
+}
+
+impl CellPool {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        CellPool { threads: threads.max(1) }
+    }
+
+    /// Reads `NDPX_THREADS` (default: available parallelism).
+    pub fn from_env() -> Self {
+        Self::with_threads(Self::parse(std::env::var("NDPX_THREADS").ok().as_deref()))
+    }
+
+    /// Parses a thread-count override; `None`, zero, and unparsable values
+    /// map to the machine's available parallelism. Pure so tests need not
+    /// touch the (process-global, racy) environment.
+    pub fn parse(value: Option<&str>) -> usize {
+        match value.and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task and returns their results in submission order.
+    ///
+    /// With one thread the tasks run inline, in order, with no thread
+    /// machinery. Otherwise workers claim cells from a shared counter
+    /// (cheap work stealing: long cells never block the queue behind them)
+    /// and deposit results into per-cell slots, so the output order never
+    /// depends on scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Propagates task panics (the scope unwinds once all workers stop).
+    pub fn run<'env, T: Send>(self, tasks: Vec<CellTask<'env, T>>) -> Vec<CellResult<T>> {
+        let n = tasks.len();
+        if self.threads == 1 || n <= 1 {
+            return tasks
+                .into_iter()
+                .map(|task| {
+                    let t0 = Instant::now();
+                    let value = task();
+                    CellResult { value, worker: 0, wall_s: t0.elapsed().as_secs_f64() }
+                })
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<CellTask<'env, T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<CellResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..self.threads.min(n) {
+                let slots = &slots;
+                let results = &results;
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = slots[i]
+                        .lock()
+                        .expect("no task panicked while being claimed")
+                        .take()
+                        .expect("each cell is claimed exactly once");
+                    let t0 = Instant::now();
+                    let value = task();
+                    *results[i].lock().expect("no worker panicked depositing") =
+                        Some(CellResult { value, worker, wall_s: t0.elapsed().as_secs_f64() });
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("all workers joined")
+                    .expect("every cell was executed before the scope closed")
+            })
+            .collect()
+    }
+
+    /// [`CellPool::run`] without the per-cell metadata.
+    pub fn run_values<'env, T: Send>(self, tasks: Vec<CellTask<'env, T>>) -> Vec<T> {
+        self.run(tasks).into_iter().map(|r| r.value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_tasks(n: usize) -> Vec<CellTask<'static, usize>> {
+        (0..n).map(|i| Box::new(move || i * i) as CellTask<'static, usize>).collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = CellPool::with_threads(threads).run_values(square_tasks(23));
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_pool_runs_on_calling_thread() {
+        let id = std::thread::current().id();
+        let tasks: Vec<CellTask<'_, bool>> =
+            (0..4).map(|_| Box::new(move || std::thread::current().id() == id) as _).collect();
+        assert!(CellPool::with_threads(1).run_values(tasks).into_iter().all(|same| same));
+    }
+
+    #[test]
+    fn parse_thread_counts() {
+        assert_eq!(CellPool::parse(Some("4")), 4);
+        assert_eq!(CellPool::parse(Some("1")), 1);
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(CellPool::parse(None), auto);
+        assert_eq!(CellPool::parse(Some("0")), auto);
+        assert_eq!(CellPool::parse(Some("bogus")), auto);
+    }
+
+    #[test]
+    fn tasks_may_borrow_shared_state() {
+        let shared = vec![10usize, 20, 30];
+        let shared = &shared;
+        let tasks: Vec<CellTask<'_, usize>> =
+            (0..3).map(|i| Box::new(move || shared[i] + 1) as CellTask<'_, usize>).collect();
+        assert_eq!(CellPool::with_threads(2).run_values(tasks), vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn worker_ids_are_within_pool_width() {
+        let results = CellPool::with_threads(3).run(square_tasks(16));
+        assert!(results.iter().all(|r| r.worker < 3));
+        assert!(results.iter().all(|r| r.wall_s >= 0.0));
+    }
+}

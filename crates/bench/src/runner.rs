@@ -11,6 +11,9 @@ use ndpx_core::host::{HostConfig, HostSystem};
 use ndpx_core::stats::RunReport;
 use ndpx_core::system::NdpSystem;
 use ndpx_workloads::trace::ScaleParams;
+use ndpx_workloads::TraceCache;
+
+use crate::pool::{CellPool, CellTask};
 
 /// Benchmark scale profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,26 +125,36 @@ impl RunSpec {
     }
 }
 
-/// Executes one NDP run.
+/// Executes one NDP run with the workload trace served from `cache`
+/// (generated live when the cache is disabled or over budget).
+///
+/// # Panics
+///
+/// Panics on unknown workloads or invalid configurations — bench inputs are
+/// static.
+pub fn run_ndp_cached(spec: &RunSpec, cache: &TraceCache) -> RunReport {
+    let mut cfg = spec.scale.system(spec.mem, spec.policy);
+    if let Some(tweak) = &spec.tweak {
+        tweak(&mut cfg);
+    }
+    let params = spec.scale.workload(&cfg);
+    let wl = cache.workload(spec.workload, &params, spec.ops_per_core);
+    let mut sys = NdpSystem::new(cfg, wl).expect("config and workload are consistent");
+    sys.run(spec.ops_per_core)
+}
+
+/// Executes one NDP run with a live (uncached) workload trace.
 ///
 /// # Panics
 ///
 /// Panics on unknown workloads or invalid configurations — bench inputs are
 /// static.
 pub fn run_ndp(spec: &RunSpec) -> RunReport {
-    let mut cfg = spec.scale.system(spec.mem, spec.policy);
-    if let Some(tweak) = &spec.tweak {
-        tweak(&mut cfg);
-    }
-    let params = spec.scale.workload(&cfg);
-    let wl = ndpx_workloads::build(spec.workload, &params)
-        .expect("workload name is known")
-        .expect("workload constructs");
-    let mut sys = NdpSystem::new(cfg, wl).expect("config and workload are consistent");
-    sys.run(spec.ops_per_core)
+    run_ndp_cached(spec, &TraceCache::disabled())
 }
 
-/// Executes the non-NDP host baseline on the same workload and op count.
+/// Executes the non-NDP host baseline on the same workload and op count,
+/// with the trace served from `cache`.
 ///
 /// The host always uses 64 cores at `Small`/`Paper` scale and the NDP unit
 /// count at `Test` scale (so the tiny profile stays comparable).
@@ -149,7 +162,12 @@ pub fn run_ndp(spec: &RunSpec) -> RunReport {
 /// # Panics
 ///
 /// Panics on unknown workloads — bench inputs are static.
-pub fn run_host(workload: &'static str, scale: BenchScale, ops_per_core: u64) -> RunReport {
+pub fn run_host_cached(
+    workload: &'static str,
+    scale: BenchScale,
+    ops_per_core: u64,
+    cache: &TraceCache,
+) -> RunReport {
     let ndp_cfg = scale.system(MemKind::Hbm, PolicyKind::NdpExt);
     let cores = match scale {
         BenchScale::Test => ndp_cfg.units(),
@@ -164,37 +182,38 @@ pub fn run_host(workload: &'static str, scale: BenchScale, ops_per_core: u64) ->
     // 32 MB : 16 GB (1:512) capacity ratio.
     let ndp_cache = ndp_cfg.units() as u64 * ndp_cfg.unit_capacity;
     host_cfg.llc_bytes = (ndp_cache / 512).max(256 << 10);
-    let cache = ndp_cfg.units() as u64 * ndp_cfg.unit_capacity;
-    let params = ScaleParams { cores, footprint: cache * 4, seed: 0xBEEF };
-    let wl = ndpx_workloads::build(workload, &params)
-        .expect("workload name is known")
-        .expect("workload constructs");
+    let cache_bytes = ndp_cfg.units() as u64 * ndp_cfg.unit_capacity;
+    let params = ScaleParams { cores, footprint: cache_bytes * 4, seed: 0xBEEF };
     // Equalize total work: the host runs the same total op count.
     let total_ops = ops_per_core * ndp_cfg.units() as u64;
     let host_ops = total_ops / cores as u64;
+    let wl = cache.workload(workload, &params, host_ops);
     HostSystem::new(host_cfg, wl).expect("consistent").run(host_ops)
 }
 
-/// Runs many specs across threads (simulations are independent).
+/// Executes the non-NDP host baseline with a live (uncached) trace.
+///
+/// # Panics
+///
+/// Panics on unknown workloads — bench inputs are static.
+pub fn run_host(workload: &'static str, scale: BenchScale, ops_per_core: u64) -> RunReport {
+    run_host_cached(workload, scale, ops_per_core, &TraceCache::disabled())
+}
+
+/// Runs many independent specs on `pool`, sharing `cache` across cells, and
+/// returns reports in spec order regardless of thread count.
+pub fn run_many_with(pool: CellPool, cache: &TraceCache, specs: &[RunSpec]) -> Vec<RunReport> {
+    let tasks: Vec<CellTask<'_, RunReport>> = specs
+        .iter()
+        .map(|spec| Box::new(move || run_ndp_cached(spec, cache)) as CellTask<'_, RunReport>)
+        .collect();
+    pool.run_values(tasks)
+}
+
+/// Runs many specs with the environment's thread count (`NDPX_THREADS`) and
+/// a trace cache shared across the whole matrix (`NDPX_TRACE_CACHE`).
 pub fn run_many(specs: Vec<RunSpec>) -> Vec<RunReport> {
-    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(specs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let report = run_ndp(&specs[i]);
-                results.lock().expect("no worker panicked").push((i, report));
-            });
-        }
-    });
-    let mut out = results.into_inner().expect("all workers joined");
-    out.sort_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
+    run_many_with(CellPool::from_env(), &TraceCache::from_env(), &specs)
 }
 
 /// Geometric mean of an iterator of positive values.

@@ -250,6 +250,12 @@ mod tests {
     }
 
     #[test]
+    fn host_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HostSystem>();
+    }
+
+    #[test]
     fn host_runs_and_reports() {
         let r = run_host("pr", 16, 2000);
         assert!(r.sim_time > Time::ZERO);

@@ -959,6 +959,18 @@ mod tests {
     }
 
     #[test]
+    fn system_is_send() {
+        // Parallel bench orchestration moves whole systems (and the
+        // workloads inside them) across worker threads; nothing in the
+        // simulator may regress to thread-bound state (`Rc`, `RefCell`
+        // over shared globals, raw pointers).
+        fn assert_send<T: Send>() {}
+        assert_send::<NdpSystem>();
+        assert_send::<RunReport>();
+        assert_send::<SystemConfig>();
+    }
+
+    #[test]
     fn system_runs_and_reports() {
         let r = run_one(PolicyKind::NdpExt, "pr", 3000);
         assert!(r.sim_time > Time::ZERO);

@@ -14,7 +14,8 @@
 //! * [`graph`] — synthetic power-law and lattice graphs in CSR form;
 //! * [`engines`] — the four parametrized access-pattern engines;
 //! * [`gap`], [`tensor`], [`rodinia`] — the 13 workload constructors;
-//! * [`registry`] — lookup by name.
+//! * [`registry`] — lookup by name;
+//! * [`replay`] — materialized traces and the shared [`replay::TraceCache`].
 //!
 //! # Examples
 //!
@@ -39,9 +40,11 @@ pub mod gap;
 pub mod graph;
 pub mod layout;
 pub mod registry;
+pub mod replay;
 pub mod rodinia;
 pub mod tensor;
 pub mod trace;
 
 pub use registry::{build, ALL_WORKLOADS, REPRESENTATIVE_WORKLOADS};
+pub use replay::{CachedTrace, TraceCache, TraceCacheStats, TraceKey};
 pub use trace::{MemRef, Op, OpSource, ScaleParams, Workload};

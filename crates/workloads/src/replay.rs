@@ -1,0 +1,410 @@
+//! Materialized op traces and the shared trace cache.
+//!
+//! The op stream of a workload is a pure function of `(name, ScaleParams)` —
+//! policies only decide *where* data lives, never *which* operations run —
+//! so benchmark matrices that sweep policies over one workload column
+//! regenerate the identical trace once per cell. [`TraceCache`] hoists that
+//! cost out of the per-cell path: the first request for a key materializes
+//! the per-core op vectors once ([`CachedTrace`]), every later request gets
+//! the same `Arc` and replays it through a [`ReplaySource`] cursor.
+//!
+//! Faithfulness: [`OpSource`] implementations own all per-core state, so a
+//! trace generated core-by-core is element-identical to the lazily pulled,
+//! arbitrarily interleaved sequence the simulator would otherwise see —
+//! replay cannot perturb simulated results, only wall-clock time. The cache
+//! is `Sync`; concurrent requests for one key block on a single generation
+//! (no duplicate work) while requests for different keys proceed in
+//! parallel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use ndpx_stream::StreamTable;
+
+use crate::registry;
+use crate::trace::{Op, OpSource, ScaleParams, Workload};
+
+/// Everything the trace of one workload instance depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Workload name (from [`crate::ALL_WORKLOADS`]).
+    pub workload: &'static str,
+    /// Core count the trace is partitioned across.
+    pub cores: usize,
+    /// Data footprint in bytes.
+    pub footprint: u64,
+    /// Synthetic-data RNG seed.
+    pub seed: u64,
+    /// Materialized ops per core.
+    pub ops_per_core: u64,
+}
+
+impl TraceKey {
+    /// The key of `workload` at `params` for `ops_per_core`-op runs.
+    pub fn new(workload: &'static str, params: &ScaleParams, ops_per_core: u64) -> Self {
+        TraceKey {
+            workload,
+            cores: params.cores,
+            footprint: params.footprint,
+            seed: params.seed,
+            ops_per_core,
+        }
+    }
+
+    fn params(&self) -> ScaleParams {
+        ScaleParams { cores: self.cores, footprint: self.footprint, seed: self.seed }
+    }
+
+    /// Approximate bytes a materialization of this key will occupy (used
+    /// against the cache byte budget before any generation happens).
+    pub fn approx_bytes(&self) -> u64 {
+        self.cores as u64 * self.ops_per_core * std::mem::size_of::<Op>() as u64
+    }
+}
+
+/// An immutable, fully materialized workload trace.
+#[derive(Debug)]
+pub struct CachedTrace {
+    /// Workload name.
+    pub name: &'static str,
+    /// The pristine stream annotations (cloned per run — runs mutate the
+    /// read-only bits).
+    pub table: StreamTable,
+    /// Per-core operation sequences, `ops[core][k]` = the k-th op of `core`.
+    pub ops: Vec<Vec<Op>>,
+    /// Wall-clock cost of the generation (what every cache hit saves).
+    pub gen_wall: Duration,
+}
+
+impl CachedTrace {
+    /// Builds the workload and pulls `key.ops_per_core` ops per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload names or construction errors — trace
+    /// requests come from static benchmark matrices.
+    pub fn materialize(key: &TraceKey) -> Self {
+        let t0 = Instant::now();
+        let params = key.params();
+        let mut wl = registry::build(key.workload, &params)
+            .expect("workload name is known")
+            .expect("workload constructs");
+        let ops = (0..key.cores)
+            .map(|core| (0..key.ops_per_core).map(|_| wl.source.next_op(core)).collect())
+            .collect();
+        CachedTrace { name: wl.name, table: wl.table, ops, gen_wall: t0.elapsed() }
+    }
+
+    /// A runnable [`Workload`] that replays this trace.
+    pub fn workload(self: &Arc<Self>) -> Workload {
+        Workload {
+            name: self.name,
+            table: self.table.clone(),
+            cores: self.ops.len(),
+            source: Box::new(ReplaySource::new(Arc::clone(self))),
+        }
+    }
+}
+
+/// Replays a [`CachedTrace`] through per-core cursors.
+///
+/// Sources never exhaust, so past the materialized horizon the cursor wraps
+/// to the start of the core's trace; runs bounded by the key's
+/// `ops_per_core` never reach the wrap.
+#[derive(Debug)]
+pub struct ReplaySource {
+    trace: Arc<CachedTrace>,
+    cursors: Vec<usize>,
+}
+
+impl ReplaySource {
+    /// A replay of `trace` with all cursors at the start.
+    pub fn new(trace: Arc<CachedTrace>) -> Self {
+        let cursors = vec![0; trace.ops.len()];
+        ReplaySource { trace, cursors }
+    }
+}
+
+impl OpSource for ReplaySource {
+    fn next_op(&mut self, core: usize) -> Op {
+        let seq = &self.trace.ops[core];
+        let cursor = &mut self.cursors[core];
+        let op = seq[*cursor % seq.len()];
+        *cursor += 1;
+        op
+    }
+}
+
+/// Counters describing how much work a [`TraceCache`] absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCacheStats {
+    /// Requests served from an already materialized trace.
+    pub hits: u64,
+    /// Requests that materialized a new trace.
+    pub misses: u64,
+    /// Requests that bypassed the cache (disabled or over budget).
+    pub bypasses: u64,
+    /// Total generation time the hits avoided, in nanoseconds.
+    pub saved_nanos: u64,
+    /// Bytes currently held by materialized traces.
+    pub resident_bytes: u64,
+}
+
+impl TraceCacheStats {
+    /// Generation time the hits avoided.
+    pub fn saved(&self) -> Duration {
+        Duration::from_nanos(self.saved_nanos)
+    }
+}
+
+/// Default byte budget for materialized traces (8 GiB); beyond it new keys
+/// fall back to live generation. Override with `NDPX_TRACE_CACHE_BYTES`.
+pub const DEFAULT_CACHE_BYTES: u64 = 8 << 30;
+
+/// One generation slot: requests for the same key block on a single
+/// materialization instead of duplicating it.
+type TraceSlot = Arc<OnceLock<Arc<CachedTrace>>>;
+
+/// A shared, thread-safe cache of materialized workload traces.
+pub struct TraceCache {
+    /// `None` disables caching entirely (`NDPX_TRACE_CACHE=0`).
+    slots: Option<Mutex<HashMap<TraceKey, TraceSlot>>>,
+    budget_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    saved_nanos: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("TraceCache")
+            .field("enabled", &self.slots.is_some())
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCache {
+    /// An enabled cache with the default byte budget.
+    pub fn new() -> Self {
+        Self::with_budget(DEFAULT_CACHE_BYTES)
+    }
+
+    /// An enabled cache that stops materializing new keys once resident
+    /// traces exceed `budget_bytes` (requests past the budget fall back to
+    /// live generation — identical results, no caching).
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        TraceCache {
+            slots: Some(Mutex::new(HashMap::new())),
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            saved_nanos: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// A pass-through cache: every request builds the workload live, exactly
+    /// as if no cache existed.
+    pub fn disabled() -> Self {
+        TraceCache { slots: None, ..Self::with_budget(0) }
+    }
+
+    /// Reads `NDPX_TRACE_CACHE` (`0`/`off` disables) and
+    /// `NDPX_TRACE_CACHE_BYTES` (budget override).
+    pub fn from_env() -> Self {
+        match std::env::var("NDPX_TRACE_CACHE").ok().as_deref() {
+            Some("0") | Some("off") => Self::disabled(),
+            _ => {
+                let budget = std::env::var("NDPX_TRACE_CACHE_BYTES")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(DEFAULT_CACHE_BYTES);
+                Self::with_budget(budget)
+            }
+        }
+    }
+
+    /// True when requests may be served from materialized traces.
+    pub fn is_enabled(&self) -> bool {
+        self.slots.is_some()
+    }
+
+    /// The materialized trace for `key`, generating it on first request.
+    /// Returns `None` when the cache is disabled or the key would exceed the
+    /// byte budget (callers then build the workload live).
+    pub fn get(&self, key: &TraceKey) -> Option<Arc<CachedTrace>> {
+        let Some(slots) = self.slots.as_ref() else {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let slot = {
+            let mut map = slots.lock().expect("trace cache lock");
+            if let Some(slot) = map.get(key) {
+                Arc::clone(slot)
+            } else {
+                // Budget check before inserting the slot, so an over-budget
+                // key never blocks other requesters on a generation that is
+                // not going to be shared.
+                if self.resident_bytes.load(Ordering::Relaxed) + key.approx_bytes()
+                    > self.budget_bytes
+                {
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                let slot = Arc::new(OnceLock::new());
+                map.insert(*key, Arc::clone(&slot));
+                slot
+            }
+        };
+        let mut generated = false;
+        let trace = slot.get_or_init(|| {
+            generated = true;
+            let trace = Arc::new(CachedTrace::materialize(key));
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.resident_bytes.fetch_add(key.approx_bytes(), Ordering::Relaxed);
+            trace
+        });
+        if !generated {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.saved_nanos.fetch_add(trace.gen_wall.as_nanos() as u64, Ordering::Relaxed);
+        }
+        Some(Arc::clone(trace))
+    }
+
+    /// A runnable workload for `(workload, params, ops_per_core)`: a replay
+    /// of the cached trace when available, a live generator otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload names or construction errors — bench
+    /// inputs are static.
+    pub fn workload(
+        &self,
+        workload: &'static str,
+        params: &ScaleParams,
+        ops_per_core: u64,
+    ) -> Workload {
+        let key = TraceKey::new(workload, params, ops_per_core);
+        match self.get(&key) {
+            Some(trace) => trace.workload(),
+            None => registry::build(workload, params)
+                .expect("workload name is known")
+                .expect("workload constructs"),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> TraceCacheStats {
+        TraceCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            saved_nanos: self.saved_nanos.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScaleParams {
+        ScaleParams { cores: 4, footprint: 4 << 20, seed: 0xFEED }
+    }
+
+    #[test]
+    fn cache_types_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceCache>();
+        assert_send_sync::<Arc<CachedTrace>>();
+        fn assert_send<T: Send>() {}
+        assert_send::<ReplaySource>();
+        assert_send::<Workload>();
+    }
+
+    #[test]
+    fn replay_matches_live_generation() {
+        let p = params();
+        let key = TraceKey::new("pr", &p, 500);
+        let trace = Arc::new(CachedTrace::materialize(&key));
+        let mut live = registry::build("pr", &p).unwrap().unwrap();
+        let mut replay = ReplaySource::new(trace);
+        // Interleave cores in a non-generation order: per-core sequences
+        // must be interleaving-invariant.
+        for k in 0..500 {
+            for core in (0..p.cores).rev() {
+                assert_eq!(replay.next_op(core), live.source.next_op(core), "core {core} op {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_key_shares_one_arc() {
+        let cache = TraceCache::new();
+        let key = TraceKey::new("mv", &params(), 200);
+        let a = cache.get(&key).expect("enabled");
+        let b = cache.get(&key).expect("enabled");
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+        assert!(s.saved_nanos > 0, "hits record saved generation time");
+        assert_eq!(s.resident_bytes, key.approx_bytes());
+    }
+
+    #[test]
+    fn different_keys_generate_separately() {
+        let cache = TraceCache::new();
+        let a = cache.get(&TraceKey::new("mv", &params(), 200)).unwrap();
+        let b = cache.get(&TraceKey::new("mv", &params(), 300)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn disabled_cache_builds_live() {
+        let cache = TraceCache::disabled();
+        assert!(!cache.is_enabled());
+        assert!(cache.get(&TraceKey::new("mv", &params(), 100)).is_none());
+        let wl = cache.workload("mv", &params(), 100);
+        assert_eq!(wl.cores, params().cores);
+        assert_eq!(cache.stats().bypasses, 2);
+    }
+
+    #[test]
+    fn budget_overflow_falls_back_to_live() {
+        let cache = TraceCache::with_budget(1);
+        let key = TraceKey::new("mv", &params(), 100);
+        assert!(cache.get(&key).is_none(), "over-budget key is not materialized");
+        assert_eq!(cache.stats().bypasses, 1);
+        let wl = cache.workload("mv", &params(), 100);
+        assert_eq!(wl.cores, params().cores);
+    }
+
+    #[test]
+    fn workload_replays_pristine_table() {
+        let cache = TraceCache::new();
+        let p = params();
+        let a = cache.workload("backprop", &p, 300);
+        let fresh = registry::build("backprop", &p).unwrap().unwrap();
+        assert_eq!(a.table.len(), fresh.table.len());
+        // Every cached handout starts read-only even if a previous run
+        // marked streams written on its own clone.
+        for (s, f) in a.table.iter().zip(fresh.table.iter()) {
+            assert_eq!(s.read_only, f.read_only);
+        }
+    }
+}

@@ -51,8 +51,11 @@ pub enum Op {
 /// An infinite per-core operation generator.
 ///
 /// Implementations own all per-core state; `next_op(core)` must be
-/// deterministic given the construction seed.
-pub trait OpSource {
+/// deterministic given the construction seed, and per-core sequences must
+/// be independent of the interleaving of calls across cores (this is what
+/// lets [`crate::replay`] materialize traces core-by-core and lets whole
+/// workloads move across threads).
+pub trait OpSource: Send {
     /// The next operation for `core`. Sources never exhaust — kernels repeat
     /// their outer iteration — and the simulator bounds the run.
     fn next_op(&mut self, core: usize) -> Op;

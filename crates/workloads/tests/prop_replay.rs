@@ -1,0 +1,95 @@
+//! Property suite: trace replay must be indistinguishable from live
+//! generation.
+//!
+//! The trace cache removes per-cell generation from the bench hot path; the
+//! simulator's results must not be able to tell. The suite draws randomized
+//! [`ScaleParams`] across every workload family and checks that
+//!
+//! * a cached trace is element-identical to a freshly built generator, even
+//!   when the fresh one is consumed in a scrambled cross-core interleaving
+//!   (the order a parallel simulation would produce);
+//! * two requests for the same key share one `Arc` (no duplicate
+//!   generation), while any parameter change misses.
+
+use std::sync::Arc;
+
+use ndpx_sim::rng::Xoshiro256;
+use ndpx_workloads::replay::ReplaySource;
+use ndpx_workloads::trace::{OpSource, ScaleParams};
+use ndpx_workloads::{registry, TraceCache, TraceKey, ALL_WORKLOADS};
+
+/// Draws a small but varied scale: 1–6 cores, 2–18 MB footprints.
+fn random_params(rng: &mut Xoshiro256) -> ScaleParams {
+    ScaleParams {
+        cores: 1 + rng.below(6) as usize,
+        footprint: (2 << 20) + rng.below(16) * (1 << 20),
+        seed: rng.below(u64::MAX),
+    }
+}
+
+#[test]
+fn cached_trace_matches_live_generation_in_any_interleaving() {
+    let mut rng = Xoshiro256::seed_from(0x007E_9ACE);
+    for round in 0..24 {
+        let name = ALL_WORKLOADS[rng.below(ALL_WORKLOADS.len() as u64) as usize];
+        let params = random_params(&mut rng);
+        let ops_per_core = 100 + rng.below(300);
+
+        let cache = TraceCache::new();
+        let key = TraceKey::new(name, &params, ops_per_core);
+        let trace = cache.get(&key).expect("cache enabled");
+        let mut replay = ReplaySource::new(Arc::clone(&trace));
+        let mut live = registry::build(name, &params).expect("known").expect("constructs");
+
+        // Consume both sources in one random interleaving while issuing
+        // every core exactly ops_per_core requests.
+        let mut remaining: Vec<u64> = vec![ops_per_core; params.cores];
+        let mut left: u64 = ops_per_core * params.cores as u64;
+        let mut issued = 0u64;
+        while left > 0 {
+            let mut pick = rng.below(left);
+            let core = remaining
+                .iter()
+                .position(|&r| {
+                    if pick < r {
+                        true
+                    } else {
+                        pick -= r;
+                        false
+                    }
+                })
+                .expect("some core has ops left");
+            assert_eq!(
+                replay.next_op(core),
+                live.source.next_op(core),
+                "round {round}: {name} {params:?} diverged at issue {issued} (core {core})"
+            );
+            remaining[core] -= 1;
+            left -= 1;
+            issued += 1;
+        }
+    }
+}
+
+#[test]
+fn same_key_is_generated_once_and_shared() {
+    let mut rng = Xoshiro256::seed_from(0x5A5A);
+    for _ in 0..8 {
+        let name = ALL_WORKLOADS[rng.below(ALL_WORKLOADS.len() as u64) as usize];
+        let params = random_params(&mut rng);
+        let cache = TraceCache::new();
+        let key = TraceKey::new(name, &params, 150);
+        let first = cache.get(&key).expect("enabled");
+        let second = cache.get(&key).expect("enabled");
+        assert!(Arc::ptr_eq(&first, &second), "{name}: same key must share one trace");
+        assert_eq!(cache.stats().misses, 1, "{name}: one generation per key");
+        assert_eq!(cache.stats().hits, 1);
+
+        // Any key component change is a different trace.
+        let mut other = params;
+        other.seed ^= 1;
+        let third = cache.get(&TraceKey::new(name, &other, 150)).expect("enabled");
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(cache.stats().misses, 2);
+    }
+}
