@@ -11,7 +11,7 @@
 //! * `no-reconfig`      — freeze the warmup configuration (≈NDPExt-static).
 
 use ndpx_bench::pool::CellPool;
-use ndpx_bench::runner::{geomean, run_many_with, BenchScale, RunSpec};
+use ndpx_bench::runner::{geomean, run_many_monitored, BenchScale, RunSpec};
 use ndpx_bench::TraceCache;
 use ndpx_core::config::{MemKind, PolicyKind, ReconfigTransfer};
 use ndpx_workloads::REPRESENTATIVE_WORKLOADS;
@@ -20,7 +20,15 @@ type Tweak = Option<fn(&mut ndpx_core::SystemConfig)>;
 
 /// Geomean runtime of `policy` over the representative set. The cache is
 /// shared across variants: tweaks change the configuration, not the trace.
-fn geotime(scale: BenchScale, cache: &TraceCache, policy: PolicyKind, tweak: Tweak) -> f64 {
+/// `variant` labels the run's telemetry (heartbeats and `NDPX_METRICS`
+/// sidecars).
+fn geotime(
+    variant: &str,
+    scale: BenchScale,
+    cache: &TraceCache,
+    policy: PolicyKind,
+    tweak: Tweak,
+) -> f64 {
     let specs: Vec<RunSpec> = REPRESENTATIVE_WORKLOADS
         .iter()
         .map(|&w| {
@@ -31,7 +39,8 @@ fn geotime(scale: BenchScale, cache: &TraceCache, policy: PolicyKind, tweak: Twe
             s
         })
         .collect();
-    let reports = run_many_with(CellPool::from_env(), cache, &specs);
+    let run_name = format!("ablation_{variant}");
+    let reports = run_many_monitored(&run_name, CellPool::from_env(), cache, &specs);
     geomean(reports.iter().map(|r| r.sim_time.as_ps() as f64))
 }
 
@@ -39,7 +48,7 @@ fn main() {
     let scale = BenchScale::from_env();
     let cache = TraceCache::from_env();
     println!("# Ablation: slowdown vs full NDPExt (geomean, representative set)");
-    let full = geotime(scale, &cache, PolicyKind::NdpExt, None);
+    let full = geotime("full-ndpext", scale, &cache, PolicyKind::NdpExt, None);
 
     let rows: [(&str, PolicyKind, Tweak); 4] = [
         (
@@ -61,7 +70,7 @@ fn main() {
     println!("{:>16} {:>10}", "variant", "slowdown");
     println!("{:>16} {:>10.3}", "full-ndpext", 1.0);
     for (label, policy, tweak) in rows {
-        let t = geotime(scale, &cache, policy, tweak);
+        let t = geotime(label, scale, &cache, policy, tweak);
         println!("{label:>16} {:>10.3}", t / full);
     }
     println!("\n(>1.0 means the removed mechanism was helping)");

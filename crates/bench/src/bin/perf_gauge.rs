@@ -15,6 +15,8 @@
 //!   NDPX_THREADS=n perf_gauge       # pool width of the optimized phase
 //!   NDPX_THREAD_SWEEP=1,2,4 ...     # extra cached runs per thread count
 //!   NDPX_PERF_OUT=path perf_gauge   # write somewhere else
+//!   NDPX_METRICS=dir perf_gauge     # also write metrics.json + registry
+//!                                   # dump sidecars (see ndpx_bench::manifest)
 //!
 //! `--check` exits non-zero on any digest mismatch (against the baseline
 //! file or between the two phases), so the CI smoke run doubles as a
@@ -25,7 +27,8 @@ use std::time::Instant;
 
 use ndpx_bench::digest::report_digest;
 use ndpx_bench::gauge::{cell_key, gauge_ops, gauge_specs, scale_name};
-use ndpx_bench::pool::{CellPool, CellTask};
+use ndpx_bench::manifest::{self, RunManifest};
+use ndpx_bench::pool::{CellPool, CellResult, CellTask, MonitorConfig};
 use ndpx_bench::runner::{run_ndp_cached, BenchScale, RunSpec};
 use ndpx_core::config::PolicyKind;
 use ndpx_core::stats::RunReport;
@@ -72,17 +75,29 @@ impl Phase {
     }
 }
 
-fn run_matrix(specs: &[RunSpec], pool: CellPool, cache: &TraceCache) -> Phase {
+/// Runs the matrix once. With a monitor the pool emits heartbeat/watchdog
+/// lines and the full per-cell results come back for sidecar emission;
+/// without one (the serial baseline and sweep passes) results are digested
+/// and dropped.
+fn run_matrix(
+    specs: &[RunSpec],
+    pool: CellPool,
+    cache: &TraceCache,
+    monitor: Option<&MonitorConfig>,
+) -> (Phase, Vec<CellResult<RunReport>>) {
     let t0 = Instant::now();
     let tasks: Vec<CellTask<'_, RunReport>> = specs
         .iter()
         .map(|spec| Box::new(move || run_ndp_cached(spec, cache)) as CellTask<'_, RunReport>)
         .collect();
-    let results = pool.run(tasks);
+    let results = match monitor {
+        Some(m) => pool.run_monitored(m, tasks),
+        None => pool.run(tasks),
+    };
     let wall_s = t0.elapsed().as_secs_f64();
     let cells = specs
         .iter()
-        .zip(results)
+        .zip(&results)
         .map(|(spec, r)| Cell {
             key: cell_key(spec),
             policy: spec.policy,
@@ -92,7 +107,7 @@ fn run_matrix(specs: &[RunSpec], pool: CellPool, cache: &TraceCache) -> Phase {
             digest: report_digest(&r.value),
         })
         .collect();
-    Phase { threads: pool.threads(), cached: cache.is_enabled(), cells, wall_s }
+    (Phase { threads: pool.threads(), cached: cache.is_enabled(), cells, wall_s }, results)
 }
 
 fn main() {
@@ -104,16 +119,18 @@ fn main() {
         .map(|i| args.get(i + 1).expect("--check needs a path").clone());
     let ops = gauge_ops(scale);
     let specs = gauge_specs(scale, ops);
+    let names: Vec<String> = specs.iter().map(cell_key).collect();
 
     // Phase 1: the historical path — serial, every cell generates its own
     // trace. This is the in-report speedup denominator.
-    let serial = run_matrix(&specs, CellPool::with_threads(1), &TraceCache::disabled());
+    let (serial, _) = run_matrix(&specs, CellPool::with_threads(1), &TraceCache::disabled(), None);
 
     // Phase 2: the optimized path — pool at the environment's width, traces
-    // shared across cells.
+    // shared across cells, heartbeat + watchdog attached.
     let pool = CellPool::from_env();
     let cache = TraceCache::from_env();
-    let parallel = run_matrix(&specs, pool, &cache);
+    let monitor = MonitorConfig::from_env("perf_gauge", names);
+    let (parallel, parallel_results) = run_matrix(&specs, pool, &cache, Some(&monitor));
 
     // The two phases must agree cell for cell before anything is reported:
     // parallelism and replay may only move the wall clock.
@@ -153,12 +170,30 @@ fn main() {
         cache_stats.saved().as_secs_f64()
     );
 
+    // The run manifest feeds both the v3 report fields below and, under
+    // NDPX_METRICS, the metrics.json + registry-dump sidecars.
+    let run_manifest = RunManifest::collect(
+        "perf_gauge",
+        parallel.threads,
+        &monitor.names,
+        &parallel_results,
+        Some(cache_stats),
+    );
+    manifest::emit(
+        "perf_gauge",
+        parallel.threads,
+        &monitor.names,
+        &parallel_results,
+        Some(cache_stats),
+    );
+    drop(parallel_results);
+
     // Optional sweep: extra cached passes at other widths, reusing the now
     // warm cache so the entries compare pure simulation scaling.
     let mut phases = vec![serial, parallel];
     if let Ok(sweep) = std::env::var("NDPX_THREAD_SWEEP") {
         for n in sweep.split(',').filter_map(|s| s.trim().parse::<usize>().ok()) {
-            let p = run_matrix(&specs, CellPool::with_threads(n), &cache);
+            let (p, _) = run_matrix(&specs, CellPool::with_threads(n), &cache, None);
             eprintln!("sweep threads={n}: {:.3}s ({:.0} ops/s)", p.wall_s, p.rate());
             phases.push(p);
         }
@@ -200,7 +235,7 @@ fn main() {
     }
 
     let out_path = std::env::var("NDPX_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
-    let json = render_json(scale, &phases, &cache_stats, baseline_agg);
+    let json = render_json(scale, &phases, &cache_stats, baseline_agg, &run_manifest);
     std::fs::write(&out_path, json).expect("write BENCH_PERF.json");
     println!(
         "{agg:.0} simulated ops/sec over {} cells at {} thread(s) ({:.2}x vs serial) -> {out_path}",
@@ -214,26 +249,32 @@ fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Renders the report. Hand-rolled: the workspace has no JSON dependency,
-/// and the format below is line-oriented so `parse_digests` can read it
-/// back without a parser (v1 baselines parse the same way).
+/// Renders the report (`ndpx-perf-gauge-v3`: v2 plus engine-event totals and
+/// per-cell event rates / queue depths, sourced from the run manifest).
+/// Hand-rolled: the workspace has no JSON dependency, and the format below
+/// is line-oriented so `parse_digests` can read it back without a parser
+/// (v1/v2 baselines parse the same way).
 fn render_json(
     scale: BenchScale,
     phases: &[Phase],
     cache_stats: &ndpx_workloads::TraceCacheStats,
     baseline_agg: Option<f64>,
+    run_manifest: &RunManifest,
 ) -> String {
     let (serial, parallel) = (&phases[0], &phases[1]);
     let agg = parallel.rate();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v2\",");
+    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v3\",");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"threads\": {},", parallel.threads);
     let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
     let _ = writeln!(s, "  \"ops_total\": {},", parallel.ops_total());
     let _ = writeln!(s, "  \"wall_seconds\": {:.3},", parallel.wall_s);
     let _ = writeln!(s, "  \"sim_ops_per_sec\": {agg:.1},");
+    let _ = writeln!(s, "  \"events_total\": {},", run_manifest.events_total());
+    let _ = writeln!(s, "  \"events_per_sec\": {:.1},", run_manifest.events_per_sec());
+    let _ = writeln!(s, "  \"peak_queue_depth\": {},", run_manifest.peak_queue_depth());
     let _ = writeln!(s, "  \"serial_wall_seconds\": {:.3},", serial.wall_s);
     let _ = writeln!(s, "  \"serial_sim_ops_per_sec\": {:.1},", serial.rate());
     let _ = writeln!(
@@ -278,16 +319,18 @@ fn render_json(
     }
     s.push_str("  },\n");
     s.push_str("  \"cells\": [\n");
-    for (i, c) in parallel.cells.iter().enumerate() {
+    for (i, (c, m)) in parallel.cells.iter().zip(&run_manifest.cells).enumerate() {
         let comma = if i + 1 < parallel.cells.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"worker\": {}, \"digest\": \"{:016x}\"}}{comma}",
+            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"worker\": {}, \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}, \"digest\": \"{:016x}\"}}{comma}",
             c.key,
             c.ops,
             c.wall_s * 1e3,
             c.ops_per_sec(),
             c.worker,
+            m.events_per_sec(),
+            m.peak_queue_depth,
             c.digest
         );
     }
@@ -296,7 +339,8 @@ fn render_json(
 }
 
 /// Extracts `("cell", digest)` pairs from a previously written report
-/// (v1 or v2 — the cell line format is unchanged).
+/// (v1, v2, or v3 — the cell line format only ever gains fields, so the
+/// line-oriented scan reads every version).
 fn parse_digests(json: &str) -> Vec<(String, u64)> {
     let mut out = Vec::new();
     for line in json.lines() {

@@ -18,6 +18,12 @@ const STEPS: [(&str, &[&str]); 9] = [
 fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
+    if let Some(metrics) = ndpx_bench::manifest::metrics_dir() {
+        println!(
+            "telemetry: each step writes metrics.json + registry sidecars under {}",
+            metrics.display()
+        );
+    }
     let mut failed = 0;
     for (bin, args) in STEPS {
         println!("\n======== {bin} {} ========", args.join(" "));

@@ -3,9 +3,9 @@
 //! All runs (host included) go through the [`CellPool`], so the check
 //! parallelizes under `NDPX_THREADS`; printing happens after collection, in
 //! canonical policy order, so the output is identical at any width.
-use ndpx_bench::pool::{CellPool, CellTask};
+use ndpx_bench::pool::{CellPool, CellTask, MonitorConfig};
 use ndpx_bench::runner::{run_host_cached, run_ndp_cached, BenchScale, RunSpec};
-use ndpx_bench::TraceCache;
+use ndpx_bench::{manifest, TraceCache};
 use ndpx_core::config::{MemKind, PolicyKind};
 use ndpx_core::stats::RunReport;
 
@@ -36,7 +36,14 @@ fn main() {
             }) as CellTask<'_, RunReport>
         }))
         .collect();
-    let mut reports = CellPool::from_env().run_values(tasks);
+    let names: Vec<String> = std::iter::once(format!("host/{workload}"))
+        .chain(policies.iter().map(|p| format!("hbm/{}/{workload}", p.label())))
+        .collect();
+    let monitor = MonitorConfig::from_env("sanity", names);
+    let pool = CellPool::from_env();
+    let results = pool.run_monitored(&monitor, tasks);
+    manifest::emit("sanity", pool.threads(), &monitor.names, &results, Some(cache.stats()));
+    let mut reports: Vec<RunReport> = results.into_iter().map(|r| r.value).collect();
     let rest = reports.split_off(1);
     let host = reports.pop().expect("host task ran");
 

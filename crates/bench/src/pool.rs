@@ -9,9 +9,11 @@
 //! calling thread in submission order — exactly the historical serial
 //! behaviour.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+use ndpx_sim::{ndpx_info, ndpx_warn};
 
 /// One unit of pool work. Boxed so heterogeneous cells (NDP runs, host
 /// baselines, tweaked sweeps) can share a matrix; the lifetime lets tasks
@@ -124,6 +126,136 @@ impl CellPool {
     pub fn run_values<'env, T: Send>(self, tasks: Vec<CellTask<'env, T>>) -> Vec<T> {
         self.run(tasks).into_iter().map(|r| r.value).collect()
     }
+
+    /// [`CellPool::run`] with progress heartbeats and a slow-cell watchdog.
+    ///
+    /// Each finished cell may emit one throttled heartbeat line (info level,
+    /// so silent unless `NDPX_LOG=info`); after the matrix completes, cells
+    /// whose wall clock exceeded `monitor.slow_mult` × the median are named
+    /// at warn level. Monitoring never changes what runs or the order results
+    /// come back in — it only observes.
+    pub fn run_monitored<'env, T: Send>(
+        self,
+        monitor: &MonitorConfig,
+        tasks: Vec<CellTask<'env, T>>,
+    ) -> Vec<CellResult<T>> {
+        let n = tasks.len();
+        let t0 = Instant::now();
+        let done = AtomicUsize::new(0);
+        let last_beat_ms = AtomicU64::new(0);
+        let beat_ms = monitor.heartbeat_secs.saturating_mul(1000);
+        let wrapped: Vec<CellTask<'_, T>> = tasks
+            .into_iter()
+            .map(|task| {
+                let (done, last_beat_ms) = (&done, &last_beat_ms);
+                let label = monitor.label.as_str();
+                Box::new(move || {
+                    let value = task();
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if beat_ms > 0 {
+                        let now_ms = t0.elapsed().as_millis() as u64;
+                        let prev = last_beat_ms.load(Ordering::Relaxed);
+                        let due = finished == n || now_ms >= prev.saturating_add(beat_ms);
+                        if due
+                            && last_beat_ms
+                                .compare_exchange(
+                                    prev,
+                                    now_ms,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            ndpx_info!(
+                                "{label}: {finished}/{n} cells done in {:.1}s",
+                                now_ms as f64 / 1e3
+                            );
+                        }
+                    }
+                    value
+                }) as CellTask<'_, T>
+            })
+            .collect();
+        let results = self.run(wrapped);
+        let walls: Vec<f64> = results.iter().map(|r| r.wall_s).collect();
+        for i in slow_cells(&walls, monitor.slow_mult) {
+            let name = monitor.names.get(i).map_or("?", |s| s.as_str());
+            ndpx_warn!(
+                "{}: slow cell {name} took {:.2}s ({:.1}x the {:.2}s median) on worker {}",
+                monitor.label,
+                walls[i],
+                walls[i] / median(&walls).max(1e-9),
+                median(&walls),
+                results[i].worker
+            );
+        }
+        results
+    }
+}
+
+/// Configuration for [`CellPool::run_monitored`]: a run label, per-cell
+/// names (for the watchdog), the heartbeat throttle, and the slow-cell
+/// threshold multiple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Run label prefixed to every heartbeat/watchdog line.
+    pub label: String,
+    /// Cell names in submission order (watchdog lines name cells by these).
+    pub names: Vec<String>,
+    /// Minimum seconds between heartbeat lines; `0` disables heartbeats.
+    pub heartbeat_secs: u64,
+    /// Watchdog threshold as a multiple of the median cell wall clock;
+    /// `0.0` disables the watchdog.
+    pub slow_mult: f64,
+}
+
+impl MonitorConfig {
+    /// A monitor with the default heartbeat (5 s) and watchdog (4× median).
+    pub fn new(label: impl Into<String>, names: Vec<String>) -> Self {
+        MonitorConfig { label: label.into(), names, heartbeat_secs: 5, slow_mult: 4.0 }
+    }
+
+    /// Reads `NDPX_HEARTBEAT_SECS` and `NDPX_SLOW_MULT` overrides.
+    pub fn from_env(label: impl Into<String>, names: Vec<String>) -> Self {
+        let mut m = Self::new(label, names);
+        if let Some(secs) = parse_env("NDPX_HEARTBEAT_SECS") {
+            m.heartbeat_secs = secs as u64;
+        }
+        if let Some(mult) = parse_env("NDPX_SLOW_MULT") {
+            m.slow_mult = mult;
+        }
+        m
+    }
+}
+
+fn parse_env(key: &str) -> Option<f64> {
+    std::env::var(key).ok()?.trim().parse::<f64>().ok().filter(|v| v.is_finite() && *v >= 0.0)
+}
+
+/// Wall clocks below this never trigger the watchdog: at test scale a cell
+/// runs for milliseconds, where scheduler noise routinely exceeds any
+/// multiple of the median.
+const SLOW_FLOOR_S: f64 = 0.1;
+
+/// Median of `walls` (0 when empty). Ties toward the lower middle element.
+fn median(walls: &[f64]) -> f64 {
+    if walls.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = walls.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Indices of cells whose wall clock exceeds `mult` × the median (and the
+/// [`SLOW_FLOOR_S`] noise floor), in submission order. Pure so the watchdog
+/// policy is testable without timing a real pool.
+pub fn slow_cells(walls: &[f64], mult: f64) -> Vec<usize> {
+    if mult <= 0.0 || walls.len() < 2 {
+        return Vec::new();
+    }
+    let threshold = (median(walls) * mult).max(SLOW_FLOOR_S);
+    walls.iter().enumerate().filter(|(_, &w)| w > threshold).map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]
@@ -174,5 +306,36 @@ mod tests {
         let results = CellPool::with_threads(3).run(square_tasks(16));
         assert!(results.iter().all(|r| r.worker < 3));
         assert!(results.iter().all(|r| r.wall_s >= 0.0));
+    }
+
+    #[test]
+    fn monitored_run_preserves_order_and_results() {
+        let names = (0..23).map(|i| format!("cell{i}")).collect();
+        let monitor = MonitorConfig::new("test", names);
+        for threads in [1, 4] {
+            let out = CellPool::with_threads(threads).run_monitored(&monitor, square_tasks(23));
+            let values: Vec<usize> = out.into_iter().map(|r| r.value).collect();
+            assert_eq!(values, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn watchdog_names_only_outliers() {
+        // 1.0s median: the 8.0s cell is past 4x, the 3.0s cell is not.
+        let walls = [1.0, 8.0, 1.0, 3.0, 1.0];
+        assert_eq!(slow_cells(&walls, 4.0), vec![1]);
+        // Millisecond noise stays under the floor even at huge multiples.
+        assert_eq!(slow_cells(&[0.001, 0.09, 0.001], 4.0), Vec::<usize>::new());
+        // Disabled watchdog and single cells never fire.
+        assert_eq!(slow_cells(&walls, 0.0), Vec::<usize>::new());
+        assert_eq!(slow_cells(&[99.0], 4.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn median_is_lower_middle() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
     }
 }

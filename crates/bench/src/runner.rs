@@ -210,10 +210,41 @@ pub fn run_many_with(pool: CellPool, cache: &TraceCache, specs: &[RunSpec]) -> V
     pool.run_values(tasks)
 }
 
-/// Runs many specs with the environment's thread count (`NDPX_THREADS`) and
-/// a trace cache shared across the whole matrix (`NDPX_TRACE_CACHE`).
+/// [`run_many_with`] plus the full telemetry envelope: heartbeat lines and
+/// the slow-cell watchdog via [`CellPool::run_monitored`], and the
+/// `metrics.json` + registry-dump sidecars under `NDPX_METRICS` (see
+/// [`crate::manifest`]). `run_name` labels log lines and sidecar files.
+pub fn run_many_monitored(
+    run_name: &str,
+    pool: CellPool,
+    cache: &TraceCache,
+    specs: &[RunSpec],
+) -> Vec<RunReport> {
+    let names: Vec<String> = specs.iter().map(crate::gauge::cell_key).collect();
+    let monitor = crate::pool::MonitorConfig::from_env(run_name, names);
+    let tasks: Vec<CellTask<'_, RunReport>> = specs
+        .iter()
+        .map(|spec| Box::new(move || run_ndp_cached(spec, cache)) as CellTask<'_, RunReport>)
+        .collect();
+    let results = pool.run_monitored(&monitor, tasks);
+    crate::manifest::emit(run_name, pool.threads(), &monitor.names, &results, Some(cache.stats()));
+    results.into_iter().map(|r| r.value).collect()
+}
+
+/// The current binary's name, for run labels (`"bench"` as a fallback).
+pub fn run_label() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|p| std::path::Path::new(p).file_stem()?.to_str().map(str::to_string))
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// Runs many specs with the environment's thread count (`NDPX_THREADS`), a
+/// trace cache shared across the whole matrix (`NDPX_TRACE_CACHE`), and the
+/// monitored-run telemetry envelope labeled with the binary's name.
 pub fn run_many(specs: Vec<RunSpec>) -> Vec<RunReport> {
-    run_many_with(CellPool::from_env(), &TraceCache::from_env(), &specs)
+    run_many_monitored(&run_label(), CellPool::from_env(), &TraceCache::from_env(), &specs)
 }
 
 /// Geometric mean of an iterator of positive values.

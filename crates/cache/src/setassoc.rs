@@ -205,6 +205,15 @@ impl SetAssocCache {
         &self.stats
     }
 
+    /// Publishes hit/miss/writeback counters and occupancy under `scope`.
+    pub fn register_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        scope.count("hits", self.stats.hits.get());
+        scope.count("misses", self.stats.misses.get());
+        scope.count("writebacks", self.stats.writebacks.get());
+        scope.gauge("hit_rate", self.stats.hit_rate());
+        scope.count("occupancy", self.occupancy() as u64);
+    }
+
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
         self.lines.iter().filter(|w| w.tag != 0).count()

@@ -13,6 +13,8 @@ use ndpx_noc::topology::{IntraKind, Topology, UnitId};
 use ndpx_sim::energy::Power;
 use ndpx_sim::engine::EventQueue;
 use ndpx_sim::rng::hash_range;
+use ndpx_sim::stats::Histogram;
+use ndpx_sim::telemetry::StatRegistry;
 use ndpx_sim::time::{Freq, Time};
 use ndpx_workloads::trace::{Op, Workload};
 
@@ -83,6 +85,7 @@ pub struct HostSystem {
     l1_hits: u64,
     llc_hits: u64,
     llc_misses: u64,
+    access_latency: Histogram,
 }
 
 /// Static power of one host core (wider than an NDP core).
@@ -135,6 +138,7 @@ impl HostSystem {
             l1_hits: 0,
             llc_hits: 0,
             llc_misses: 0,
+            access_latency: Histogram::new(),
         })
     }
 
@@ -154,6 +158,7 @@ impl HostSystem {
         let mut next = queue.pop();
         while let Some((t, core)) = next {
             let op = self.source.next_op(core);
+            let is_mem = !matches!(op, Op::Compute(_));
             let done = match op {
                 Op::Compute(c) => t + self.cfg.freq.cycles_to_time(u64::from(c)),
                 Op::Mem(m) => {
@@ -162,6 +167,9 @@ impl HostSystem {
                 }
                 Op::RawMem { addr, write } => self.access(core, addr, write, t),
             };
+            if is_mem {
+                self.access_latency.record(done.saturating_sub(t));
+            }
             ops += 1;
             makespan = makespan.max(done);
             remaining[core] -= 1;
@@ -171,7 +179,7 @@ impl HostSystem {
                 queue.pop()
             };
         }
-        self.report(makespan, ops)
+        self.report(makespan, ops, queue.processed(), queue.peak_len() as u64)
     }
 
     fn access(&mut self, core: usize, addr: u64, write: bool, t: Time) -> Time {
@@ -206,7 +214,28 @@ impl HostSystem {
         t3 + self.cfg.freq.cycle()
     }
 
-    fn report(&self, makespan: Time, ops: u64) -> RunReport {
+    fn build_registry(&self, engine_events: u64, peak_queue: u64) -> StatRegistry {
+        let mut registry = StatRegistry::new();
+        {
+            let mut engine = registry.scope("engine");
+            engine.count("events", engine_events);
+            engine.count("peak_queue_depth", peak_queue);
+        }
+        {
+            let mut core = registry.scope("core");
+            core.count("mem_ops", self.mem_ops);
+            core.count("l1_hits", self.l1_hits);
+            core.count("llc_hits", self.llc_hits);
+            core.count("llc_misses", self.llc_misses);
+            core.hist("access_latency", &self.access_latency);
+        }
+        self.net.register_stats(&mut registry.scope("noc"));
+        self.mem.register_stats(&mut registry.scope("mem"));
+        self.table.register_stats(&mut registry.scope("stream_table"));
+        registry
+    }
+
+    fn report(&self, makespan: Time, ops: u64, engine_events: u64, peak_queue: u64) -> RunReport {
         let energy = EnergyBreakdown {
             static_: (HOST_CORE_STATIC * self.cfg.cores as f64).over(makespan)
                 + self.mem.background_energy(makespan),
@@ -233,6 +262,10 @@ impl HostSystem {
             invalidations: 0,
             migrations: 0,
             replicated_fraction: 0.0,
+            access_latency: self.access_latency.clone(),
+            engine_events,
+            peak_queue_depth: peak_queue,
+            registry: self.build_registry(engine_events, peak_queue),
         }
     }
 }

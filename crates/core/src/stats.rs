@@ -2,6 +2,8 @@
 //! report the bench harness consumes.
 
 use ndpx_sim::energy::Energy;
+use ndpx_sim::stats::Histogram;
+use ndpx_sim::telemetry::StatRegistry;
 use ndpx_sim::time::Time;
 
 use crate::config::PolicyKind;
@@ -149,6 +151,18 @@ pub struct RunReport {
     pub migrations: u64,
     /// Fraction of cache capacity spent on replicas in the last epoch.
     pub replicated_fraction: f64,
+    /// End-to-end latency distribution of post-L1 memory accesses.
+    ///
+    /// Telemetry fields below are deliberately *not* mixed into the bench
+    /// digest (`ndpx-bench`'s `report_digest` enumerates fields explicitly),
+    /// so observability changes can never shift a perf baseline.
+    pub access_latency: Histogram,
+    /// Events processed by the run's event queue (fused push-pops included).
+    pub engine_events: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
+    /// Hierarchical stat dump gathered from every subsystem after the run.
+    pub registry: StatRegistry,
 }
 
 impl RunReport {
@@ -225,6 +239,10 @@ mod tests {
             invalidations: 10,
             migrations: 5,
             replicated_fraction: 0.2,
+            access_latency: Histogram::new(),
+            engine_events: 0,
+            peak_queue_depth: 0,
+            registry: StatRegistry::new(),
         }
     }
 

@@ -35,7 +35,11 @@ use ndpx_noc::network::Network;
 use ndpx_noc::topology::UnitId;
 use ndpx_sim::energy::Power;
 use ndpx_sim::engine::EventQueue;
+use ndpx_sim::stats::Histogram;
+use ndpx_sim::telemetry::log::{enabled, Level};
+use ndpx_sim::telemetry::{StatRegistry, TraceSink};
 use ndpx_sim::time::Time;
+use ndpx_sim::{ndpx_debug, ndpx_info, ndpx_trace, ndpx_warn};
 use ndpx_stream::{StreamId, StreamTable};
 use ndpx_workloads::trace::{MemRef, Op, Workload};
 
@@ -128,9 +132,15 @@ pub struct NdpSystem {
     invalidations: u64,
     migrations: u64,
     replicated_fraction: f64,
-    /// Debug tracing flags, cached from the environment at construction.
+    /// End-to-end latency distribution of post-L1 memory accesses.
+    access_latency: Histogram,
+    /// Log-facade gates cached at construction so the hot paths pay one
+    /// boolean test instead of an atomic load per access.
     trace_noc: bool,
     trace_alloc: bool,
+    /// Opt-in Chrome-trace exporter (`NDPX_TRACE`); `None` costs one branch
+    /// per recording site.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl NdpSystem {
@@ -222,8 +232,10 @@ impl NdpSystem {
             invalidations: 0,
             migrations: 0,
             replicated_fraction: 0.0,
-            trace_noc: std::env::var("NDPX_TRACE_NOC").is_ok(),
-            trace_alloc: std::env::var("NDPX_TRACE_ALLOC").is_ok(),
+            access_latency: Histogram::new(),
+            trace_noc: enabled(Level::Trace),
+            trace_alloc: enabled(Level::Debug),
+            trace: TraceSink::from_env().map(Box::new),
         };
         // Warmup configuration: every policy starts from the equal static
         // allocation and (if it reconfigures) adapts at the first epoch.
@@ -241,6 +253,14 @@ impl NdpSystem {
         sys.apply_allocation(&alloc, Time::ZERO);
         sys.assign_epoch_samplers();
         Ok(sys)
+    }
+
+    /// Attaches (or, with `None`, detaches) a Chrome-trace exporter,
+    /// overriding whatever `NDPX_TRACE` configured at construction. Lets
+    /// tests and embedders enable tracing without touching the process
+    /// environment.
+    pub fn set_trace(&mut self, cfg: Option<ndpx_sim::telemetry::TraceConfig>) {
+        self.trace = cfg.map(|c| Box::new(TraceSink::new(c)));
     }
 
     fn config_ctx(&self) -> ConfigCtx {
@@ -281,11 +301,20 @@ impl NdpSystem {
                 self.next_epoch = at + self.cfg.epoch();
             }
             let op = self.source.next_op(core);
+            let is_mem = !matches!(op, Op::Compute(_));
             let done = match op {
                 Op::Compute(cycles) => t + self.cfg.core_freq.cycles_to_time(u64::from(cycles)),
                 Op::Mem(m) => self.process_mem(core, m, t),
                 Op::RawMem { addr, write } => self.process_raw(core, addr, write, t),
             };
+            if is_mem {
+                self.access_latency.record(done.saturating_sub(t));
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    if tr.in_window(t) {
+                        tr.complete("engine", "mem_op", core as u32, t, done.saturating_sub(t));
+                    }
+                }
+            }
             total_ops += 1;
             makespan = makespan.max(done);
             remaining[core] -= 1;
@@ -296,7 +325,15 @@ impl NdpSystem {
             };
         }
 
-        self.report(makespan, total_ops)
+        let report = self.report(makespan, total_ops, queue.processed(), queue.peak_len() as u64);
+        if let Some(tr) = self.trace.take() {
+            let label = format!("{:?}/{}", self.cfg.policy, self.workload_name);
+            match tr.write(&label) {
+                Ok(path) => ndpx_info!("trace for {label} written to {}", path.display()),
+                Err(e) => ndpx_warn!("failed to write trace for {label}: {e}"),
+            }
+        }
+        report
     }
 
     fn cycles(&self, n: u64) -> Time {
@@ -321,13 +358,13 @@ impl NdpSystem {
     #[cold]
     fn trace_slow_leg(src: usize, dst: usize, dur: Time) {
         if dur > Time::from_ns(500) {
-            eprintln!("slow noc leg {src}->{dst}: {dur}");
+            ndpx_trace!("slow noc leg {src}->{dst}: {dur}");
         }
     }
 
     #[cold]
     fn trace_msg(kind: &str, unit: usize, port: usize, t: Time) {
-        eprintln!("msg {kind} {unit}->{port} at {t}");
+        ndpx_trace!("msg {kind} {unit}->{port} at {t}");
     }
 
     /// The CXL port unit of `unit`'s stack (multi-headed device: one head
@@ -350,6 +387,13 @@ impl NdpSystem {
         self.breakdown.add(LatComponent::ExtMem, t2 - t1);
         let t3 = self.net.send(UnitId(port), UnitId(unit), bytes.max(REQ_BYTES), t2);
         self.charge_noc(port, unit, t3 - t2);
+        if let Some(tr) = self.trace.as_deref_mut() {
+            if tr.in_window(t) {
+                tr.complete("noc", "ext_req", unit as u32, t, t1 - t);
+                tr.complete("cxl", "ext_access", port as u32, t1, t2 - t1);
+                tr.complete("noc", "ext_rsp", port as u32, t2, t3 - t2);
+            }
+        }
         t3
     }
 
@@ -505,6 +549,11 @@ impl NdpSystem {
             if !stream_grain || affine_stream {
                 let t2 = self.units[target].dram.access(daddr, LINE_BYTES, m.write, now);
                 self.breakdown.add(LatComponent::DramCache, t2 - now);
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    if tr.in_window(now) {
+                        tr.complete("dram", "cache_hit", target as u32, now, t2 - now);
+                    }
+                }
                 now = t2;
             }
         } else {
@@ -654,7 +703,7 @@ impl NdpSystem {
         self.replicated_fraction = alloc.replicated_fraction();
 
         if self.trace_alloc {
-            eprintln!(
+            ndpx_debug!(
                 "== apply_allocation at {t} total={}MB repl={:.2}",
                 alloc.total_bytes() >> 20,
                 alloc.replicated_fraction()
@@ -665,7 +714,7 @@ impl NdpSystem {
                 }
                 let total: u64 = gs.iter().map(crate::runtime::configure::AllocGroup::total).sum();
                 let sizes: Vec<u64> = gs.iter().map(|g| g.total() >> 10).collect();
-                eprintln!(
+                ndpx_debug!(
                     "alloc s{si} ro={} affine={} groups={} totalKB={} sizesKB={:?}",
                     self.table.get(StreamId(si as u16)).read_only,
                     self.table.get(StreamId(si as u16)).kind.is_affine(),
@@ -815,6 +864,9 @@ impl NdpSystem {
     /// Epoch boundary: derive and apply the next configuration.
     fn reconfigure(&mut self, t: Time) {
         self.reconfigs += 1;
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.instant("core", "reconfigure", 0, t);
+        }
         for (hist, cur) in self.acc_history.iter_mut().zip(&self.acc_counts) {
             for (h, &c) in hist.iter_mut().zip(cur) {
                 *h = *h / 2 + c;
@@ -897,7 +949,46 @@ impl NdpSystem {
         }
     }
 
-    fn report(&self, makespan: Time, ops: u64) -> RunReport {
+    /// Gathers the hierarchical stat dump from every subsystem. Built from
+    /// single-threaded post-run state, so it is identical no matter how many
+    /// harness worker threads surround the run.
+    fn build_registry(&self, engine_events: u64, peak_queue: u64) -> StatRegistry {
+        let mut registry = StatRegistry::new();
+        {
+            let mut engine = registry.scope("engine");
+            engine.count("events", engine_events);
+            engine.count("peak_queue_depth", peak_queue);
+        }
+        {
+            let mut core = registry.scope("core");
+            core.count("mem_ops", self.mem_ops);
+            core.count("l1_hits", self.l1_hits);
+            core.count("cache_hits", self.cache_hits);
+            core.count("cache_misses", self.cache_misses);
+            core.count("local_hits", self.local_hits);
+            core.count("bypass", self.bypass);
+            core.count("slb_misses", self.slb_misses);
+            core.count("metadata_dram", self.metadata_dram);
+            core.count("reconfigs", self.reconfigs);
+            core.count("invalidations", self.invalidations);
+            core.count("migrations", self.migrations);
+            core.gauge("replicated_fraction", self.replicated_fraction);
+            core.hist("access_latency", &self.access_latency);
+        }
+        self.net.register_stats(&mut registry.scope("noc"));
+        self.ext.register_stats(&mut registry.scope("cxl"));
+        self.table.register_stats(&mut registry.scope("stream_table"));
+        for (i, u) in self.units.iter().enumerate() {
+            let mut scope = registry.scope(&format!("unit{i:03}"));
+            u.dram.register_stats(&mut scope.scope("dram"));
+            u.l1.register_stats(&mut scope.scope("l1"));
+            u.slb.register_stats(&mut scope.scope("slb"));
+            u.meta.register_stats(&mut scope.scope("meta"));
+        }
+        registry
+    }
+
+    fn report(&self, makespan: Time, ops: u64, engine_events: u64, peak_queue: u64) -> RunReport {
         let mut energy = EnergyBreakdown::default();
         for u in &self.units {
             energy.dram += u.dram.dynamic_energy();
@@ -928,6 +1019,10 @@ impl NdpSystem {
             invalidations: self.invalidations,
             migrations: self.migrations,
             replicated_fraction: self.replicated_fraction,
+            access_latency: self.access_latency.clone(),
+            engine_events,
+            peak_queue_depth: peak_queue,
+            registry: self.build_registry(engine_events, peak_queue),
         }
     }
 }

@@ -151,6 +151,16 @@ impl ExtendedMemory {
         &self.stats
     }
 
+    /// Publishes port counters under `scope`, with the DDR backend nested at
+    /// `…​.ddr`.
+    pub fn register_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        scope.count("requests", self.stats.requests.get());
+        scope.count("bytes", self.stats.bytes.get());
+        scope.latency("latency", &self.stats.latency);
+        scope.gauge("link_pj", self.link_energy.as_pj());
+        self.ddr.register_stats(&mut scope.scope("ddr"));
+    }
+
     /// Dynamic energy: link traversal plus DDR access energy.
     pub fn dynamic_energy(&self) -> Energy {
         self.link_energy + self.ddr.dynamic_energy()

@@ -231,6 +231,19 @@ impl DramDevice {
         &self.stats
     }
 
+    /// Publishes device counters and the row-hit rate under `scope`.
+    pub fn register_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        scope.count("reads", self.stats.reads.get());
+        scope.count("writes", self.stats.writes.get());
+        scope.count("row_hits", self.stats.row_hits.get());
+        scope.count("row_empty", self.stats.row_empty.get());
+        scope.count("row_conflicts", self.stats.row_conflicts.get());
+        scope.count("bytes", self.stats.bytes.get());
+        scope.count("activates", self.stats.activates.get());
+        scope.gauge("row_hit_rate", self.stats.row_hit_rate());
+        scope.gauge("dynamic_pj", self.dynamic.as_pj());
+    }
+
     /// Dynamic energy consumed so far.
     pub fn dynamic_energy(&self) -> Energy {
         self.dynamic

@@ -9,6 +9,7 @@
 
 use ndpx_sim::energy::Energy;
 use ndpx_sim::stats::Counter;
+use ndpx_sim::telemetry::StatScope;
 use ndpx_sim::time::Time;
 
 use crate::topology::{DistanceTable, Topology, UnitId};
@@ -58,6 +59,17 @@ pub struct NocStats {
     pub inter_hops: Counter,
 }
 
+/// Telemetry for one directed inter-stack link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages forwarded over this link.
+    pub forwarded: Counter,
+    /// Payload bytes forwarded over this link.
+    pub bytes: Counter,
+    /// Worst queueing delay a message saw waiting for this link.
+    pub peak_wait: Time,
+}
+
 /// Number of virtual channels per port and per inter-stack link.
 ///
 /// Router buffering lets several in-flight packets overlap; modelling each
@@ -104,6 +116,15 @@ pub struct Network {
     /// Four directed inter-stack links per stack (E, W, N, S), with
     /// `VIRTUAL_CHANNELS` next-free times each.
     stack_links: Vec<Time>,
+    /// Cross-stack messages and payload bytes per `(src stack, dst stack)`
+    /// pair (row-major). Routes are static, so exact per-link forwarded
+    /// counts are expanded from these at report time — the send hot loop
+    /// only pays two adds per message instead of three updates per hop.
+    pair_msgs: Vec<u64>,
+    pair_bytes: Vec<u64>,
+    /// Worst queueing delay per directed inter-stack link (`stack × 4 +
+    /// dir` indexing); the only per-hop telemetry update in `send`.
+    link_peak_wait: Vec<Time>,
     stats: NocStats,
     dynamic: Energy,
 }
@@ -141,6 +162,9 @@ impl Network {
         Network {
             unit_ports: vec![Time::ZERO; topo.units() * 2 * VIRTUAL_CHANNELS],
             stack_links: vec![Time::ZERO; stacks * 4 * VIRTUAL_CHANNELS],
+            pair_msgs: vec![0; stacks * stacks],
+            pair_bytes: vec![0; stacks * stacks],
+            link_peak_wait: vec![Time::ZERO; stacks * 4],
             dist: DistanceTable::new(&topo),
             routes,
             topo,
@@ -202,13 +226,19 @@ impl Network {
         // Inter-stack XY route (links precomputed per stack pair).
         if inter_h > 0 {
             let pair = self.topo.stack_of(src) * self.topo.stacks() + self.topo.stack_of(dst);
+            self.pair_msgs[pair] += 1;
+            self.pair_bytes[pair] += u64::from(bytes);
             for &link in &self.routes[pair] {
-                t = Self::reserve(
+                let start = Self::reserve(
                     port_channels(&mut self.stack_links, link as usize),
                     t,
                     inter_ser,
                 );
-                t += self.inter.hop_latency;
+                let wait = start.saturating_sub(t);
+                if wait > self.link_peak_wait[link as usize] {
+                    self.link_peak_wait[link as usize] = wait;
+                }
+                t = start + self.inter.hop_latency;
             }
         }
 
@@ -236,6 +266,49 @@ impl Network {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &NocStats {
         &self.stats
+    }
+
+    /// Per-directed-link telemetry, indexed `stack × 4 + dir`
+    /// (0=E, 1=W, 2=N, 3=S). Forwarded/byte counts are expanded exactly from
+    /// the per-stack-pair counters over the static routes.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        let mut out = vec![LinkStats::default(); self.topo.stacks() * 4];
+        for (pair, &msgs) in self.pair_msgs.iter().enumerate() {
+            if msgs == 0 {
+                continue;
+            }
+            let bytes = self.pair_bytes[pair];
+            for &link in &self.routes[pair] {
+                out[link as usize].forwarded.add(msgs);
+                out[link as usize].bytes.add(bytes);
+            }
+        }
+        for (ls, &w) in out.iter_mut().zip(&self.link_peak_wait) {
+            ls.peak_wait = w;
+        }
+        out
+    }
+
+    /// Publishes aggregate and per-directed-link stats under `scope`
+    /// (`…​.messages`, `…​.stack00.link[e].forwarded`, …). Idle links are
+    /// omitted; traffic is a deterministic function of the run, so the dump
+    /// stays reproducible.
+    pub fn register_stats(&self, scope: &mut StatScope<'_>) {
+        scope.count("messages", self.stats.messages.get());
+        scope.count("bytes", self.stats.bytes.get());
+        scope.count("intra_hops", self.stats.intra_hops.get());
+        scope.count("inter_hops", self.stats.inter_hops.get());
+        scope.gauge("dynamic_pj", self.dynamic.as_pj());
+        const DIRS: [&str; 4] = ["e", "w", "n", "s"];
+        for (i, ls) in self.link_stats().iter().enumerate() {
+            if ls.forwarded.get() == 0 {
+                continue;
+            }
+            let mut link = scope.scope(&format!("stack{:02}.link[{}]", i / 4, DIRS[i % 4]));
+            link.count("forwarded", ls.forwarded.get());
+            link.count("bytes", ls.bytes.get());
+            link.count("peak_wait_ps", ls.peak_wait.as_ps());
+        }
     }
 
     /// Dynamic link energy consumed so far.
@@ -359,6 +432,24 @@ mod tests {
         assert_eq!(n.stats().intra_hops.get(), 1);
         assert_eq!(n.stats().messages.get(), 1);
         assert_eq!(n.stats().bytes.get(), 64);
+    }
+
+    #[test]
+    fn per_link_stats_track_forwarding() {
+        let mut n = mesh_net();
+        // Stack 0 -> stack 1 crosses stack 0's east link (index 0).
+        n.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        n.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        let east = n.link_stats()[0];
+        assert_eq!(east.forwarded.get(), 2);
+        assert_eq!(east.bytes.get(), 128);
+        assert!(n.link_stats().iter().skip(1).all(|l| l.forwarded.get() == 0));
+
+        let mut reg = ndpx_sim::telemetry::StatRegistry::new();
+        n.register_stats(&mut reg.scope("noc"));
+        let json = reg.to_json();
+        assert!(json.contains("\"noc.stack00.link[e].forwarded\": 2"));
+        assert!(!json.contains("link[w]"), "idle links are omitted");
     }
 
     #[test]

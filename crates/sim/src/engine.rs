@@ -57,19 +57,31 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
+    scheduled: u64,
+    processed: u64,
+    peak_len: usize,
 }
 
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled: 0, processed: 0, peak_len: 0 }
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Schedules `payload` at `time`.
     pub fn push(&mut self, time: Time, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.scheduled += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.note_depth();
     }
 
     /// Schedules `payload` at `time` with an explicit equal-time tiebreak
@@ -78,12 +90,16 @@ impl<T> EventQueue<T> {
     /// index — that must be stable regardless of insertion interleaving.
     /// Mixing ranked and FIFO pushes in one queue is not meaningful.
     pub fn push_ranked(&mut self, time: Time, rank: u64, payload: T) {
+        self.scheduled += 1;
         self.heap.push(Entry { time, seq: rank, payload });
+        self.note_depth();
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Time, T)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        let out = self.heap.pop().map(|e| (e.time, e.payload));
+        self.processed += out.is_some() as u64;
+        out
     }
 
     /// [`push`](Self::push) fused with [`pop`](Self::pop): schedules the
@@ -108,6 +124,10 @@ impl<T> EventQueue<T> {
     }
 
     fn push_pop_entry(&mut self, e: Entry<T>) -> (Time, T) {
+        self.scheduled += 1;
+        self.processed += 1;
+        // Neither arm below changes the heap length, so the peak depth
+        // cannot move here.
         match self.heap.peek_mut() {
             // The pending top pops before the new event: replace it in
             // place (`PeekMut` sifts the replacement down on drop). Ties
@@ -134,6 +154,21 @@ impl<T> EventQueue<T> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (fused push-pops included).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events ever processed (fused push-pops included).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// High-water mark of pending events.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -246,6 +281,21 @@ mod tests {
         let mut q: EventQueue<u8> = EventQueue::new();
         assert_eq!(q.push_pop(Time::from_ns(3), 1), (Time::from_ns(3), 1));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn telemetry_counters() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(1), 1);
+        q.push(Time::from_ns(2), 2);
+        q.push(Time::from_ns(3), 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        // Fused ops count as one scheduled and one processed each.
+        q.push_pop(Time::from_ns(4), 4);
+        assert_eq!(q.scheduled(), 4);
+        assert_eq!(q.processed(), 2);
+        assert_eq!(q.peak_len(), 3);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`time`] — picosecond-resolution simulated time and clock frequencies;
 //! * [`engine`] — a deterministic time-ordered event queue;
 //! * [`stats`] — counters, latency accumulators, and histograms;
+//! * [`telemetry`] — hierarchical stat registry, Chrome-trace event export,
+//!   and a levelled logging facade;
 //! * [`rng`] — seeded pseudo-random generation and placement hashing.
 //!
 //! Everything is single-threaded and allocation-light: a simulation run is a
@@ -37,9 +39,11 @@ pub mod energy;
 pub mod engine;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use energy::{Energy, Power};
 pub use engine::EventQueue;
-pub use stats::{Counter, LatencyStat, LogHistogram};
+pub use stats::{Counter, Histogram, LatencyStat, LogHistogram, MeanAcc};
+pub use telemetry::{StatRegistry, TraceSink};
 pub use time::{Freq, Time};

@@ -111,42 +111,124 @@ impl LatencyStat {
     }
 }
 
-/// A base-2 logarithmic histogram of durations, bucketed by nanosecond.
+/// Accumulates a running sum and count of dimensionless samples; reports the
+/// mean. The unit-agnostic sibling of [`LatencyStat`], used by the stat
+/// registry for ratios, occupancies, and other non-time means.
 ///
-/// Bucket `i` covers latencies in `[2^i, 2^(i+1))` nanoseconds, with bucket 0
-/// also absorbing sub-nanosecond samples. Used for latency-distribution
-/// reporting in the harness.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LogHistogram {
-    buckets: Vec<u64>,
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::stats::MeanAcc;
+///
+/// let mut m = MeanAcc::default();
+/// m.record(1.0);
+/// m.record(3.0);
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(MeanAcc::default().mean(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanAcc {
+    sum: f64,
+    count: u64,
 }
 
-impl Default for LogHistogram {
+impl MeanAcc {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        MeanAcc { sum: 0.0, count: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Sum of all samples.
+    pub const fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (`0.0` when empty — an empty accumulator never
+    /// reports NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MeanAcc) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A base-2 logarithmic latency histogram with percentile readout.
+///
+/// Bucket `i` covers latencies in `[2^i, 2^(i+1))` nanoseconds, with bucket 0
+/// also absorbing sub-nanosecond samples. Alongside the buckets the histogram
+/// tracks the exact sample count and total, so the mean is exact while the
+/// percentiles are bucket-floor approximations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: Time,
+}
+
+/// Former name of [`Histogram`], kept for readability at call sites that
+/// predate the telemetry layer.
+pub type LogHistogram = Histogram;
+
+impl Default for Histogram {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LogHistogram {
+impl Histogram {
     /// Buckets cover up to 2^31 ns (~2 s), far beyond any access latency.
     const BUCKETS: usize = 32;
 
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LogHistogram { buckets: vec![0; Self::BUCKETS] }
+        Histogram { buckets: vec![0; Self::BUCKETS], total: Time::ZERO }
     }
 
     /// Records one duration.
+    #[inline]
     pub fn record(&mut self, t: Time) {
         let ns = t.as_ns();
         let idx =
             if ns == 0 { 0 } else { (63 - ns.leading_zeros() as usize).min(Self::BUCKETS - 1) };
         self.buckets[idx] += 1;
+        self.total += t;
     }
 
     /// Total number of samples.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Sum of all samples.
+    pub const fn total(&self) -> Time {
+        self.total
+    }
+
+    /// Exact mean sample value ([`Time::ZERO`] when empty).
+    pub fn mean(&self) -> Time {
+        match self.total.as_ps().checked_div(self.count()) {
+            Some(ps) => Time::from_ps(ps),
+            None => Time::ZERO,
+        }
     }
 
     /// Iterator of `(bucket_floor_ns, count)` for non-empty buckets.
@@ -156,6 +238,14 @@ impl LogHistogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.total += other.total;
     }
 
     /// An approximate percentile (by bucket floor). `p` in `[0, 1]`.
@@ -179,6 +269,21 @@ impl LogHistogram {
             }
         }
         Time::from_ns(1 << (Self::BUCKETS - 1))
+    }
+
+    /// Median latency (bucket floor).
+    pub fn p50(&self) -> Time {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile latency (bucket floor).
+    pub fn p95(&self) -> Time {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile latency (bucket floor).
+    pub fn p99(&self) -> Time {
+        self.percentile(0.99)
     }
 }
 

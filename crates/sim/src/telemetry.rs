@@ -1,0 +1,23 @@
+//! Full-stack telemetry: hierarchical stat registry, Chrome-trace event
+//! export, and a levelled logging facade.
+//!
+//! The three pieces are independent but share one design rule: **nothing here
+//! may perturb simulation results**. Stats are read out of the models after a
+//! run completes, traces are recorded from simulated timestamps only, and the
+//! log facade defaults to warnings-only so default runs stay silent.
+//!
+//! * [`registry`] — [`StatRegistry`]: subsystems publish named
+//!   `Counter`/`MeanAcc`/`Histogram` nodes under hierarchical dotted paths
+//!   (`stack00.mesh.link[e].flits`), serialized deterministically to JSON.
+//! * [`trace`] — [`TraceSink`]: an opt-in bounded ring buffer of simulation
+//!   events written as Chrome trace-event JSON (loadable in Perfetto or
+//!   `chrome://tracing`), enabled via `NDPX_TRACE=<path>`.
+//! * [`log`] — a tiny levelled `eprintln!` switchboard (`NDPX_LOG=debug`)
+//!   replacing ad-hoc debug prints in the system models.
+
+pub mod log;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{StatRegistry, StatScope, StatValue};
+pub use trace::{validate_chrome_trace, TraceConfig, TraceSink};

@@ -1,0 +1,186 @@
+//! A minimal levelled logging facade.
+//!
+//! The system models used to carry ad-hoc `eprintln!` debug paths, each with
+//! its own environment flag. This module replaces them with one switchboard:
+//! `NDPX_LOG=error|warn|info|debug|trace|off` sets the global level (default
+//! `warn`, so normal runs are silent on stderr), and the `ndpx_error!` …
+//! `ndpx_trace!` macros gate formatting on the level check so disabled
+//! statements cost one relaxed atomic load.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or surprising conditions.
+    Error = 1,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 2,
+    /// High-level run progress.
+    Info = 3,
+    /// Per-component diagnostics (allocation dumps, slow legs).
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from the environment".
+const UNSET: u8 = u8::MAX;
+/// Level value meaning "log nothing".
+const OFF: u8 = 0;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Parses a level name as accepted by `NDPX_LOG` (case-insensitive; `off`,
+/// `0`, and `none` disable logging entirely).
+pub fn parse_level(s: &str) -> Option<u8> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(OFF),
+        "error" | "1" => Some(Level::Error as u8),
+        "warn" | "warning" | "2" => Some(Level::Warn as u8),
+        "info" | "3" => Some(Level::Info as u8),
+        "debug" | "4" => Some(Level::Debug as u8),
+        "trace" | "5" => Some(Level::Trace as u8),
+        _ => None,
+    }
+}
+
+fn init_from_env() -> u8 {
+    let level =
+        std::env::var("NDPX_LOG").ok().and_then(|v| parse_level(&v)).unwrap_or(Level::Warn as u8);
+    MAX_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+/// Whether messages at `level` are currently emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    let max = if max == UNSET { init_from_env() } else { max };
+    level as u8 <= max
+}
+
+/// Overrides the global level (tests and harness binaries; `None` disables
+/// logging entirely).
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Emits one formatted line to stderr. Use through the `ndpx_*!` macros,
+/// which perform the level check before formatting.
+pub fn log(level: Level, module: &str, args: fmt::Arguments<'_>) {
+    // A single write_all keeps concurrent worker-thread lines whole.
+    let line = format!("[{:5} {module}] {args}\n", level.label());
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! ndpx_error {
+    ($($arg:tt)*) => {
+        if $crate::telemetry::log::enabled($crate::telemetry::log::Level::Error) {
+            $crate::telemetry::log::log(
+                $crate::telemetry::log::Level::Error,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! ndpx_warn {
+    ($($arg:tt)*) => {
+        if $crate::telemetry::log::enabled($crate::telemetry::log::Level::Warn) {
+            $crate::telemetry::log::log(
+                $crate::telemetry::log::Level::Warn,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! ndpx_info {
+    ($($arg:tt)*) => {
+        if $crate::telemetry::log::enabled($crate::telemetry::log::Level::Info) {
+            $crate::telemetry::log::log(
+                $crate::telemetry::log::Level::Info,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! ndpx_debug {
+    ($($arg:tt)*) => {
+        if $crate::telemetry::log::enabled($crate::telemetry::log::Level::Debug) {
+            $crate::telemetry::log::log(
+                $crate::telemetry::log::Level::Debug,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! ndpx_trace {
+    ($($arg:tt)*) => {
+        if $crate::telemetry::log::enabled($crate::telemetry::log::Level::Trace) {
+            $crate::telemetry::log::log(
+                $crate::telemetry::log::Level::Trace,
+                module_path!(),
+                format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(parse_level("warn"), Some(Level::Warn as u8));
+        assert_eq!(parse_level("DEBUG"), Some(Level::Debug as u8));
+        assert_eq!(parse_level("off"), Some(0));
+        assert_eq!(parse_level("bogus"), None);
+    }
+
+    #[test]
+    fn explicit_level_gates() {
+        // Do not touch NDPX_LOG here: env mutation races parallel tests.
+        set_max_level(Some(Level::Info));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_max_level(None);
+        assert!(!enabled(Level::Error));
+        // Restore the default so other tests see the usual gate.
+        set_max_level(Some(Level::Warn));
+    }
+}

@@ -1,0 +1,535 @@
+//! Opt-in Chrome trace-event export.
+//!
+//! A [`TraceSink`] is a bounded ring buffer of simulation events recorded at
+//! simulated timestamps. When a run finishes, the sink renders the Chrome
+//! trace-event JSON format (the "catapult" format understood by Perfetto and
+//! `chrome://tracing`). Tracing is off unless the harness constructs a sink —
+//! disabled runs pay one `Option` branch per call site and nothing else.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::registry::{write_json_f64, write_json_string};
+use crate::time::Time;
+
+/// Configuration for a [`TraceSink`], usually read from the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Output path for the trace JSON. Multi-cell runs append a unique
+    /// sequence suffix before the extension so cells never clobber each
+    /// other.
+    pub path: PathBuf,
+    /// Only events at or after this simulated time are recorded.
+    pub start: Time,
+    /// Only events strictly before this simulated time are recorded.
+    pub stop: Time,
+    /// Ring-buffer capacity in events; older events are dropped first.
+    pub capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default ring capacity: enough for a detailed window without
+    /// unbounded memory growth.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Builds a config capturing the whole run into `path`.
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        TraceConfig {
+            path: path.into(),
+            start: Time::ZERO,
+            stop: Time::MAX,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Reads `NDPX_TRACE` (output path; unset disables tracing),
+    /// `NDPX_TRACE_START` / `NDPX_TRACE_STOP` (simulated-time window in
+    /// microseconds), and `NDPX_TRACE_CAP` (ring capacity in events).
+    pub fn from_env() -> Option<Self> {
+        let path = std::env::var("NDPX_TRACE").ok().filter(|p| !p.is_empty())?;
+        let mut cfg = TraceConfig::to_path(path);
+        if let Some(us) = env_f64("NDPX_TRACE_START") {
+            cfg.start = Time::from_ns_f64(us * 1e3);
+        }
+        if let Some(us) = env_f64("NDPX_TRACE_STOP") {
+            cfg.stop = Time::from_ns_f64(us * 1e3);
+        }
+        if let Some(cap) = std::env::var("NDPX_TRACE_CAP").ok().and_then(|v| v.parse().ok()) {
+            cfg.capacity = cap;
+        }
+        Some(cfg)
+    }
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct TraceEvent {
+    /// Chrome phase: `X` = complete (has `dur`), `i` = instant.
+    ph: char,
+    cat: &'static str,
+    name: String,
+    /// Track (rendered as the Chrome `tid`): one lane per unit/component.
+    track: u32,
+    ts: Time,
+    dur: Time,
+}
+
+/// Monotonic suffix so concurrent cells writing the same configured path get
+/// distinct files.
+static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A bounded ring buffer of simulation events with Chrome-trace JSON output.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::telemetry::{validate_chrome_trace, TraceConfig, TraceSink};
+/// use ndpx_sim::time::Time;
+///
+/// let mut sink = TraceSink::new(TraceConfig::to_path("/tmp/trace.json"));
+/// sink.complete("noc", "msg e", 3, Time::from_ns(10), Time::from_ns(5));
+/// let json = sink.render_json("demo");
+/// assert!(validate_chrome_trace(&json).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct TraceSink {
+    cfg: TraceConfig,
+    events: Vec<TraceEvent>,
+    /// Next slot to overwrite once `events` has reached capacity.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates an empty sink.
+    pub fn new(cfg: TraceConfig) -> Self {
+        let cap = cfg.capacity.max(1);
+        TraceSink { cfg, events: Vec::with_capacity(cap.min(4096)), head: 0, dropped: 0 }
+    }
+
+    /// Creates a sink if `NDPX_TRACE` is set.
+    pub fn from_env() -> Option<Self> {
+        TraceConfig::from_env().map(Self::new)
+    }
+
+    /// Whether an event at simulated time `t` falls inside the capture
+    /// window. Call sites that must format event names can use this to skip
+    /// the formatting work entirely.
+    #[inline]
+    pub fn in_window(&self, t: Time) -> bool {
+        t >= self.cfg.start && t < self.cfg.stop
+    }
+
+    /// Records a complete (duration) event.
+    pub fn complete(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        track: u32,
+        start: Time,
+        dur: Time,
+    ) {
+        if self.in_window(start) {
+            self.push(TraceEvent { ph: 'X', cat, name: name.into(), track, ts: start, dur });
+        }
+    }
+
+    /// Records an instant event.
+    pub fn instant(&mut self, cat: &'static str, name: impl Into<String>, track: u32, at: Time) {
+        if self.in_window(at) {
+            self.push(TraceEvent {
+                ph: 'i',
+                cat,
+                name: name.into(),
+                track,
+                ts: at,
+                dur: Time::ZERO,
+            });
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        let cap = self.cfg.capacity.max(1);
+        if self.events.len() < cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted from the ring after it filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events in record order (oldest first).
+    fn ordered(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, front) = self.events.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    /// Renders the Chrome trace-event JSON. `ts`/`dur` are microseconds of
+    /// simulated time; `track` becomes the Chrome thread id so every unit
+    /// gets its own swimlane.
+    pub fn render_json(&self, process_name: &str) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\": [\n");
+        out.push_str("  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \"args\": {\"name\": ");
+        write_json_string(&mut out, process_name);
+        out.push_str("}}");
+        for ev in self.ordered() {
+            out.push_str(",\n  {\"ph\": \"");
+            out.push(ev.ph);
+            let _ = write!(
+                out,
+                "\", \"pid\": 1, \"tid\": {}, \"cat\": \"{}\", \"name\": ",
+                ev.track, ev.cat
+            );
+            write_json_string(&mut out, &ev.name);
+            out.push_str(", \"ts\": ");
+            write_json_f64(&mut out, ev.ts.as_us_f64());
+            if ev.ph == 'X' {
+                out.push_str(", \"dur\": ");
+                write_json_f64(&mut out, ev.dur.as_us_f64());
+            } else {
+                out.push_str(", \"s\": \"t\"");
+            }
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "\n], \"displayTimeUnit\": \"ns\", \"otherData\": {{\"dropped_events\": {}}}}}\n",
+            self.dropped
+        );
+        out
+    }
+
+    /// Writes the rendered trace to the configured path, appending a unique
+    /// sequence suffix before the extension (`trace.json` →
+    /// `trace.0003.json`) so parallel cells never clobber each other.
+    /// Returns the path written.
+    pub fn write(&self, process_name: &str) -> io::Result<PathBuf> {
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = sequenced_path(&self.cfg.path, seq);
+        std::fs::write(&path, self.render_json(process_name))?;
+        Ok(path)
+    }
+}
+
+fn sequenced_path(base: &Path, seq: u64) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let named = match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}.{seq:04}.{ext}"),
+        None => format!("{stem}.{seq:04}"),
+    };
+    base.with_file_name(named)
+}
+
+/// Validates that `json` is a well-formed Chrome trace-event document:
+/// a top-level object with a `traceEvents` array whose entries each have a
+/// string `ph` and `name`, a numeric `pid`/`tid`/`ts` (metadata events may
+/// omit `ts`), and a numeric `dur` when `ph` is `"X"`. Returns the number of
+/// events on success.
+///
+/// This is a purpose-built parser, not a general JSON library — the workspace
+/// is dependency-free by design — but it fully tokenizes the document, so
+/// malformed JSON is rejected, not just missing keys.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    let Json::Object(fields) = doc else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Json::Array(events)) = fields.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        return Err("missing traceEvents array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Object(f) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let Some(Json::String(ph)) = get("ph") else {
+            return Err(format!("event {i}: missing string ph"));
+        };
+        if !matches!(get("name"), Some(Json::String(_))) {
+            return Err(format!("event {i}: missing string name"));
+        }
+        for key in ["pid", "tid"] {
+            if !matches!(get(key), Some(Json::Number(_))) {
+                return Err(format!("event {i}: missing numeric {key}"));
+            }
+        }
+        if ph != "M" && !matches!(get("ts"), Some(Json::Number(_))) {
+            return Err(format!("event {i}: missing numeric ts"));
+        }
+        if ph == "X" && !matches!(get("dur"), Some(Json::Number(_))) {
+            return Err(format!("event {i}: complete event missing dur"));
+        }
+    }
+    Ok(events.len())
+}
+
+enum Json {
+    Null,
+    Bool(#[allow(dead_code)] bool),
+    Number(#[allow(dead_code)] f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at offset {}", c as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at {}", self.pos))?;
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar (input is &str, so this is safe
+                    // to slice on char boundaries).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .map_err(|_| format!("bad utf8 at offset {}", self.pos))?;
+                    s.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                c => {
+                    return Err(format!("expected ',' or ']' got '{}' at {}", c as char, self.pos))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                c => {
+                    return Err(format!("expected ',' or '}}' got '{}' at {}", c as char, self.pos))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(cap: usize) -> TraceSink {
+        let mut cfg = TraceConfig::to_path("/tmp/t.json");
+        cfg.capacity = cap;
+        TraceSink::new(cfg)
+    }
+
+    #[test]
+    fn window_filters_events() {
+        let mut cfg = TraceConfig::to_path("/tmp/t.json");
+        cfg.start = Time::from_ns(100);
+        cfg.stop = Time::from_ns(200);
+        let mut s = TraceSink::new(cfg);
+        s.instant("core", "early", 0, Time::from_ns(50));
+        s.instant("core", "in", 0, Time::from_ns(150));
+        s.instant("core", "late", 0, Time::from_ns(250));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut s = sink(2);
+        for i in 0..5u64 {
+            s.instant("core", format!("e{i}"), 0, Time::from_ns(i));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let json = s.render_json("t");
+        assert!(!json.contains("\"e2\"") && json.contains("\"e3\"") && json.contains("\"e4\""));
+        // Oldest-first ordering survives the wraparound.
+        assert!(json.find("\"e3\"").unwrap() < json.find("\"e4\"").unwrap());
+    }
+
+    #[test]
+    fn rendered_trace_validates() {
+        let mut s = sink(16);
+        s.complete("noc", "msg \"quoted\"", 3, Time::from_ns(10), Time::from_ns(7));
+        s.instant("core", "reconfig", 0, Time::from_ns(20));
+        let json = s.render_json("cell hbm/ndpx/mv");
+        assert_eq!(validate_chrome_trace(&json), Ok(3));
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_chrome_trace("{\"traceEvents\": [").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": {}}").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        let no_dur = "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"a\", \"pid\": 1, \"tid\": 0, \"ts\": 1}]}";
+        assert!(validate_chrome_trace(no_dur).is_err());
+    }
+
+    #[test]
+    fn sequenced_paths_are_unique() {
+        let a = sequenced_path(Path::new("out/trace.json"), 3);
+        assert_eq!(a, Path::new("out/trace.0003.json"));
+        let b = sequenced_path(Path::new("trace"), 12);
+        assert_eq!(b, Path::new("trace.0012"));
+    }
+}

@@ -113,6 +113,12 @@ impl StreamTable {
         self.streams.is_empty()
     }
 
+    /// Publishes table occupancy under `scope`.
+    pub fn register_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        scope.count("streams", self.streams.len() as u64);
+        scope.count("capacity", StreamId::MAX_STREAMS as u64);
+    }
+
     /// The configuration of `sid`.
     ///
     /// # Panics
