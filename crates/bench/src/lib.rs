@@ -14,9 +14,11 @@ pub mod manifest;
 pub mod pool;
 pub mod runner;
 
-pub use manifest::{CellMetrics, RunManifest};
+pub use manifest::{CellFailure, CellMetrics, RunManifest};
 pub use ndpx_workloads::TraceCache;
-pub use pool::{CellPool, CellResult, CellTask, MonitorConfig};
+pub use pool::{
+    CellCompletion, CellOutcome, CellPool, CellResult, CellTask, MonitorConfig, RetryPolicy,
+};
 pub use runner::{
     geomean, run_host, run_host_cached, run_many, run_many_monitored, run_many_with, run_ndp,
     run_ndp_cached, BenchScale, RunSpec,

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use ndpx_core::stats::RunReport;
 use ndpx_workloads::TraceCacheStats;
 
-use crate::pool::CellResult;
+use crate::pool::{CellCompletion, CellOutcome, CellResult};
 
 /// The telemetry of one finished cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +200,85 @@ pub fn registry_dump_json(run: &str, names: &[String], reports: &[&RunReport]) -
     s
 }
 
+/// One permanently failed cell, for the failure manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Cell key (`mem/policy/workload` or `host/workload`).
+    pub name: String,
+    /// Worker thread the last attempt ran on.
+    pub worker: usize,
+    /// Attempts consumed (all panicked).
+    pub attempts: u32,
+    /// The last panic payload.
+    pub message: String,
+}
+
+/// Extracts the permanently failed cells from a completed matrix. `names`
+/// must parallel `completions` (both in submission order).
+pub fn collect_failures<T>(
+    names: &[String],
+    completions: &[CellCompletion<T>],
+) -> Vec<CellFailure> {
+    names
+        .iter()
+        .zip(completions)
+        .filter_map(|(name, c)| match &c.outcome {
+            CellOutcome::Panicked { attempts, message } => Some(CellFailure {
+                name: name.clone(),
+                worker: c.worker,
+                attempts: *attempts,
+                message: message.clone(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Renders the failure manifest (`ndpx-failure-manifest-v1`): every cell
+/// that exhausted its retries, in submission order, with the total cell
+/// count for context.
+pub fn failure_manifest_json(run: &str, total_cells: usize, failures: &[CellFailure]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"ndpx-failure-manifest-v1\",");
+    let _ = writeln!(s, "  \"run\": \"{run}\",");
+    let _ = writeln!(s, "  \"cells_total\": {total_cells},");
+    let _ = writeln!(s, "  \"cells_failed\": {},", failures.len());
+    s.push_str("  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"cell\": \"{}\", \"worker\": {}, \"attempts\": {}, \"message\": \"{}\"}}{comma}",
+            f.name,
+            f.worker,
+            f.attempts,
+            escape(&f.message)
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Escapes a message for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// The sidecar output directory: `NDPX_METRICS` when set and non-empty.
 pub fn metrics_dir() -> Option<PathBuf> {
     match std::env::var("NDPX_METRICS") {
@@ -255,6 +334,59 @@ pub fn emit(
     match write_sidecars(&dir, &manifest, names, &reports) {
         Ok(path) => ndpx_sim::ndpx_info!("{run}: wrote {}", path.display()),
         Err(e) => ndpx_sim::ndpx_warn!("{run}: cannot write metrics under {}: {e}", dir.display()),
+    }
+}
+
+/// [`emit`] for a panic-isolated matrix: writes the metrics and registry
+/// sidecars over the cells that *succeeded* (so partial results survive a
+/// lost cell) and, when any cell failed permanently, a
+/// `<run>.failures.json` failure manifest alongside them. Like [`emit`],
+/// a no-op when `NDPX_METRICS` is unset.
+pub fn emit_outcomes(
+    run: &str,
+    threads: usize,
+    names: &[String],
+    completions: &[CellCompletion<RunReport>],
+    trace_cache: Option<TraceCacheStats>,
+) {
+    assert_eq!(names.len(), completions.len(), "one name per cell");
+    let Some(dir) = metrics_dir() else { return };
+    let mut ok_names = Vec::with_capacity(names.len());
+    let mut ok_results = Vec::with_capacity(names.len());
+    for (name, c) in names.iter().zip(completions) {
+        if let Some(report) = c.outcome.value() {
+            ok_names.push(name.clone());
+            ok_results.push(CellResult {
+                value: report.clone(),
+                worker: c.worker,
+                wall_s: c.wall_s,
+            });
+        }
+    }
+    let manifest = RunManifest::collect(run, threads, &ok_names, &ok_results, trace_cache);
+    let reports: Vec<&RunReport> = ok_results.iter().map(|r| &r.value).collect();
+    match write_sidecars(&dir, &manifest, &ok_names, &reports) {
+        Ok(path) => ndpx_sim::ndpx_info!("{run}: wrote {}", path.display()),
+        Err(e) => ndpx_sim::ndpx_warn!("{run}: cannot write metrics under {}: {e}", dir.display()),
+    }
+    let failures = collect_failures(names, completions);
+    if !failures.is_empty() {
+        let path = dir.join(format!("{}.failures.json", sanitize(run)));
+        let doc = failure_manifest_json(run, completions.len(), &failures);
+        match std::fs::write(&path, doc) {
+            Ok(()) => ndpx_sim::ndpx_warn!(
+                "{run}: {} of {} cells failed; manifest at {}",
+                failures.len(),
+                completions.len(),
+                path.display()
+            ),
+            Err(e) => {
+                ndpx_sim::ndpx_warn!(
+                    "{run}: cannot write failure manifest at {}: {e}",
+                    path.display()
+                );
+            }
+        }
     }
 }
 
@@ -319,6 +451,32 @@ mod tests {
         assert!(x < y, "cells render in submission order");
         assert!(dump.contains("\"engine.events\": 200"));
         assert!(dump.contains("\"engine.events\": 600"));
+    }
+
+    #[test]
+    fn failure_manifest_lists_failed_cells_only() {
+        use crate::pool::{CellCompletion, CellOutcome};
+        let ok = result(10, 200, 16, 0.5);
+        let completions = vec![
+            CellCompletion { outcome: CellOutcome::Ok(ok.value), worker: 0, wall_s: 0.5 },
+            CellCompletion {
+                outcome: CellOutcome::Panicked { attempts: 3, message: "tag \"x\" died".into() },
+                worker: 1,
+                wall_s: 0.1,
+            },
+        ];
+        let names = vec!["hbm/NdpExt/pr".to_string(), "hbm/NdpExt/mv".to_string()];
+        let failures = collect_failures(&names, &completions);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "hbm/NdpExt/mv");
+        assert_eq!(failures[0].attempts, 3);
+        let doc = failure_manifest_json("fig", completions.len(), &failures);
+        assert!(doc.contains("\"schema\": \"ndpx-failure-manifest-v1\""));
+        assert!(doc.contains("\"cells_total\": 2"));
+        assert!(doc.contains("\"cells_failed\": 1"));
+        assert!(doc.contains("\"cell\": \"hbm/NdpExt/mv\""));
+        assert!(doc.contains("tag \\\"x\\\" died"), "messages are JSON-escaped");
+        assert!(!doc.contains("hbm/NdpExt/pr\", \"worker"), "successful cells stay out");
     }
 
     #[test]

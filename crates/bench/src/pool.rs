@@ -8,17 +8,26 @@
 //! (default: all available cores); `1` runs every cell inline on the
 //! calling thread in submission order — exactly the historical serial
 //! behaviour.
+//!
+//! Cells are panic-isolated: a panicking cell is caught on its worker,
+//! optionally re-executed per [`RetryPolicy`] (`NDPX_CELL_RETRIES`), and
+//! reported as a [`CellOutcome`] — one exploding cell can never abort its
+//! siblings or lose the rest of a long sweep.
 
+#![deny(clippy::unwrap_used)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 use ndpx_sim::{ndpx_info, ndpx_warn};
 
 /// One unit of pool work. Boxed so heterogeneous cells (NDP runs, host
 /// baselines, tweaked sweeps) can share a matrix; the lifetime lets tasks
-/// borrow shared immutable state such as a trace cache.
-pub type CellTask<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+/// borrow shared immutable state such as a trace cache. `Fn` (not `FnOnce`)
+/// so a panicked attempt can be re-executed under a [`RetryPolicy`].
+pub type CellTask<'a, T> = Box<dyn Fn() -> T + Send + 'a>;
 
 /// The outcome of one cell, tagged with where and how long it ran.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +38,171 @@ pub struct CellResult<T> {
     pub worker: usize,
     /// Wall-clock seconds the cell took on its worker.
     pub wall_s: f64,
+}
+
+/// How one cell's execution ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<T> {
+    /// The first attempt returned a value.
+    Ok(T),
+    /// A retry returned a value after `attempts - 1` panicked attempts.
+    Retried {
+        /// The successful attempt's return value.
+        value: T,
+        /// Total attempts, including the successful one.
+        attempts: u32,
+    },
+    /// Every attempt panicked; the cell has no value.
+    Panicked {
+        /// Total attempts, all panicked.
+        attempts: u32,
+        /// The last panic payload (best-effort string rendering).
+        message: String,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// The cell's value, if any attempt succeeded.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::Retried { value: v, .. } => Some(v),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome into its value, if any attempt succeeded.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::Retried { value: v, .. } => Some(v),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// True when every attempt panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. })
+    }
+
+    /// Number of execution attempts the cell consumed.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CellOutcome::Ok(_) => 1,
+            CellOutcome::Retried { attempts, .. } | CellOutcome::Panicked { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// One completed cell: its [`CellOutcome`] plus scheduling metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellCompletion<T> {
+    /// How the cell ended.
+    pub outcome: CellOutcome<T>,
+    /// Index of the worker thread that executed the cell (0 when serial).
+    pub worker: usize,
+    /// Wall-clock seconds across every attempt of the cell.
+    pub wall_s: f64,
+}
+
+/// How panicked cells are re-executed before being reported as failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-executions allowed after the first panicked attempt.
+    pub retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per
+    /// subsequent retry. `0` retries immediately.
+    pub backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Default backoff before the first retry.
+    pub const DEFAULT_BACKOFF_MS: u64 = 100;
+
+    /// No retries: a panicked cell fails on its first attempt.
+    pub const fn none() -> Self {
+        RetryPolicy { retries: 0, backoff_ms: 0 }
+    }
+
+    /// `retries` re-executions with the default doubling backoff.
+    pub const fn with_retries(retries: u32) -> Self {
+        RetryPolicy { retries, backoff_ms: Self::DEFAULT_BACKOFF_MS }
+    }
+
+    /// Reads `NDPX_CELL_RETRIES` (default: no retries).
+    pub fn from_env() -> Self {
+        Self::with_retries(Self::parse(std::env::var("NDPX_CELL_RETRIES").ok().as_deref()))
+    }
+
+    /// Parses a retry-count override; `None` and unparsable values map to
+    /// zero. Pure so tests need not touch the (process-global, racy)
+    /// environment.
+    pub fn parse(value: Option<&str>) -> u32 {
+        value.and_then(|v| v.trim().parse::<u32>().ok()).unwrap_or(0)
+    }
+
+    /// Backoff before retry number `retry` (1-based), capped at 32× base.
+    fn backoff_before(self, retry: u32) -> std::time::Duration {
+        let factor = 1u64 << (retry - 1).min(5);
+        std::time::Duration::from_millis(self.backoff_ms.saturating_mul(factor))
+    }
+}
+
+/// Best-effort string rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked. Pool
+/// state stays consistent under poisoning: slots hold plain data, and every
+/// cell body already runs under `catch_unwind`.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs one task to completion under `retry`, catching panics per attempt.
+fn execute<T>(task: &(dyn Fn() -> T + Send + '_), retry: RetryPolicy) -> (CellOutcome<T>, f64) {
+    let t0 = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(task)) {
+            Ok(value) => {
+                let outcome = if attempts == 1 {
+                    CellOutcome::Ok(value)
+                } else {
+                    CellOutcome::Retried { value, attempts }
+                };
+                return (outcome, t0.elapsed().as_secs_f64());
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if attempts > retry.retries {
+                    return (
+                        CellOutcome::Panicked { attempts, message },
+                        t0.elapsed().as_secs_f64(),
+                    );
+                }
+                ndpx_warn!(
+                    "cell attempt {attempts}/{} panicked ({message}); retrying",
+                    retry.retries + 1
+                );
+                let backoff = retry.backoff_before(attempts);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
 }
 
 /// A scoped work-stealing thread pool over independent cells.
@@ -63,32 +237,35 @@ impl CellPool {
         self.threads
     }
 
-    /// Executes every task and returns their results in submission order.
+    /// Executes every task and returns completions in submission order,
+    /// never propagating a cell panic.
     ///
     /// With one thread the tasks run inline, in order, with no thread
     /// machinery. Otherwise workers claim cells from a shared counter
     /// (cheap work stealing: long cells never block the queue behind them)
-    /// and deposit results into per-cell slots, so the output order never
-    /// depends on scheduling.
-    ///
-    /// # Panics
-    ///
-    /// Propagates task panics (the scope unwinds once all workers stop).
-    pub fn run<'env, T: Send>(self, tasks: Vec<CellTask<'env, T>>) -> Vec<CellResult<T>> {
+    /// and deposit completions into per-cell slots, so the output order
+    /// never depends on scheduling. Each cell runs under `catch_unwind` and
+    /// is re-executed per `retry`, so a panicking cell is reported as
+    /// [`CellOutcome::Panicked`] while every sibling still completes.
+    pub fn run_cells<'env, T: Send>(
+        self,
+        retry: RetryPolicy,
+        tasks: Vec<CellTask<'env, T>>,
+    ) -> Vec<CellCompletion<T>> {
         let n = tasks.len();
         if self.threads == 1 || n <= 1 {
             return tasks
                 .into_iter()
                 .map(|task| {
-                    let t0 = Instant::now();
-                    let value = task();
-                    CellResult { value, worker: 0, wall_s: t0.elapsed().as_secs_f64() }
+                    let (outcome, wall_s) = execute(task.as_ref(), retry);
+                    CellCompletion { outcome, worker: 0, wall_s }
                 })
                 .collect();
         }
         let slots: Vec<Mutex<Option<CellTask<'env, T>>>> =
             tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<CellResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<CellCompletion<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for worker in 0..self.threads.min(n) {
@@ -100,45 +277,73 @@ impl CellPool {
                     if i >= n {
                         break;
                     }
-                    let task = slots[i]
-                        .lock()
-                        .expect("no task panicked while being claimed")
-                        .take()
-                        .expect("each cell is claimed exactly once");
-                    let t0 = Instant::now();
-                    let value = task();
-                    *results[i].lock().expect("no worker panicked depositing") =
-                        Some(CellResult { value, worker, wall_s: t0.elapsed().as_secs_f64() });
+                    let Some(task) = lock_or_recover(&slots[i]).take() else {
+                        // Each index is handed out exactly once by the
+                        // atomic counter; an empty slot is unreachable.
+                        continue;
+                    };
+                    let (outcome, wall_s) = execute(task.as_ref(), retry);
+                    *lock_or_recover(&results[i]) =
+                        Some(CellCompletion { outcome, worker, wall_s });
                 });
             }
         });
         results
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("all workers joined")
-                    .expect("every cell was executed before the scope closed")
+                let inner = match slot.into_inner() {
+                    Ok(v) => v,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                inner.unwrap_or(CellCompletion {
+                    outcome: CellOutcome::Panicked {
+                        attempts: 0,
+                        message: "cell was never executed".to_string(),
+                    },
+                    worker: 0,
+                    wall_s: 0.0,
+                })
             })
             .collect()
     }
 
+    /// Executes every task and returns their results in submission order.
+    ///
+    /// Panic-isolated compatibility wrapper over [`CellPool::run_cells`]
+    /// with the environment's [`RetryPolicy`]: every cell completes even if
+    /// some panic, and the pool panics only *after* the whole matrix has
+    /// run, naming each permanently failed cell.
+    ///
+    /// # Panics
+    ///
+    /// At the end of the run, if any cell exhausted its retries.
+    pub fn run<'env, T: Send>(self, tasks: Vec<CellTask<'env, T>>) -> Vec<CellResult<T>> {
+        unwrap_completions(self.run_cells(RetryPolicy::from_env(), tasks))
+    }
+
     /// [`CellPool::run`] without the per-cell metadata.
+    ///
+    /// # Panics
+    ///
+    /// At the end of the run, if any cell exhausted its retries.
     pub fn run_values<'env, T: Send>(self, tasks: Vec<CellTask<'env, T>>) -> Vec<T> {
         self.run(tasks).into_iter().map(|r| r.value).collect()
     }
 
-    /// [`CellPool::run`] with progress heartbeats and a slow-cell watchdog.
+    /// [`CellPool::run_cells`] with progress heartbeats and a slow-cell
+    /// watchdog.
     ///
     /// Each finished cell may emit one throttled heartbeat line (info level,
     /// so silent unless `NDPX_LOG=info`); after the matrix completes, cells
     /// whose wall clock exceeded `monitor.slow_mult` × the median are named
     /// at warn level. Monitoring never changes what runs or the order results
     /// come back in — it only observes.
-    pub fn run_monitored<'env, T: Send>(
+    pub fn run_cells_monitored<'env, T: Send>(
         self,
         monitor: &MonitorConfig,
+        retry: RetryPolicy,
         tasks: Vec<CellTask<'env, T>>,
-    ) -> Vec<CellResult<T>> {
+    ) -> Vec<CellCompletion<T>> {
         let n = tasks.len();
         let t0 = Instant::now();
         let done = AtomicUsize::new(0);
@@ -176,8 +381,8 @@ impl CellPool {
                 }) as CellTask<'_, T>
             })
             .collect();
-        let results = self.run(wrapped);
-        let walls: Vec<f64> = results.iter().map(|r| r.wall_s).collect();
+        let completions = self.run_cells(retry, wrapped);
+        let walls: Vec<f64> = completions.iter().map(|r| r.wall_s).collect();
         for i in slow_cells(&walls, monitor.slow_mult) {
             let name = monitor.names.get(i).map_or("?", |s| s.as_str());
             ndpx_warn!(
@@ -186,11 +391,56 @@ impl CellPool {
                 walls[i],
                 walls[i] / median(&walls).max(1e-9),
                 median(&walls),
-                results[i].worker
+                completions[i].worker
             );
         }
-        results
+        completions
     }
+
+    /// [`CellPool::run`] with the monitoring envelope of
+    /// [`CellPool::run_cells_monitored`].
+    ///
+    /// # Panics
+    ///
+    /// At the end of the run, if any cell exhausted its retries.
+    pub fn run_monitored<'env, T: Send>(
+        self,
+        monitor: &MonitorConfig,
+        tasks: Vec<CellTask<'env, T>>,
+    ) -> Vec<CellResult<T>> {
+        unwrap_completions(self.run_cells_monitored(monitor, RetryPolicy::from_env(), tasks))
+    }
+}
+
+/// Converts completions into plain results, panicking at the *end* if any
+/// cell failed permanently — sibling results are all computed first, so a
+/// lost cell never discards the rest of the matrix's work.
+fn unwrap_completions<T>(completions: Vec<CellCompletion<T>>) -> Vec<CellResult<T>> {
+    let failed: Vec<String> = completions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| match &c.outcome {
+            CellOutcome::Panicked { message, .. } => Some(format!("cell {i}: {message}")),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "{} of {} cells failed permanently after retries: {}",
+        failed.len(),
+        completions.len(),
+        failed.join("; ")
+    );
+    completions
+        .into_iter()
+        .map(|c| {
+            let (worker, wall_s) = (c.worker, c.wall_s);
+            match c.outcome.into_value() {
+                Some(value) => CellResult { value, worker, wall_s },
+                None => unreachable!("failed cells were rejected above"),
+            }
+        })
+        .collect()
 }
 
 /// Configuration for [`CellPool::run_monitored`]: a run label, per-cell
@@ -259,6 +509,7 @@ pub fn slow_cells(walls: &[f64], mult: f64) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -320,15 +571,122 @@ mod tests {
     }
 
     #[test]
+    fn panicking_cell_never_aborts_siblings() {
+        for threads in [1, 4] {
+            let tasks: Vec<CellTask<'static, usize>> = (0..8usize)
+                .map(|i| {
+                    Box::new(move || {
+                        assert!(i != 3, "cell 3 exploded");
+                        i * 2
+                    }) as CellTask<'static, usize>
+                })
+                .collect();
+            let out = CellPool::with_threads(threads).run_cells(RetryPolicy::none(), tasks);
+            assert_eq!(out.len(), 8, "threads={threads}");
+            for (i, c) in out.iter().enumerate() {
+                if i == 3 {
+                    assert!(
+                        matches!(&c.outcome,
+                            CellOutcome::Panicked { attempts: 1, message } if message.contains("exploded")),
+                        "threads={threads}: {:?}",
+                        c.outcome
+                    );
+                } else {
+                    assert_eq!(c.outcome.value(), Some(&(i * 2)), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_recover_flaky_cells() {
+        let calls = AtomicUsize::new(0);
+        let calls = &calls;
+        let tasks: Vec<CellTask<'_, u32>> = vec![Box::new(move || {
+            let n = calls.fetch_add(1, Ordering::Relaxed);
+            assert!(n >= 2, "flaky failure {n}");
+            7
+        })];
+        let retry = RetryPolicy { retries: 2, backoff_ms: 0 };
+        let out = CellPool::with_threads(1).run_cells(retry, tasks);
+        assert_eq!(out[0].outcome, CellOutcome::Retried { value: 7, attempts: 3 });
+        assert_eq!(out[0].outcome.attempts(), 3);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_last_message() {
+        let tasks: Vec<CellTask<'static, u32>> =
+            vec![Box::new(|| -> u32 { panic!("always broken") }) as CellTask<'static, u32>];
+        let out =
+            CellPool::with_threads(1).run_cells(RetryPolicy { retries: 1, backoff_ms: 0 }, tasks);
+        assert!(matches!(&out[0].outcome,
+            CellOutcome::Panicked { attempts: 2, message } if message.contains("always broken")));
+        assert!(out[0].outcome.is_failed());
+        assert!(out[0].outcome.value().is_none());
+    }
+
+    #[test]
+    fn run_panics_at_end_naming_failed_cells() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<CellTask<'static, usize>> = (0..4usize)
+                .map(|i| {
+                    Box::new(move || {
+                        assert!(i != 1, "boom in cell one");
+                        i
+                    }) as CellTask<'static, usize>
+                })
+                .collect();
+            CellPool::with_threads(2).run(tasks);
+        }));
+        let payload = caught.expect_err("a failed cell must surface as a final panic");
+        let message = panic_message(payload.as_ref());
+        assert!(message.contains("1 of 4 cells failed"), "{message}");
+        assert!(message.contains("cell 1"), "{message}");
+        assert!(message.contains("boom in cell one"), "{message}");
+    }
+
+    #[test]
+    fn retry_parse_and_backoff() {
+        assert_eq!(RetryPolicy::parse(None), 0);
+        assert_eq!(RetryPolicy::parse(Some("3")), 3);
+        assert_eq!(RetryPolicy::parse(Some(" 2 ")), 2);
+        assert_eq!(RetryPolicy::parse(Some("bogus")), 0);
+        let p = RetryPolicy::with_retries(8);
+        assert_eq!(p.backoff_before(1).as_millis(), 100);
+        assert_eq!(p.backoff_before(2).as_millis(), 200);
+        // The doubling caps so huge retry budgets cannot sleep for hours.
+        assert_eq!(p.backoff_before(40).as_millis(), 3200);
+        assert!(RetryPolicy::none().backoff_before(1).is_zero());
+    }
+
+    #[test]
     fn watchdog_names_only_outliers() {
         // 1.0s median: the 8.0s cell is past 4x, the 3.0s cell is not.
         let walls = [1.0, 8.0, 1.0, 3.0, 1.0];
         assert_eq!(slow_cells(&walls, 4.0), vec![1]);
         // Millisecond noise stays under the floor even at huge multiples.
         assert_eq!(slow_cells(&[0.001, 0.09, 0.001], 4.0), Vec::<usize>::new());
-        // Disabled watchdog and single cells never fire.
+        // Disabled watchdog never fires.
         assert_eq!(slow_cells(&walls, 0.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn watchdog_single_cell_run_is_quiet() {
+        // A single cell has no population to compare against: it is the
+        // median, so it can never be an outlier — even when huge.
         assert_eq!(slow_cells(&[99.0], 4.0), Vec::<usize>::new());
+        assert_eq!(slow_cells(&[99.0], 0.5), Vec::<usize>::new());
+        assert_eq!(slow_cells(&[], 4.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn watchdog_all_equal_walls_are_quiet() {
+        // Identical wall clocks mean no outliers at any multiple >= 1; even
+        // mult == 1.0 stays quiet because the threshold comparison is
+        // strictly greater-than.
+        assert_eq!(slow_cells(&[2.5; 8], 4.0), Vec::<usize>::new());
+        assert_eq!(slow_cells(&[2.5, 2.5], 1.0), Vec::<usize>::new());
+        assert_eq!(slow_cells(&[0.0; 4], 4.0), Vec::<usize>::new());
     }
 
     #[test]

@@ -211,9 +211,19 @@ pub fn run_many_with(pool: CellPool, cache: &TraceCache, specs: &[RunSpec]) -> V
 }
 
 /// [`run_many_with`] plus the full telemetry envelope: heartbeat lines and
-/// the slow-cell watchdog via [`CellPool::run_monitored`], and the
+/// the slow-cell watchdog via [`CellPool::run_cells_monitored`], and the
 /// `metrics.json` + registry-dump sidecars under `NDPX_METRICS` (see
 /// [`crate::manifest`]). `run_name` labels log lines and sidecar files.
+///
+/// Cells are panic-isolated and retried per `NDPX_CELL_RETRIES`: a cell
+/// that fails permanently never aborts its siblings, and the sidecars plus
+/// a `<run>.failures.json` manifest are written *before* the failure is
+/// escalated, so a partial sweep is never lost.
+///
+/// # Panics
+///
+/// After the whole matrix has run and every manifest is on disk, if any
+/// cell exhausted its retries.
 pub fn run_many_monitored(
     run_name: &str,
     pool: CellPool,
@@ -226,9 +236,30 @@ pub fn run_many_monitored(
         .iter()
         .map(|spec| Box::new(move || run_ndp_cached(spec, cache)) as CellTask<'_, RunReport>)
         .collect();
-    let results = pool.run_monitored(&monitor, tasks);
-    crate::manifest::emit(run_name, pool.threads(), &monitor.names, &results, Some(cache.stats()));
-    results.into_iter().map(|r| r.value).collect()
+    let completions =
+        pool.run_cells_monitored(&monitor, crate::pool::RetryPolicy::from_env(), tasks);
+    crate::manifest::emit_outcomes(
+        run_name,
+        pool.threads(),
+        &monitor.names,
+        &completions,
+        Some(cache.stats()),
+    );
+    let failed: Vec<String> = monitor
+        .names
+        .iter()
+        .zip(&completions)
+        .filter(|(_, c)| c.outcome.is_failed())
+        .map(|(name, _)| name.clone())
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "{run_name}: {} of {} cells failed permanently after retries: {}",
+        failed.len(),
+        completions.len(),
+        failed.join(", ")
+    );
+    completions.into_iter().filter_map(|c| c.outcome.into_value()).collect()
 }
 
 /// The current binary's name, for run labels (`"bench"` as a fallback).

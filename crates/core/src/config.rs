@@ -4,6 +4,7 @@ use ndpx_cxl::CxlParams;
 use ndpx_mem::device::DramConfig;
 use ndpx_noc::network::LinkParams;
 use ndpx_noc::topology::{IntraKind, Topology};
+use ndpx_sim::fault::FaultConfig;
 use ndpx_sim::time::{Freq, Time};
 
 /// Which 3D memory family backs the NDP stacks.
@@ -143,6 +144,11 @@ pub struct SystemConfig {
     pub metadata_block: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Fault-injection configuration. Profiles read it from the
+    /// `NDPX_FAULT_*` environment (like the trace sink); tests override the
+    /// field directly. Disabled by default, in which case every device keeps
+    /// the ideal fault-free path.
+    pub fault: FaultConfig,
 }
 
 impl SystemConfig {
@@ -182,6 +188,7 @@ impl SystemConfig {
             metadata_cache_bytes: 128 << 10,
             metadata_block: 512,
             seed: 0x5EED_0D9C,
+            fault: FaultConfig::from_env(),
         }
     }
 
@@ -265,6 +272,7 @@ impl SystemConfig {
         if self.sampler_points < 2 {
             return Err("need at least two sampler capacity points".into());
         }
+        self.fault.validate().map_err(str::to_string)?;
         Ok(())
     }
 }
@@ -315,6 +323,16 @@ mod tests {
         let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
         cfg.line_bytes = 48;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_rates_are_validated() {
+        let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
+        cfg.fault = FaultConfig::with_seed(1);
+        cfg.fault.mem_ce = 7.0;
+        assert!(cfg.validate().is_err());
+        cfg.fault.mem_ce = 0.5;
+        cfg.validate().unwrap();
     }
 
     #[test]

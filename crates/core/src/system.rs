@@ -29,12 +29,13 @@
 
 use ndpx_cache::setassoc::SetAssocCache;
 use ndpx_cache::tagarray::TagArray;
-use ndpx_cxl::ExtendedMemory;
-use ndpx_mem::device::DramDevice;
-use ndpx_noc::network::Network;
+use ndpx_cxl::{CxlFault, ExtendedMemory};
+use ndpx_mem::device::{DramDevice, EccOutcome, MemFault};
+use ndpx_noc::network::{Network, NocFault};
 use ndpx_noc::topology::UnitId;
 use ndpx_sim::energy::Power;
-use ndpx_sim::engine::EventQueue;
+use ndpx_sim::engine::{EventQueue, ProgressWatchdog};
+use ndpx_sim::fault::domain;
 use ndpx_sim::stats::Histogram;
 use ndpx_sim::telemetry::log::{enabled, Level};
 use ndpx_sim::telemetry::{StatRegistry, TraceSink};
@@ -131,6 +132,9 @@ pub struct NdpSystem {
     reconfigs: u64,
     invalidations: u64,
     migrations: u64,
+    /// Poisoned-data stream aborts: cached-copy invalidation + refetch
+    /// events triggered by uncorrectable ECC errors.
+    stream_aborts: u64,
     replicated_fraction: f64,
     /// End-to-end latency distribution of post-L1 memory accesses.
     access_latency: Histogram,
@@ -231,12 +235,27 @@ impl NdpSystem {
             reconfigs: 0,
             invalidations: 0,
             migrations: 0,
+            stream_aborts: 0,
             replicated_fraction: 0.0,
             access_latency: Histogram::new(),
             trace_noc: enabled(Level::Trace),
             trace_alloc: enabled(Level::Debug),
             trace: TraceSink::from_env().map(Box::new),
         };
+        // Deterministic fault injection: each device derives an independent
+        // decision plan from (master seed, domain, instance), so schedules
+        // are reproducible regardless of harness thread count. With the
+        // seed unset every `plan` is `None` and all devices keep the ideal
+        // fault-free path bit-for-bit.
+        let fcfg = sys.cfg.fault;
+        sys.ext.set_fault(fcfg.plan(domain::CXL, 0).map(|p| CxlFault::new(p, fcfg.cxl_ber)));
+        sys.net.set_fault(fcfg.plan(domain::NOC, 0).map(|p| NocFault::new(p, fcfg.noc_fer)));
+        for (u, unit) in sys.units.iter_mut().enumerate() {
+            unit.dram.set_fault(
+                fcfg.plan(domain::MEM, u as u64)
+                    .map(|p| MemFault::new(p, fcfg.mem_ce, fcfg.mem_ue)),
+            );
+        }
         // Warmup configuration: every policy starts from the equal static
         // allocation and (if it reconfigures) adapts at the first epoch.
         let demands = sys.collect_demands(true);
@@ -265,8 +284,14 @@ impl NdpSystem {
 
     fn config_ctx(&self) -> ConfigCtx {
         let dram_lat = self.cfg.dram_config().timing.row_empty().as_ps() as f64;
-        let ext_lat = 2.0 * self.cfg.cxl.link_latency.as_ps() as f64
+        let mut ext_lat = 2.0 * self.cfg.cxl.link_latency.as_ps() as f64
             + ndpx_mem::timing::DramTiming::ddr5_4800().row_empty().as_ps() as f64;
+        if self.ext.fault_enabled() {
+            // Placement feedback: CRC replays and retrains raise the
+            // effective miss penalty, so the configuration algorithm shifts
+            // streams toward stack-local DRAM while the link is degraded.
+            ext_lat *= self.ext.degradation();
+        }
         ConfigCtx {
             units: self.cfg.units(),
             unit_capacity: self.cfg.unit_capacity,
@@ -292,9 +317,17 @@ impl NdpSystem {
         }
         let mut makespan = Time::ZERO;
         let mut total_ops = 0u64;
+        let mut watchdog = ProgressWatchdog::from_env();
 
         let mut next = queue.pop();
         while let Some((t, core)) = next {
+            if let Some(stall) = watchdog.observe(t, queue.len()) {
+                ndpx_warn!(
+                    "engine deadlock suspected in {:?}/{} while serving core {core}: {stall}",
+                    self.cfg.policy,
+                    self.workload_name
+                );
+            }
             while t >= self.next_epoch {
                 let at = self.next_epoch;
                 self.reconfigure(at);
@@ -512,6 +545,10 @@ impl NdpSystem {
         let grain = desc.grain;
         let daddr = self.layouts[sid_i].slot_addr(target, slot);
 
+        // Set when a data-path DRAM read returns uncorrectable (poisoned)
+        // ECC data; a poisoned hit aborts the stream's cached copy at the
+        // serving unit and refetches from extended memory.
+        let mut poisoned = false;
         let outcome = if stream_grain && affine_stream {
             // ATA probe (SRAM) decides before touching DRAM.
             let tag_lat = self.cycles(SRAM_TAG_CYCLES);
@@ -521,7 +558,8 @@ impl NdpSystem {
             tags.access(slot, key, m.write)
         } else if stream_grain {
             // Indirect: one DRAM access returns tag + data.
-            let t2 = self.units[target].dram.access(daddr, LINE_BYTES, m.write, now);
+            let (t2, ecc) = self.units[target].dram.access_checked(daddr, LINE_BYTES, m.write, now);
+            poisoned = ecc == EccOutcome::Poisoned;
             self.breakdown.add(LatComponent::DramCache, t2 - now);
             now = t2;
             let tags = self.units[target].tags[sid_i].as_mut().expect("allocated");
@@ -547,7 +585,9 @@ impl NdpSystem {
             // Stream-grain indirect hits are served straight from the
             // element slot; everything else pays the DRAM-cache row access.
             if !stream_grain || affine_stream {
-                let t2 = self.units[target].dram.access(daddr, LINE_BYTES, m.write, now);
+                let (t2, ecc) =
+                    self.units[target].dram.access_checked(daddr, LINE_BYTES, m.write, now);
+                poisoned = ecc == EccOutcome::Poisoned;
                 self.breakdown.add(LatComponent::DramCache, t2 - now);
                 if let Some(tr) = self.trace.as_deref_mut() {
                     if tr.in_window(now) {
@@ -555,6 +595,9 @@ impl NdpSystem {
                     }
                 }
                 now = t2;
+            }
+            if poisoned {
+                now = self.abort_poisoned_stream(m.sid, target, &desc, key, daddr, now);
             }
         } else {
             self.cache_misses += 1;
@@ -570,6 +613,37 @@ impl NdpSystem {
         let t_rsp = self.net.send(UnitId(target), UnitId(core), LINE_BYTES, now);
         self.charge_noc(target, core, t_rsp - now);
         t_rsp + self.cycles(RESTART_CYCLES)
+    }
+
+    /// Uncorrectable ECC data came back from a stream's DRAM-cache copy at
+    /// `unit`: poison the stream, drop its cached replica there (every
+    /// resident line is untrusted once the array has returned poison), and
+    /// refetch the requested element from extended memory.
+    fn abort_poisoned_stream(
+        &mut self,
+        sid: StreamId,
+        unit: usize,
+        desc: &StreamDesc,
+        key: u64,
+        daddr: u64,
+        now: Time,
+    ) -> Time {
+        self.stream_aborts += 1;
+        if self.table.mark_poisoned(sid) {
+            ndpx_warn!(
+                "uncorrectable ECC poison on stream {} at unit {unit}: aborting cached copy",
+                sid.index()
+            );
+        }
+        let sid_i = sid.index();
+        if let Some(tags) = self.units[unit].tags[sid_i].as_mut() {
+            let (valid, _) = tags.invalidate_all();
+            self.invalidations += valid;
+        }
+        let done = self.ext_access(unit, desc.addr_of_key(key), desc.fetch_bytes, false, now);
+        // Reinstall the clean copy without blocking the response.
+        self.units[unit].dram.access(daddr, desc.fetch_bytes, true, done);
+        done
     }
 
     /// Fire-and-forget store of an evicted dirty L1 line into the hierarchy.
@@ -978,6 +1052,31 @@ impl NdpSystem {
         self.net.register_stats(&mut registry.scope("noc"));
         self.ext.register_stats(&mut registry.scope("cxl"));
         self.table.register_stats(&mut registry.scope("stream_table"));
+        if self.cfg.fault.enabled() {
+            // Injection counters live under one `fault.*` scope so smoke
+            // tests and manifests can assert on them in one place; the
+            // whole scope is absent from fault-free dumps.
+            let mut fault = registry.scope("fault");
+            self.ext.register_fault_stats(&mut fault.scope("cxl"));
+            {
+                let mut mem = fault.scope("mem");
+                let (mut ce, mut ue, mut scrub_ps, mut rolls) = (0u64, 0u64, 0u64, 0u64);
+                for u in &self.units {
+                    if let Some(s) = u.dram.fault_stats() {
+                        ce += s.ce;
+                        ue += s.ue;
+                        scrub_ps += s.scrub_time.as_ps();
+                    }
+                    rolls += u.dram.fault_rolls().unwrap_or(0);
+                }
+                mem.count("ce", ce);
+                mem.count("ue", ue);
+                mem.count("scrub_ps", scrub_ps);
+                mem.count("rolls", rolls);
+            }
+            self.net.register_fault_stats(&mut fault.scope("noc"));
+            fault.scope("stream").count("aborts", self.stream_aborts);
+        }
         for (i, u) in self.units.iter().enumerate() {
             let mut scope = registry.scope(&format!("unit{i:03}"));
             u.dram.register_stats(&mut scope.scope("dram"));
@@ -1120,6 +1219,131 @@ mod tests {
         // The adjust phase writes the weights: replicas must be dropped at
         // least once (invalidation traffic recorded).
         assert!(r.sim_time > Time::ZERO);
+    }
+
+    fn run_faulty(tweak: impl FnOnce(&mut ndpx_sim::fault::FaultConfig), ops: u64) -> RunReport {
+        let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
+        cfg.fault = ndpx_sim::fault::FaultConfig::with_seed(42);
+        tweak(&mut cfg.fault);
+        let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build("pr", &p).expect("known").expect("builds");
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        sys.run(ops)
+    }
+
+    #[test]
+    fn disabled_faults_leave_registry_clean() {
+        let r = run_one(PolicyKind::NdpExt, "pr", 1500);
+        assert!(r.registry.get("fault.mem.rolls").is_none());
+        assert!(r.registry.get("fault.cxl.rolls").is_none());
+        assert!(r.registry.get("fault.noc.rolls").is_none());
+        assert!(r.registry.get("stream_table.poisoned").is_none());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_counted() {
+        let tweak = |f: &mut ndpx_sim::fault::FaultConfig| {
+            f.mem_ce = 1e-2;
+            f.mem_ue = 0.0;
+            f.cxl_ber = 1e-7;
+            f.noc_fer = 1e-4;
+        };
+        let a = run_faulty(tweak, 3000);
+        let b = run_faulty(tweak, 3000);
+        assert_eq!(a.sim_time, b.sim_time, "same seed must replay identically");
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.registry.to_json(), b.registry.to_json());
+        let rolls = a.registry.get("fault.mem.rolls").expect("fault scope present");
+        assert!(rolls.as_count().expect("count") > 0, "DRAM reads must draw ECC decisions");
+        assert!(a.registry.get("fault.noc.rolls").is_some());
+        assert!(a.registry.get("fault.cxl.rolls").is_some());
+        let ce = a.registry.get("fault.mem.ce").expect("present").as_count().expect("count");
+        assert!(ce > 0, "1% CE rate over thousands of reads must inject");
+    }
+
+    #[test]
+    fn poison_aborts_streams_and_refetches() {
+        let r = run_faulty(
+            |f| {
+                f.mem_ce = 0.0;
+                f.mem_ue = 0.05;
+                f.cxl_ber = 0.0;
+                f.noc_fer = 0.0;
+            },
+            3000,
+        );
+        let aborts =
+            r.registry.get("fault.stream.aborts").expect("present").as_count().expect("count");
+        assert!(aborts > 0, "5% UE rate must trigger at least one abort");
+        assert!(
+            r.registry.get("stream_table.poisoned").expect("present").as_count().expect("count")
+                > 0,
+            "aborted streams must be marked poisoned"
+        );
+        assert!(r.sim_time > Time::ZERO, "poison storms must not wedge the run");
+    }
+
+    #[test]
+    fn degraded_link_slows_runs_and_feeds_back() {
+        let clean = run_faulty(
+            |f| {
+                f.cxl_ber = 0.0;
+                f.mem_ce = 0.0;
+                f.mem_ue = 0.0;
+                f.noc_fer = 0.0;
+            },
+            3000,
+        );
+        let degraded = run_faulty(
+            |f| {
+                f.cxl_ber = 1e-4;
+                f.mem_ce = 0.0;
+                f.mem_ue = 0.0;
+                f.noc_fer = 0.0;
+            },
+            3000,
+        );
+        assert!(
+            degraded
+                .registry
+                .get("fault.cxl.crc_retries")
+                .expect("present")
+                .as_count()
+                .expect("count")
+                > 0,
+            "a lossy link must replay frames"
+        );
+        assert!(
+            degraded.sim_time > clean.sim_time,
+            "CRC replays and retrains must cost simulated time"
+        );
+    }
+
+    #[test]
+    fn zero_rate_fault_plans_change_nothing() {
+        // Installed-but-all-zero injectors must reproduce the ideal timing:
+        // rolls are drawn (counters advance) yet no fault ever fires.
+        let ideal = run_one(PolicyKind::NdpExt, "pr", 2000);
+        let zeroed = run_faulty(
+            |f| {
+                f.cxl_ber = 0.0;
+                f.mem_ce = 0.0;
+                f.mem_ue = 0.0;
+                f.noc_fer = 0.0;
+            },
+            2000,
+        );
+        assert_eq!(ideal.sim_time, zeroed.sim_time);
+        assert_eq!(ideal.cache_hits, zeroed.cache_hits);
+        assert_eq!(ideal.energy.total(), zeroed.energy.total());
+        assert_eq!(
+            zeroed.registry.get("fault.mem.ce").expect("present").as_count().expect("count"),
+            0
+        );
+        assert_eq!(
+            zeroed.registry.get("fault.stream.aborts").expect("present").as_count().expect("count"),
+            0
+        );
     }
 
     #[test]

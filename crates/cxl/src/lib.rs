@@ -25,6 +25,7 @@
 
 use ndpx_mem::device::{DramConfig, DramDevice};
 use ndpx_sim::energy::Energy;
+use ndpx_sim::fault::FaultPlan;
 use ndpx_sim::stats::{Counter, LatencyStat};
 use ndpx_sim::time::Time;
 
@@ -81,6 +82,69 @@ pub struct CxlStats {
     pub latency: LatencyStat,
 }
 
+/// Counters for the link fault model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CxlFaultStats {
+    /// CRC errors detected on the link (every detection triggers a replay
+    /// attempt or, past the retry bound, a retrain).
+    pub crc_errors: u64,
+    /// Link-layer replay retries performed.
+    pub crc_retries: u64,
+    /// Link retraining events (retry bound exhausted).
+    pub retrains: u64,
+    /// Total time requests spent stalled behind an in-progress retrain.
+    pub retrain_wait: Time,
+}
+
+/// Transient-fault model for the CXL link: CRC errors recovered by
+/// link-layer replay with bounded exponential backoff; a burst that exhausts
+/// the retry bound forces a link retrain, stalling the link for
+/// [`retrain_stall`](CxlFault::new) and delaying every request issued while
+/// the retrain is in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CxlFault {
+    plan: FaultPlan,
+    /// Bit-error rate: probability of a CRC error per transferred bit.
+    ber: f64,
+    /// Replay attempts before the link gives up and retrains.
+    max_retries: u32,
+    /// Duration of a link retrain.
+    retrain_stall: Time,
+    /// The link is retraining (unusable) until this time.
+    retrain_until: Time,
+    stats: CxlFaultStats,
+}
+
+impl CxlFault {
+    /// Default replay bound before a retrain.
+    pub const DEFAULT_MAX_RETRIES: u32 = 4;
+    /// Default retrain duration (order of the CXL spec's recovery budget).
+    pub const DEFAULT_RETRAIN_STALL: Time = Time::from_us(2);
+
+    /// Creates the model from a derived decision [`FaultPlan`] and a
+    /// per-bit error rate.
+    pub fn new(plan: FaultPlan, ber: f64) -> Self {
+        CxlFault {
+            plan,
+            ber,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            retrain_stall: Self::DEFAULT_RETRAIN_STALL,
+            retrain_until: Time::ZERO,
+            stats: CxlFaultStats::default(),
+        }
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &CxlFaultStats {
+        &self.stats
+    }
+
+    /// Decisions drawn so far (pins the exact schedule length in tests).
+    pub fn rolls(&self) -> u64 {
+        self.plan.rolls()
+    }
+}
+
 /// A CXL-attached memory expander: link + DDR5 backend.
 #[derive(Debug, Clone)]
 pub struct ExtendedMemory {
@@ -91,6 +155,7 @@ pub struct ExtendedMemory {
     rsp_free: Time,
     stats: CxlStats,
     link_energy: Energy,
+    fault: Option<CxlFault>,
 }
 
 /// Size of a CXL.mem request header flit, bytes.
@@ -106,7 +171,23 @@ impl ExtendedMemory {
             rsp_free: Time::ZERO,
             stats: CxlStats::default(),
             link_energy: Energy::ZERO,
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) the link fault model.
+    pub fn set_fault(&mut self, fault: Option<CxlFault>) {
+        self.fault = fault;
+    }
+
+    /// The installed fault model, if any.
+    pub fn fault(&self) -> Option<&CxlFault> {
+        self.fault.as_ref()
+    }
+
+    /// True when a fault model is installed.
+    pub fn fault_enabled(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// The link parameters.
@@ -122,6 +203,15 @@ impl ExtendedMemory {
     /// Performs one access of `bytes` at `addr`, issued from an NDP stack at
     /// `now`. Returns the time the response (data or write ack) arrives back.
     pub fn access(&mut self, addr: u64, bytes: u32, write: bool, now: Time) -> Time {
+        let issued = now;
+        // A request issued while the link is retraining waits it out.
+        let now = match &mut self.fault {
+            Some(f) if now < f.retrain_until => {
+                f.stats.retrain_wait += f.retrain_until - now;
+                f.retrain_until
+            }
+            _ => now,
+        };
         // Request direction: header (+ data when writing).
         let req_payload = if write { REQUEST_BYTES + bytes } else { REQUEST_BYTES };
         let req_ser = self.params.serialization(req_payload);
@@ -136,14 +226,68 @@ impl ExtendedMemory {
         let rsp_ser = self.params.serialization(rsp_payload);
         let rsp_start = ddr_done.max(self.rsp_free);
         self.rsp_free = rsp_start + rsp_ser;
-        let done = rsp_start + rsp_ser + self.params.link_latency;
+        let mut done = rsp_start + rsp_ser + self.params.link_latency;
 
         let moved = u64::from(req_payload + rsp_payload);
+        if let Some(f) = &mut self.fault {
+            let bits = moved * 8;
+            // CRC covers the whole transfer: per-access error probability
+            // scales with the bits moved.
+            let p = (f.ber * bits as f64).min(1.0);
+            // One replay = re-serializing the payload plus a round trip.
+            let replay = self.params.serialization((moved).min(u64::from(u32::MAX)) as u32)
+                + self.params.link_latency * 2;
+            let mut attempt = 0u32;
+            while f.plan.roll(p) {
+                attempt += 1;
+                f.stats.crc_errors += 1;
+                if attempt > f.max_retries {
+                    // Retry bound exhausted: the link retrains and every
+                    // request issued meanwhile stalls behind it.
+                    f.stats.retrains += 1;
+                    f.retrain_until = done + f.retrain_stall;
+                    done = f.retrain_until;
+                    break;
+                }
+                f.stats.crc_retries += 1;
+                // Replayed bits burn link energy again.
+                self.link_energy += Energy::from_pj(self.params.pj_per_bit * bits as f64);
+                // Bounded exponential backoff between replays.
+                done += replay * (1u64 << (attempt - 1).min(8));
+            }
+        }
         self.stats.requests.inc();
         self.stats.bytes.add(moved);
-        self.stats.latency.record(done - now);
+        self.stats.latency.record(done - issued);
         self.link_energy += Energy::from_pj(self.params.pj_per_bit * moved as f64 * 8.0);
         done
+    }
+
+    /// A placement-feedback multiplier for the extended path: `1.0` on a
+    /// healthy link, growing with the observed replay and retrain rates so
+    /// the runtime's capacity model sees the degraded effective latency and
+    /// shifts streams toward stack-local DRAM.
+    pub fn degradation(&self) -> f64 {
+        let Some(f) = &self.fault else { return 1.0 };
+        let req = self.stats.requests.get();
+        if req == 0 {
+            return 1.0;
+        }
+        let retry_rate = f.stats.crc_retries as f64 / req as f64;
+        let retrain_rate = f.stats.retrains as f64 / req as f64;
+        1.0 + 2.0 * retry_rate + 50.0 * retrain_rate
+    }
+
+    /// Publishes fault counters under `scope` (no-op without a fault model,
+    /// so disabled runs keep their registry dumps byte-identical).
+    pub fn register_fault_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        if let Some(f) = &self.fault {
+            scope.count("crc_errors", f.stats.crc_errors);
+            scope.count("crc_retries", f.stats.crc_retries);
+            scope.count("retrains", f.stats.retrains);
+            scope.count("retrain_wait_ps", f.stats.retrain_wait.as_ps());
+            scope.count("rolls", f.plan.rolls());
+        }
     }
 
     /// Statistics for the link.
@@ -180,6 +324,9 @@ impl ExtendedMemory {
     pub fn reset_state(&mut self) {
         self.req_free = Time::ZERO;
         self.rsp_free = Time::ZERO;
+        if let Some(f) = &mut self.fault {
+            f.retrain_until = Time::ZERO;
+        }
         self.ddr.reset_state();
     }
 }
@@ -246,5 +393,92 @@ mod tests {
         e.access(0, 64, false, Time::ZERO);
         assert_eq!(e.stats().requests.get(), 1);
         assert!(e.stats().latency.mean() >= Time::from_ns(400));
+    }
+
+    fn faulty(ber: f64) -> ExtendedMemory {
+        use ndpx_sim::fault::{domain, FaultPlan};
+        let mut e = ext();
+        e.set_fault(Some(CxlFault::new(FaultPlan::derive(7, domain::CXL, 0), ber)));
+        e
+    }
+
+    #[test]
+    fn no_fault_model_is_the_ideal_link() {
+        let mut ideal = ext();
+        let mut off = ext();
+        off.set_fault(None);
+        assert!(!off.fault_enabled());
+        assert_eq!(off.degradation(), 1.0);
+        for i in 0..64 {
+            let t = Time::from_ns(i * 10);
+            assert_eq!(
+                ideal.access(i << 8, 64, i % 3 == 0, t),
+                off.access(i << 8, 64, i % 3 == 0, t)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_ber_changes_no_timing() {
+        let mut ideal = ext();
+        let mut f = faulty(0.0);
+        for i in 0..64 {
+            let t = Time::from_ns(i * 10);
+            assert_eq!(ideal.access(i << 8, 64, false, t), f.access(i << 8, 64, false, t));
+        }
+        // Decisions were drawn but none injected.
+        let stats = *f.fault().expect("installed").stats();
+        assert_eq!(stats, CxlFaultStats::default());
+        assert_eq!(f.fault().expect("installed").rolls(), 64);
+    }
+
+    #[test]
+    fn crc_errors_retry_and_delay() {
+        let mut ideal = ext();
+        let mut f = faulty(1e-4); // ~7% per 64 B read: retries, no retrain streak
+        let mut slower = false;
+        for i in 0..2000u64 {
+            let t = Time::from_ns(i * 1000);
+            let a = ideal.access(i << 8, 64, false, t);
+            let b = f.access(i << 8, 64, false, t);
+            assert!(b >= a);
+            slower |= b > a;
+        }
+        let stats = *f.fault().expect("installed").stats();
+        assert!(slower, "no injected CRC error slowed any access");
+        assert!(stats.crc_errors > 0);
+        assert!(stats.crc_retries > 0);
+        assert!(f.degradation() > 1.0);
+    }
+
+    #[test]
+    fn retry_exhaustion_retrains_and_stalls_followers() {
+        let mut f = faulty(1.0); // every roll fails: immediate retry exhaustion
+        let a = f.access(0, 64, false, Time::ZERO);
+        let stats = *f.fault().expect("installed").stats();
+        assert_eq!(stats.retrains, 1);
+        assert_eq!(stats.crc_retries, CxlFault::DEFAULT_MAX_RETRIES as u64);
+        assert!(a >= CxlFault::DEFAULT_RETRAIN_STALL);
+        // A request issued mid-retrain waits for the link to come back.
+        f.access(1 << 20, 64, false, Time::ZERO);
+        let stats = *f.fault().expect("installed").stats();
+        assert!(stats.retrain_wait > Time::ZERO);
+        assert!(f.degradation() > 1.0);
+        // reset_state clears the retrain window.
+        f.reset_state();
+        assert_eq!(f.fault().map(|x| x.retrain_until), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn fault_stats_register_only_when_enabled() {
+        use ndpx_sim::telemetry::StatRegistry;
+        let mut reg = StatRegistry::new();
+        ext().register_fault_stats(&mut reg.scope("fault.cxl"));
+        assert!(reg.is_empty());
+        let mut f = faulty(1.0);
+        f.access(0, 64, false, Time::ZERO);
+        f.register_fault_stats(&mut reg.scope("fault.cxl"));
+        assert!(reg.get("fault.cxl.crc_errors").is_some());
+        assert!(reg.get("fault.cxl.rolls").is_some());
     }
 }

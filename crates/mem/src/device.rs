@@ -7,6 +7,7 @@
 //! bit transferred and per activate/precharge pair.
 
 use ndpx_sim::energy::Energy;
+use ndpx_sim::fault::FaultPlan;
 use ndpx_sim::stats::Counter;
 use ndpx_sim::time::Time;
 
@@ -109,6 +110,69 @@ impl DramStats {
     }
 }
 
+/// The ECC verdict of one read access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EccOutcome {
+    /// No error detected.
+    #[default]
+    Clean,
+    /// A single-bit error was corrected; the access paid scrub latency.
+    Corrected,
+    /// A multi-bit error SEC-DED cannot fix: the returned data is poisoned
+    /// and the consumer must discard (and refetch) it.
+    Poisoned,
+}
+
+/// Counters for the SEC-DED ECC fault model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemFaultStats {
+    /// Correctable (single-bit) errors scrubbed.
+    pub ce: u64,
+    /// Uncorrectable errors: reads that returned poisoned data.
+    pub ue: u64,
+    /// Total scrub latency added to correctable-error reads.
+    pub scrub_time: Time,
+}
+
+/// SEC-DED ECC fault model for a [`DramDevice`].
+///
+/// Error events are drawn per *read* from a deterministic [`FaultPlan`]:
+/// an uncorrectable roll poisons the returned data; otherwise a correctable
+/// roll adds scrub latency and extends the bank occupancy. Writes always
+/// store clean data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemFault {
+    plan: FaultPlan,
+    /// Correctable-error probability per read.
+    ce: f64,
+    /// Uncorrectable-error probability per read.
+    ue: f64,
+    /// Latency of an in-line scrub (correct + write back).
+    scrub: Time,
+    stats: MemFaultStats,
+}
+
+impl MemFault {
+    /// Default in-line scrub latency.
+    pub const DEFAULT_SCRUB: Time = Time::from_ns(100);
+
+    /// Creates the model from a derived decision [`FaultPlan`] and per-read
+    /// correctable / uncorrectable error probabilities.
+    pub fn new(plan: FaultPlan, ce: f64, ue: f64) -> Self {
+        MemFault { plan, ce, ue, scrub: Self::DEFAULT_SCRUB, stats: MemFaultStats::default() }
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &MemFaultStats {
+        &self.stats
+    }
+
+    /// Decisions drawn so far.
+    pub fn rolls(&self) -> u64 {
+        self.plan.rolls()
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     open_row: Option<u64>,
@@ -140,6 +204,7 @@ pub struct DramDevice {
     buses: Vec<Time>,
     stats: DramStats,
     dynamic: Energy,
+    fault: Option<MemFault>,
 }
 
 /// Reservation slots per channel bus.
@@ -162,6 +227,7 @@ impl DramDevice {
             cfg,
             stats: DramStats::default(),
             dynamic: Energy::ZERO,
+            fault: None,
         }
     }
 
@@ -170,11 +236,43 @@ impl DramDevice {
         &self.cfg
     }
 
+    /// Installs (or clears) the ECC fault model.
+    pub fn set_fault(&mut self, fault: Option<MemFault>) {
+        self.fault = fault;
+    }
+
+    /// The installed fault model's counters, if any.
+    pub fn fault_stats(&self) -> Option<&MemFaultStats> {
+        self.fault.as_ref().map(MemFault::stats)
+    }
+
+    /// Decisions drawn by the installed fault model, if any.
+    pub fn fault_rolls(&self) -> Option<u64> {
+        self.fault.as_ref().map(MemFault::rolls)
+    }
+
     /// Performs one access of `bytes` bytes at `addr`, no earlier than `now`.
     ///
     /// Returns the completion time (data fully transferred). The request
-    /// queues behind any earlier access to the same bank.
+    /// queues behind any earlier access to the same bank. Equivalent to
+    /// [`access_checked`](Self::access_checked) with the ECC verdict
+    /// discarded — callers that can recover from poisoned data should use
+    /// that method instead.
     pub fn access(&mut self, addr: u64, bytes: u32, write: bool, now: Time) -> Time {
+        self.access_checked(addr, bytes, write, now).0
+    }
+
+    /// [`access`](Self::access) plus the ECC verdict of the returned data.
+    ///
+    /// Without an installed fault model the verdict is always
+    /// [`EccOutcome::Clean`] and the timing is the ideal path's.
+    pub fn access_checked(
+        &mut self,
+        addr: u64,
+        bytes: u32,
+        write: bool,
+        now: Time,
+    ) -> (Time, EccOutcome) {
         let row_id = addr / self.cfg.row_bytes;
         let bank_idx = (row_id % self.cfg.banks as u64) as usize;
         let row = row_id / self.cfg.banks as u64;
@@ -214,7 +312,25 @@ impl DramDevice {
         let slot = if slots[0] <= slots[1] { 0 } else { 1 };
         let bus_start = bank_done.saturating_sub(transfer).max(slots[slot]);
         slots[slot] = bus_start + transfer * BUS_SLOTS as u64;
-        let done = bank_done.max(bus_start + transfer);
+        let mut done = bank_done.max(bus_start + transfer);
+
+        let mut ecc = EccOutcome::Clean;
+        if !write {
+            if let Some(f) = &mut self.fault {
+                if f.plan.roll(f.ue) {
+                    f.stats.ue += 1;
+                    ecc = EccOutcome::Poisoned;
+                } else if f.plan.roll(f.ce) {
+                    // In-line scrub: correct, write back, and hold the bank.
+                    f.stats.ce += 1;
+                    f.stats.scrub_time += f.scrub;
+                    done += f.scrub;
+                    let bank = &mut self.banks[bank_idx];
+                    bank.busy_until = bank.busy_until.max(done);
+                    ecc = EccOutcome::Corrected;
+                }
+            }
+        }
 
         if write {
             self.stats.writes.inc();
@@ -223,7 +339,7 @@ impl DramDevice {
         }
         self.stats.bytes.add(u64::from(bytes));
         self.dynamic += self.cfg.energy.rw_per_bit * (f64::from(bytes) * 8.0);
-        done
+        (done, ecc)
     }
 
     /// Counters accumulated so far.
@@ -242,6 +358,17 @@ impl DramDevice {
         scope.count("activates", self.stats.activates.get());
         scope.gauge("row_hit_rate", self.stats.row_hit_rate());
         scope.gauge("dynamic_pj", self.dynamic.as_pj());
+    }
+
+    /// Publishes ECC fault counters under `scope` (no-op without a fault
+    /// model, so disabled runs keep their registry dumps byte-identical).
+    pub fn register_fault_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        if let Some(f) = &self.fault {
+            scope.count("ce", f.stats.ce);
+            scope.count("ue", f.stats.ue);
+            scope.count("scrub_ps", f.stats.scrub_time.as_ps());
+            scope.count("rolls", f.plan.rolls());
+        }
     }
 
     /// Dynamic energy consumed so far.
@@ -363,6 +490,85 @@ mod tests {
         let e1 = d.background_energy(Time::from_us(1));
         let e2 = d.background_energy(Time::from_us(2));
         assert!((e2.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecc_disabled_is_the_ideal_device() {
+        let mut ideal = small();
+        let mut off = small();
+        off.set_fault(None);
+        assert!(off.fault_stats().is_none());
+        for i in 0..64u64 {
+            let (done, ecc) = off.access_checked(i * 64, 64, i % 4 == 0, Time::ZERO);
+            assert_eq!(done, ideal.access(i * 64, 64, i % 4 == 0, Time::ZERO));
+            assert_eq!(ecc, EccOutcome::Clean);
+        }
+    }
+
+    fn faulty(ce: f64, ue: f64) -> DramDevice {
+        use ndpx_sim::fault::{domain, FaultPlan};
+        let mut d = small();
+        d.set_fault(Some(MemFault::new(FaultPlan::derive(11, domain::MEM, 0), ce, ue)));
+        d
+    }
+
+    #[test]
+    fn correctable_errors_pay_scrub_latency() {
+        let mut ideal = small();
+        let mut f = faulty(1.0, 0.0); // every read scrubs
+        let a = ideal.access(0, 64, false, Time::ZERO);
+        let (b, ecc) = f.access_checked(0, 64, false, Time::ZERO);
+        assert_eq!(ecc, EccOutcome::Corrected);
+        assert_eq!(b - a, MemFault::DEFAULT_SCRUB);
+        // The scrub holds the bank: a back-to-back read queues behind it.
+        let (c, _) = f.access_checked(0, 64, false, Time::ZERO);
+        assert!(c >= b + f.config().timing.row_hit());
+        let stats = *f.fault_stats().expect("installed");
+        assert_eq!(stats.ce, 2);
+        assert_eq!(stats.scrub_time, MemFault::DEFAULT_SCRUB * 2);
+    }
+
+    #[test]
+    fn uncorrectable_errors_poison_reads_only() {
+        let mut f = faulty(0.0, 1.0);
+        let (_, w) = f.access_checked(0, 64, true, Time::ZERO);
+        assert_eq!(w, EccOutcome::Clean, "writes cannot observe poison");
+        let (_, r) = f.access_checked(0, 64, false, Time::ZERO);
+        assert_eq!(r, EccOutcome::Poisoned);
+        let stats = *f.fault_stats().expect("installed");
+        assert_eq!((stats.ce, stats.ue), (0, 1));
+        // Only the read drew decisions (UE roll + no CE roll after a hit).
+        assert_eq!(f.fault_rolls(), Some(1));
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = |n: u64| {
+            let mut d = faulty(0.3, 0.05);
+            let mut outcomes = Vec::new();
+            for i in 0..n {
+                outcomes.push(d.access_checked(i * 64, 64, false, Time::ZERO).1);
+            }
+            outcomes
+        };
+        assert_eq!(run(500), run(500));
+        let mixed = run(500);
+        assert!(mixed.contains(&EccOutcome::Corrected));
+        assert!(mixed.contains(&EccOutcome::Poisoned));
+        assert!(mixed.contains(&EccOutcome::Clean));
+    }
+
+    #[test]
+    fn fault_stats_register_only_when_enabled() {
+        use ndpx_sim::telemetry::StatRegistry;
+        let mut reg = StatRegistry::new();
+        small().register_fault_stats(&mut reg.scope("fault.mem"));
+        assert!(reg.is_empty());
+        let mut f = faulty(1.0, 0.0);
+        f.access(0, 64, false, Time::ZERO);
+        f.register_fault_stats(&mut reg.scope("fault.mem"));
+        assert!(reg.get("fault.mem.ce").is_some());
+        assert!(reg.get("fault.mem.rolls").is_some());
     }
 
     #[test]

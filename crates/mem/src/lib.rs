@@ -30,5 +30,5 @@
 pub mod device;
 pub mod timing;
 
-pub use device::{DramConfig, DramDevice, DramStats};
+pub use device::{DramConfig, DramDevice, DramStats, EccOutcome, MemFault, MemFaultStats};
 pub use timing::{DramEnergy, DramTiming};

@@ -30,5 +30,5 @@
 pub mod network;
 pub mod topology;
 
-pub use network::{LinkParams, Network, NocStats};
+pub use network::{LinkParams, LinkStats, Network, NocFault, NocStats};
 pub use topology::{IntraKind, Topology, UnitId};

@@ -8,6 +8,7 @@
 //! `hops × hop-latency + serialization + queueing`.
 
 use ndpx_sim::energy::Energy;
+use ndpx_sim::fault::FaultPlan;
 use ndpx_sim::stats::Counter;
 use ndpx_sim::telemetry::StatScope;
 use ndpx_sim::time::Time;
@@ -68,6 +69,51 @@ pub struct LinkStats {
     pub bytes: Counter,
     /// Worst queueing delay a message saw waiting for this link.
     pub peak_wait: Time,
+    /// Link-level retransmissions after flit corruption (fault model).
+    pub retransmits: Counter,
+}
+
+/// Size of one flit for the corruption model, bytes.
+const FLIT_BYTES: u32 = 16;
+
+/// Flit-corruption fault model for the interconnect.
+///
+/// Each link traversal draws one decision from a deterministic
+/// [`FaultPlan`]; the per-traversal corruption probability scales with the
+/// message's flit count. A corrupted traversal is recovered by a link-level
+/// retransmission: the message pays one extra hop latency plus
+/// serialization, and the link's error counter increments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocFault {
+    plan: FaultPlan,
+    /// Flit-error rate: corruption probability per flit per traversal.
+    fer: f64,
+    /// Total retransmissions across all links.
+    retransmits: u64,
+}
+
+impl NocFault {
+    /// Creates the model from a derived decision [`FaultPlan`] and a
+    /// per-flit error rate.
+    pub fn new(plan: FaultPlan, fer: f64) -> Self {
+        NocFault { plan, fer, retransmits: 0 }
+    }
+
+    /// Corruption probability for one traversal of a `bytes`-byte message.
+    #[inline]
+    fn p_msg(&self, bytes: u32) -> f64 {
+        (self.fer * f64::from(bytes.div_ceil(FLIT_BYTES))).min(1.0)
+    }
+
+    /// Total retransmissions injected so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Decisions drawn so far.
+    pub fn rolls(&self) -> u64 {
+        self.plan.rolls()
+    }
 }
 
 /// Number of virtual channels per port and per inter-stack link.
@@ -125,8 +171,12 @@ pub struct Network {
     /// Worst queueing delay per directed inter-stack link (`stack × 4 +
     /// dir` indexing); the only per-hop telemetry update in `send`.
     link_peak_wait: Vec<Time>,
+    /// Retransmissions per directed inter-stack link (same indexing as
+    /// `link_peak_wait`); only touched by the fault model.
+    link_retransmits: Vec<u64>,
     stats: NocStats,
     dynamic: Energy,
+    fault: Option<NocFault>,
 }
 
 /// The directed link indices (`stack × 4 + dir`; 0=E, 1=W, 2=N, 3=S) an XY
@@ -165,6 +215,7 @@ impl Network {
             pair_msgs: vec![0; stacks * stacks],
             pair_bytes: vec![0; stacks * stacks],
             link_peak_wait: vec![Time::ZERO; stacks * 4],
+            link_retransmits: vec![0; stacks * 4],
             dist: DistanceTable::new(&topo),
             routes,
             topo,
@@ -172,7 +223,18 @@ impl Network {
             inter,
             stats: NocStats::default(),
             dynamic: Energy::ZERO,
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) the flit-corruption fault model.
+    pub fn set_fault(&mut self, fault: Option<NocFault>) {
+        self.fault = fault;
+    }
+
+    /// The installed fault model, if any.
+    pub fn fault(&self) -> Option<&NocFault> {
+        self.fault.as_ref()
     }
 
     /// The topology in use.
@@ -239,6 +301,24 @@ impl Network {
                     self.link_peak_wait[link as usize] = wait;
                 }
                 t = start + self.inter.hop_latency;
+                if let Some(f) = &mut self.fault {
+                    if f.plan.roll(f.p_msg(bytes)) {
+                        // Corrupted flit: the link retransmits the message,
+                        // paying one extra hop plus serialization.
+                        f.retransmits += 1;
+                        self.link_retransmits[link as usize] += 1;
+                        self.dynamic += Energy::from_pj(self.inter.pj_per_bit * bits);
+                        t += self.inter.hop_latency + inter_ser;
+                    }
+                }
+            }
+        } else if let Some(f) = &mut self.fault {
+            // Intra-stack-only messages draw one decision for the whole
+            // path; a corruption retransmits over the local mesh.
+            if f.plan.roll(f.p_msg(bytes)) {
+                f.retransmits += 1;
+                self.dynamic += Energy::from_pj(self.intra.pj_per_bit * bits);
+                t += self.intra.hop_latency + intra_ser;
             }
         }
 
@@ -286,6 +366,9 @@ impl Network {
         for (ls, &w) in out.iter_mut().zip(&self.link_peak_wait) {
             ls.peak_wait = w;
         }
+        for (ls, &r) in out.iter_mut().zip(&self.link_retransmits) {
+            ls.retransmits.add(r);
+        }
         out
     }
 
@@ -308,6 +391,19 @@ impl Network {
             link.count("forwarded", ls.forwarded.get());
             link.count("bytes", ls.bytes.get());
             link.count("peak_wait_ps", ls.peak_wait.as_ps());
+            if ls.retransmits.get() > 0 {
+                link.count("retransmits", ls.retransmits.get());
+            }
+        }
+    }
+
+    /// Publishes aggregate fault counters under `scope` (no-op without a
+    /// fault model, so disabled runs keep their registry dumps
+    /// byte-identical).
+    pub fn register_fault_stats(&self, scope: &mut StatScope<'_>) {
+        if let Some(f) = &self.fault {
+            scope.count("retransmits", f.retransmits);
+            scope.count("rolls", f.plan.rolls());
         }
     }
 
@@ -450,6 +546,81 @@ mod tests {
         let json = reg.to_json();
         assert!(json.contains("\"noc.stack00.link[e].forwarded\": 2"));
         assert!(!json.contains("link[w]"), "idle links are omitted");
+    }
+
+    fn faulty_net(fer: f64) -> Network {
+        use ndpx_sim::fault::{domain, FaultPlan};
+        let mut n = mesh_net();
+        n.set_fault(Some(NocFault::new(FaultPlan::derive(3, domain::NOC, 0), fer)));
+        n
+    }
+
+    #[test]
+    fn zero_fer_changes_no_timing() {
+        let mut ideal = mesh_net();
+        let mut f = faulty_net(0.0);
+        for i in 0..64u64 {
+            let (s, d) = (UnitId((i % 16) as usize), UnitId((i % 128) as usize));
+            let t = Time::from_ns(i * 5);
+            assert_eq!(ideal.send(s, d, 64, t), f.send(s, d, 64, t));
+        }
+        let nf = f.fault().expect("installed");
+        assert_eq!(nf.retransmits(), 0);
+        assert!(nf.rolls() > 0, "decisions must still be drawn");
+    }
+
+    #[test]
+    fn corruption_retransmits_and_counts_per_link() {
+        let mut ideal = mesh_net();
+        let mut f = faulty_net(1.0); // every traversal corrupts once
+        let a = ideal.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        let b = f.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        // One inter link: exactly one extra hop + serialization.
+        let inter = LinkParams::inter_stack();
+        assert_eq!(b - a, inter.hop_latency + inter.serialization(64));
+        assert_eq!(f.fault().expect("installed").retransmits(), 1);
+        let east = f.link_stats()[0];
+        assert_eq!(east.retransmits.get(), 1);
+
+        let mut reg = ndpx_sim::telemetry::StatRegistry::new();
+        f.register_stats(&mut reg.scope("noc"));
+        f.register_fault_stats(&mut reg.scope("fault.noc"));
+        let json = reg.to_json();
+        assert!(json.contains("\"noc.stack00.link[e].retransmits\": 1"));
+        assert!(json.contains("\"fault.noc.retransmits\": 1"));
+    }
+
+    #[test]
+    fn intra_only_corruption_hits_aggregate_counter() {
+        let mut ideal = mesh_net();
+        let mut f = faulty_net(1.0);
+        let a = ideal.send(UnitId(0), UnitId(1), 64, Time::ZERO);
+        let b = f.send(UnitId(0), UnitId(1), 64, Time::ZERO);
+        let intra = LinkParams::intra_stack();
+        assert_eq!(b - a, intra.hop_latency + intra.serialization(64));
+        assert_eq!(f.fault().expect("installed").retransmits(), 1);
+        assert!(f.link_stats().iter().all(|l| l.retransmits.get() == 0));
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = || {
+            let mut f = faulty_net(0.05);
+            for i in 0..500u64 {
+                f.send(
+                    UnitId((i % 16) as usize),
+                    UnitId(((i * 7) % 128) as usize),
+                    256,
+                    Time::ZERO,
+                );
+            }
+            let nf = f.fault().expect("installed");
+            (nf.retransmits(), nf.rolls())
+        };
+        assert_eq!(run(), run());
+        let (retransmits, rolls) = run();
+        assert!(retransmits > 0);
+        assert!(rolls >= 500);
     }
 
     #[test]

@@ -172,6 +172,110 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// Diagnostic emitted by [`ProgressWatchdog`] when the run loop spins
+/// without making progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// The frozen simulated time.
+    pub at: Time,
+    /// Consecutive loop iterations with neither time nor depth moving.
+    pub iterations: u64,
+    /// The frozen pending-event depth.
+    pub queue_depth: usize,
+}
+
+impl std::fmt::Display for Stall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no progress for {} iterations: sim time frozen at {} with {} pending events",
+            self.iterations, self.at, self.queue_depth
+        )
+    }
+}
+
+/// A no-progress detector for event-driven run loops.
+///
+/// A healthy run loop either advances simulated time or changes the pending
+/// queue depth on (almost) every iteration. A loop that pops and re-pushes
+/// events at a frozen timestamp with a frozen depth for a very large number
+/// of iterations is livelocked — e.g. a component rescheduling itself at
+/// `now` forever. The watchdog observes `(time, depth)` each iteration and
+/// fires a structured [`Stall`] once when the freeze exceeds the limit; it
+/// never touches simulation state, so enabling it cannot change results.
+///
+/// # Examples
+///
+/// ```
+/// use ndpx_sim::engine::ProgressWatchdog;
+/// use ndpx_sim::time::Time;
+///
+/// let mut dog = ProgressWatchdog::new(3);
+/// let t = Time::from_ns(5);
+/// assert!(dog.observe(t, 4).is_none());
+/// assert!(dog.observe(t, 4).is_none());
+/// assert!(dog.observe(t, 4).is_none());
+/// let stall = dog.observe(t, 4).expect("limit exceeded");
+/// assert_eq!(stall.iterations, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgressWatchdog {
+    limit: u64,
+    last: Option<(Time, usize)>,
+    frozen: u64,
+    fired: bool,
+}
+
+impl ProgressWatchdog {
+    /// Iteration limit used by [`from_env`](Self::from_env) when
+    /// `NDPX_STALL_ITERS` is unset. Far above any legitimate same-time
+    /// event burst at the scales the harness runs.
+    pub const DEFAULT_LIMIT: u64 = 4_000_000;
+
+    /// Creates a watchdog firing after `limit` frozen iterations.
+    /// A limit of zero disables it.
+    pub fn new(limit: u64) -> Self {
+        ProgressWatchdog { limit, last: None, frozen: 0, fired: false }
+    }
+
+    /// Creates a watchdog from `NDPX_STALL_ITERS` (`0` disables; unset or
+    /// unparsable uses [`DEFAULT_LIMIT`](Self::DEFAULT_LIMIT)).
+    pub fn from_env() -> Self {
+        Self::new(Self::parse_limit(std::env::var("NDPX_STALL_ITERS").ok().as_deref()))
+    }
+
+    /// Pure form of the `NDPX_STALL_ITERS` parse for tests.
+    pub fn parse_limit(v: Option<&str>) -> u64 {
+        v.and_then(|s| s.trim().parse().ok()).unwrap_or(Self::DEFAULT_LIMIT)
+    }
+
+    /// Records one loop iteration at simulated time `now` with `depth`
+    /// pending events. Returns a [`Stall`] exactly once, the first time the
+    /// freeze limit is exceeded.
+    #[inline]
+    pub fn observe(&mut self, now: Time, depth: usize) -> Option<Stall> {
+        if self.limit == 0 || self.fired {
+            return None;
+        }
+        if self.last == Some((now, depth)) {
+            self.frozen += 1;
+            if self.frozen >= self.limit {
+                self.fired = true;
+                return Some(Stall { at: now, iterations: self.frozen, queue_depth: depth });
+            }
+        } else {
+            self.last = Some((now, depth));
+            self.frozen = 0;
+        }
+        None
+    }
+
+    /// True once the stall diagnostic has fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
 impl<T> std::fmt::Debug for EventQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
@@ -296,6 +400,46 @@ mod tests {
         assert_eq!(q.scheduled(), 4);
         assert_eq!(q.processed(), 2);
         assert_eq!(q.peak_len(), 3);
+    }
+
+    #[test]
+    fn watchdog_fires_once_on_frozen_progress() {
+        let mut dog = ProgressWatchdog::new(5);
+        let t = Time::from_ns(3);
+        for _ in 0..5 {
+            assert!(dog.observe(t, 2).is_none());
+        }
+        let stall = dog.observe(t, 2).expect("frozen past limit");
+        assert_eq!(stall, Stall { at: t, iterations: 5, queue_depth: 2 });
+        assert!(dog.fired());
+        // Fires exactly once, even if the freeze continues.
+        assert!(dog.observe(t, 2).is_none());
+        let msg = stall.to_string();
+        assert!(msg.contains("no progress"), "unhelpful diagnostic: {msg}");
+    }
+
+    #[test]
+    fn watchdog_resets_on_any_progress() {
+        let mut dog = ProgressWatchdog::new(3);
+        let t = Time::from_ns(1);
+        for i in 0..100u64 {
+            // Either time or depth moves every other iteration.
+            assert!(dog.observe(t + Time::from_ps(i / 2), (i % 2) as usize).is_none());
+        }
+        // Zero limit disables entirely.
+        let mut off = ProgressWatchdog::new(0);
+        for _ in 0..10 {
+            assert!(off.observe(t, 1).is_none());
+        }
+        assert!(!off.fired());
+    }
+
+    #[test]
+    fn watchdog_limit_parse() {
+        assert_eq!(ProgressWatchdog::parse_limit(None), ProgressWatchdog::DEFAULT_LIMIT);
+        assert_eq!(ProgressWatchdog::parse_limit(Some("123")), 123);
+        assert_eq!(ProgressWatchdog::parse_limit(Some("0")), 0);
+        assert_eq!(ProgressWatchdog::parse_limit(Some("bad")), ProgressWatchdog::DEFAULT_LIMIT);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * [`stats`] — counters, latency accumulators, and histograms;
 //! * [`telemetry`] — hierarchical stat registry, Chrome-trace event export,
 //!   and a levelled logging facade;
-//! * [`rng`] — seeded pseudo-random generation and placement hashing.
+//! * [`rng`] — seeded pseudo-random generation and placement hashing;
+//! * [`fault`] — deterministic, seeded fault-injection plans.
 //!
 //! Everything is single-threaded and allocation-light: a simulation run is a
 //! pure function of its configuration and seed.
@@ -37,13 +38,15 @@
 
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 
 pub use energy::{Energy, Power};
-pub use engine::EventQueue;
+pub use engine::{EventQueue, ProgressWatchdog, Stall};
+pub use fault::{FaultConfig, FaultPlan};
 pub use stats::{Counter, Histogram, LatencyStat, LogHistogram, MeanAcc};
 pub use telemetry::{StatRegistry, TraceSink};
 pub use time::{Freq, Time};

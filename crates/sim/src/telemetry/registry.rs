@@ -48,6 +48,17 @@ pub enum StatValue {
     },
 }
 
+impl StatValue {
+    /// The event count, or `None` for non-count stats. Convenience for
+    /// assertions over `registry.get(path)` results.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            StatValue::Count(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
 /// A sorted map from dotted stat path to [`StatValue`].
 ///
 /// # Examples

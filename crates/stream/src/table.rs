@@ -63,6 +63,11 @@ pub struct StreamTable {
     streams: Vec<StreamConfig>,
     /// Stream indices sorted by base address for binary-search lookup.
     by_base: Vec<u16>,
+    /// Streams whose DRAM-cache copy returned poisoned (uncorrectable-ECC)
+    /// data, parallel to `streams`. A poisoned stream's cached replicas are
+    /// untrusted: the runtime aborts the cached copy and refetches from the
+    /// backing store.
+    poisoned: Vec<bool>,
 }
 
 impl StreamTable {
@@ -98,6 +103,7 @@ impl StreamTable {
             }
         }
         self.streams.push(cfg);
+        self.poisoned.push(false);
         let pos = self.by_base.partition_point(|&i| self.streams[i as usize].base < cfg.base);
         self.by_base.insert(pos, sid.0);
         Ok(sid)
@@ -113,10 +119,16 @@ impl StreamTable {
         self.streams.is_empty()
     }
 
-    /// Publishes table occupancy under `scope`.
+    /// Publishes table occupancy under `scope`. The poisoned-stream count is
+    /// only emitted when nonzero, so fault-free runs keep their registry
+    /// dumps byte-identical.
     pub fn register_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
         scope.count("streams", self.streams.len() as u64);
         scope.count("capacity", StreamId::MAX_STREAMS as u64);
+        let poisoned = self.poisoned_streams();
+        if poisoned > 0 {
+            scope.count("poisoned", poisoned);
+        }
     }
 
     /// The configuration of `sid`.
@@ -156,6 +168,33 @@ impl StreamTable {
         let first = s.read_only;
         s.read_only = false;
         first
+    }
+
+    /// Records that `sid`'s cached data returned an uncorrectable ECC error.
+    /// Returns `true` if this is the first poison event for the stream (the
+    /// event that triggers the cached-copy abort).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` was not issued by this table.
+    pub fn mark_poisoned(&mut self, sid: StreamId) -> bool {
+        let first = !self.poisoned[sid.index()];
+        self.poisoned[sid.index()] = true;
+        first
+    }
+
+    /// True if `sid` has seen a poison event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` was not issued by this table.
+    pub fn is_poisoned(&self, sid: StreamId) -> bool {
+        self.poisoned[sid.index()]
+    }
+
+    /// Number of streams that have seen at least one poison event.
+    pub fn poisoned_streams(&self) -> u64 {
+        self.poisoned.iter().filter(|&&p| p).count() as u64
     }
 }
 
@@ -214,6 +253,32 @@ mod tests {
         assert!(t.mark_written(a));
         assert!(!t.mark_written(a));
         assert!(!t.get(a).read_only);
+    }
+
+    #[test]
+    fn mark_poisoned_fires_once_and_registers() {
+        let mut t = StreamTable::new();
+        let a = t.configure(StreamSpec::affine_linear(0, 64, 8)).unwrap();
+        let b = t.configure(StreamSpec::affine_linear(0x100, 64, 8)).unwrap();
+        assert!(!t.is_poisoned(a));
+        assert!(t.mark_poisoned(a));
+        assert!(!t.mark_poisoned(a), "only the first poison event fires");
+        assert!(t.is_poisoned(a));
+        assert!(!t.is_poisoned(b));
+        assert_eq!(t.poisoned_streams(), 1);
+
+        let mut reg = ndpx_sim::telemetry::StatRegistry::new();
+        t.register_stats(&mut reg.scope("streams"));
+        assert!(reg.get("streams.poisoned").is_some());
+    }
+
+    #[test]
+    fn clean_table_omits_poison_stat() {
+        let mut t = StreamTable::new();
+        t.configure(StreamSpec::affine_linear(0, 64, 8)).unwrap();
+        let mut reg = ndpx_sim::telemetry::StatRegistry::new();
+        t.register_stats(&mut reg.scope("streams"));
+        assert!(reg.get("streams.poisoned").is_none(), "fault-free dumps must not change");
     }
 
     #[test]
