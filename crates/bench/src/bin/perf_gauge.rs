@@ -17,6 +17,11 @@
 //!   NDPX_PERF_OUT=path perf_gauge   # write somewhere else
 //!   NDPX_METRICS=dir perf_gauge     # also write metrics.json + registry
 //!                                   # dump sidecars (see ndpx_bench::manifest)
+//!   NDPX_QUEUE=heap perf_gauge      # run on the reference BinaryHeap event
+//!                                   # queue instead of the time wheel
+//!   NDPX_GAUGE_MICRO=1 perf_gauge   # also run component micro-benchmarks
+//!                                   # (queue ops, vectorized kernels) and
+//!                                   # record them under "micro"
 //!
 //! `--check` exits non-zero on any digest mismatch (against the baseline
 //! file or between the two phases), so the CI smoke run doubles as a
@@ -28,10 +33,12 @@ use std::time::Instant;
 use ndpx_bench::digest::report_digest;
 use ndpx_bench::gauge::{cell_key, gauge_ops, gauge_specs, scale_name};
 use ndpx_bench::manifest::{self, RunManifest};
+use ndpx_bench::micro::{self, MicroResult};
 use ndpx_bench::pool::{CellPool, CellResult, CellTask, MonitorConfig};
 use ndpx_bench::runner::{run_ndp_cached, BenchScale, RunSpec};
 use ndpx_core::config::PolicyKind;
 use ndpx_core::stats::RunReport;
+use ndpx_sim::engine::QueueImpl;
 use ndpx_workloads::TraceCache;
 
 struct Cell {
@@ -188,6 +195,24 @@ fn main() {
     );
     drop(parallel_results);
 
+    // Optional component micro-benchmarks: raw queue ops under both
+    // implementations plus the vectorized analytic kernels, recorded in the
+    // report so CI artifacts can attribute wall-clock movement.
+    let micros = if micro::enabled_from_env() {
+        let rs = micro::run_all();
+        for r in &rs {
+            eprintln!(
+                "micro {:<28} {:>12.1} ops/s  ({:.1} ns/op)",
+                r.name,
+                r.ops_per_sec(),
+                r.ns_per_iter
+            );
+        }
+        rs
+    } else {
+        Vec::new()
+    };
+
     // Optional sweep: extra cached passes at other widths, reusing the now
     // warm cache so the entries compare pure simulation scaling.
     let mut phases = vec![serial, parallel];
@@ -235,7 +260,7 @@ fn main() {
     }
 
     let out_path = std::env::var("NDPX_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
-    let json = render_json(scale, &phases, &cache_stats, baseline_agg, &run_manifest);
+    let json = render_json(scale, &phases, &cache_stats, baseline_agg, &run_manifest, &micros);
     std::fs::write(&out_path, json).expect("write BENCH_PERF.json");
     println!(
         "{agg:.0} simulated ops/sec over {} cells at {} thread(s) ({:.2}x vs serial) -> {out_path}",
@@ -249,24 +274,26 @@ fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Renders the report (`ndpx-perf-gauge-v3`: v2 plus engine-event totals and
-/// per-cell event rates / queue depths, sourced from the run manifest).
-/// Hand-rolled: the workspace has no JSON dependency, and the format below
-/// is line-oriented so `parse_digests` can read it back without a parser
-/// (v1/v2 baselines parse the same way).
+/// Renders the report (`ndpx-perf-gauge-v4`: v3 plus the active event-queue
+/// implementation and, under `NDPX_GAUGE_MICRO=1`, component micro-bench
+/// rates). Hand-rolled: the workspace has no JSON dependency, and the format
+/// below is line-oriented so `parse_digests` can read it back without a
+/// parser (v1–v3 baselines parse the same way).
 fn render_json(
     scale: BenchScale,
     phases: &[Phase],
     cache_stats: &ndpx_workloads::TraceCacheStats,
     baseline_agg: Option<f64>,
     run_manifest: &RunManifest,
+    micros: &[MicroResult],
 ) -> String {
     let (serial, parallel) = (&phases[0], &phases[1]);
     let agg = parallel.rate();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v3\",");
+    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v4\",");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
+    let _ = writeln!(s, "  \"queue_impl\": \"{}\",", QueueImpl::from_env().name());
     let _ = writeln!(s, "  \"threads\": {},", parallel.threads);
     let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
     let _ = writeln!(s, "  \"ops_total\": {},", parallel.ops_total());
@@ -292,6 +319,21 @@ fn render_json(
     if let Some(b) = baseline_agg {
         let _ = writeln!(s, "  \"baseline_sim_ops_per_sec\": {b:.1},");
         let _ = writeln!(s, "  \"speedup_over_baseline\": {:.3},", agg / b);
+    }
+    if !micros.is_empty() {
+        s.push_str("  \"micro\": [\n");
+        for (i, m) in micros.iter().enumerate() {
+            let comma = if i + 1 < micros.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.2}, \"ops_per_sec\": {:.1}}}{comma}",
+                m.name,
+                m.iters,
+                m.ns_per_iter,
+                m.ops_per_sec()
+            );
+        }
+        s.push_str("  ],\n");
     }
     s.push_str("  \"runs\": [\n");
     for (i, p) in phases.iter().enumerate() {

@@ -11,6 +11,7 @@
 pub mod digest;
 pub mod gauge;
 pub mod manifest;
+pub mod micro;
 pub mod pool;
 pub mod runner;
 

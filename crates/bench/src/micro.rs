@@ -1,0 +1,190 @@
+//! Component micro-benchmarks for the perf gauge (`NDPX_GAUGE_MICRO=1`).
+//!
+//! Times the raw hot kernels the full-matrix gauge exercises indirectly:
+//! event-queue scheduling under both implementations ([`QueueImpl::Wheel`]
+//! and the reference [`QueueImpl::Heap`]), the miss-curve sampler's observe
+//! path, consistent-hash bucket-table construction, and power-law graph
+//! generation. Results land in `BENCH_PERF.json` under `"micro"` so a CI
+//! artifact records where a wall-clock regression came from without
+//! re-profiling the whole matrix.
+//!
+//! These are wall-clock measurements, not digest-gated simulation: they
+//! exist to explain performance, never to define correctness.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ndpx_core::layout::Group;
+use ndpx_core::runtime::sampler::{capacity_points, SetSampler};
+use ndpx_sim::engine::{EventQueue, QueueImpl};
+use ndpx_sim::rng::Xoshiro256;
+use ndpx_sim::time::Time;
+use ndpx_workloads::graph::CsrGraph;
+
+/// One micro-benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Kernel label (stable across report versions).
+    pub name: &'static str,
+    /// Operations timed.
+    pub iters: u64,
+    /// Nanoseconds per operation.
+    pub ns_per_iter: f64,
+}
+
+impl MicroResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            0.0
+        }
+    }
+}
+
+/// True when the environment requests the micro-bench pass.
+pub fn enabled_from_env() -> bool {
+    std::env::var("NDPX_GAUGE_MICRO").is_ok_and(|v| v.trim() == "1")
+}
+
+fn timed(name: &'static str, iters: u64, f: impl FnOnce()) -> MicroResult {
+    let t0 = Instant::now();
+    f();
+    let ns = t0.elapsed().as_nanos() as f64;
+    MicroResult { name, iters, ns_per_iter: ns / iters as f64 }
+}
+
+/// The simulator's scheduling pattern: one pending event per core, each pop
+/// immediately re-pushed a short random delta ahead (`push_pop_ranked`).
+fn queue_fused(impl_kind: QueueImpl, name: &'static str, iters: u64) -> MicroResult {
+    let mut q: EventQueue<usize> = EventQueue::with_impl(impl_kind);
+    let cores = 16u64;
+    for c in 0..cores {
+        q.push_ranked(Time::ZERO, c, c as usize);
+    }
+    let mut rng = Xoshiro256::seed_from(0x51ED);
+    let (mut now, mut core) = q.pop().expect("non-empty");
+    timed(name, iters, || {
+        for _ in 0..iters {
+            let dt = Time::from_ps(100 + rng.below(8000));
+            (now, core) = q.push_pop_ranked(now + dt, core as u64, core);
+        }
+        black_box(now);
+    })
+}
+
+/// Bursty schedule: fill a batch of future events, then drain it — the
+/// pattern that exercises bucket chains and the refill/cascade path.
+fn queue_churn(impl_kind: QueueImpl, name: &'static str, iters: u64) -> MicroResult {
+    let mut q: EventQueue<u64> = EventQueue::with_impl(impl_kind);
+    let mut rng = Xoshiro256::seed_from(0xC0DE);
+    let batch = 256u64;
+    let rounds = iters / (2 * batch);
+    let mut now = Time::ZERO;
+    timed(name, rounds * 2 * batch, || {
+        for _ in 0..rounds {
+            for i in 0..batch {
+                // Mostly near-horizon, occasionally far enough to overflow.
+                let dt = if rng.below(64) == 0 {
+                    Time::from_us(1 + rng.below(4))
+                } else {
+                    Time::from_ps(rng.below(200_000))
+                };
+                q.push(now + dt, i);
+            }
+            for _ in 0..batch {
+                if let Some((t, v)) = q.pop() {
+                    now = t;
+                    black_box(v);
+                }
+            }
+        }
+        black_box(now);
+    })
+}
+
+/// The sampler observe path: 64 capacity cases per access, as assigned
+/// samplers see on every post-L1 reference.
+fn sampler_observe(iters: u64) -> MicroResult {
+    let caps = capacity_points(32 << 10, 256 << 20, 64);
+    let mut s = SetSampler::new(&caps, 64, 32);
+    let mut rng = Xoshiro256::seed_from(0x0B5E);
+    timed("sampler_observe", iters, || {
+        for _ in 0..iters {
+            s.observe(rng.below(1 << 20));
+        }
+        black_box(s.observed());
+    })
+}
+
+/// Consistent-hash group construction: one full 1024-bucket weighted
+/// rendezvous rehash per iteration (the reconfiguration kernel).
+fn bucket_table(iters: u64) -> MicroResult {
+    let units = 16usize;
+    let mut rng = Xoshiro256::seed_from(0xB0C1);
+    timed("consistent_rehash", iters, || {
+        for _ in 0..iters {
+            let shares: Vec<u64> = (0..units).map(|_| rng.below(4096)).collect();
+            black_box(Group::new(shares, true).total_slots());
+        }
+    })
+}
+
+/// Raw power-law graph generation (the inverse-CDF `powf` kernel the
+/// process-wide graph cache exists to amortize); measured per edge.
+fn graph_powerlaw() -> MicroResult {
+    let (vertices, avg_degree) = (20_000u32, 12u32);
+    let g = CsrGraph::powerlaw(vertices, avg_degree, 0x6EAF);
+    let edges = g.edge_count().max(1);
+    black_box(g.vertices());
+    let t0 = Instant::now();
+    let g2 = CsrGraph::powerlaw(vertices, avg_degree, 0x6EB0);
+    let ns = t0.elapsed().as_nanos() as f64;
+    let edges2 = g2.edge_count().max(edges);
+    black_box(g2.vertices());
+    MicroResult { name: "powerlaw_edge_gen", iters: edges2, ns_per_iter: ns / edges2 as f64 }
+}
+
+/// Runs the full micro-bench suite (a few hundred milliseconds).
+pub fn run_all() -> Vec<MicroResult> {
+    vec![
+        queue_fused(QueueImpl::Wheel, "queue_wheel_push_pop_ranked", 2_000_000),
+        queue_fused(QueueImpl::Heap, "queue_heap_push_pop_ranked", 2_000_000),
+        queue_churn(QueueImpl::Wheel, "queue_wheel_batch_churn", 1_000_000),
+        queue_churn(QueueImpl::Heap, "queue_heap_batch_churn", 1_000_000),
+        sampler_observe(300_000),
+        bucket_table(2_000),
+        graph_powerlaw(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_suite_produces_sane_rates() {
+        // Tiny iteration counts: this guards plumbing, not performance.
+        let rs = [
+            queue_fused(QueueImpl::Wheel, "w", 4_000),
+            queue_fused(QueueImpl::Heap, "h", 4_000),
+            queue_churn(QueueImpl::Wheel, "wc", 8_192),
+            queue_churn(QueueImpl::Heap, "hc", 8_192),
+            sampler_observe(2_000),
+            bucket_table(8),
+        ];
+        for r in rs {
+            assert!(r.iters > 0, "{}: no iterations", r.name);
+            assert!(r.ns_per_iter.is_finite() && r.ns_per_iter >= 0.0, "{}: bad rate", r.name);
+        }
+    }
+
+    #[test]
+    fn env_gate_defaults_off() {
+        // The gauge only runs micros when explicitly asked.
+        if std::env::var("NDPX_GAUGE_MICRO").is_err() {
+            assert!(!enabled_from_env());
+        }
+    }
+}

@@ -11,7 +11,7 @@ use ndpx_mem::device::{DramConfig, DramDevice};
 use ndpx_noc::network::{LinkParams, Network};
 use ndpx_noc::topology::{IntraKind, Topology, UnitId};
 use ndpx_sim::energy::Power;
-use ndpx_sim::engine::EventQueue;
+use ndpx_sim::engine::{EventQueue, QueueStats};
 use ndpx_sim::rng::hash_range;
 use ndpx_sim::stats::Histogram;
 use ndpx_sim::telemetry::StatRegistry;
@@ -179,7 +179,7 @@ impl HostSystem {
                 queue.pop()
             };
         }
-        self.report(makespan, ops, queue.processed(), queue.peak_len() as u64)
+        self.report(makespan, ops, &queue.stats())
     }
 
     fn access(&mut self, core: usize, addr: u64, write: bool, t: Time) -> Time {
@@ -214,12 +214,20 @@ impl HostSystem {
         t3 + self.cfg.freq.cycle()
     }
 
-    fn build_registry(&self, engine_events: u64, peak_queue: u64) -> StatRegistry {
+    fn build_registry(&self, qstats: &QueueStats) -> StatRegistry {
         let mut registry = StatRegistry::new();
         {
             let mut engine = registry.scope("engine");
-            engine.count("events", engine_events);
-            engine.count("peak_queue_depth", peak_queue);
+            engine.count("events", qstats.processed);
+            engine.count("peak_queue_depth", qstats.peak_depth);
+            let mut queue = engine.scope("queue");
+            queue.count("scheduled", qstats.scheduled);
+            queue.count("processed", qstats.processed);
+            queue.count("peak_depth", qstats.peak_depth);
+            queue.count("overflow_scheduled", qstats.overflow_scheduled);
+            for (i, &n) in qstats.bucket_occupancy.iter().enumerate() {
+                queue.count(&format!("bucket_occ{i}"), n);
+            }
         }
         {
             let mut core = registry.scope("core");
@@ -235,7 +243,7 @@ impl HostSystem {
         registry
     }
 
-    fn report(&self, makespan: Time, ops: u64, engine_events: u64, peak_queue: u64) -> RunReport {
+    fn report(&self, makespan: Time, ops: u64, qstats: &QueueStats) -> RunReport {
         let energy = EnergyBreakdown {
             static_: (HOST_CORE_STATIC * self.cfg.cores as f64).over(makespan)
                 + self.mem.background_energy(makespan),
@@ -263,9 +271,9 @@ impl HostSystem {
             migrations: 0,
             replicated_fraction: 0.0,
             access_latency: self.access_latency.clone(),
-            engine_events,
-            peak_queue_depth: peak_queue,
-            registry: self.build_registry(engine_events, peak_queue),
+            engine_events: qstats.processed,
+            peak_queue_depth: qstats.peak_depth,
+            registry: self.build_registry(qstats),
         }
     }
 }

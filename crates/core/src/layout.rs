@@ -129,14 +129,37 @@ fn build_bucket_table(shares: &[u64], members: &[usize]) -> Vec<u16> {
     if members.is_empty() {
         return table;
     }
-    let denoms = rendezvous_denominators(shares.len());
-    for (b, slot) in table.iter_mut().enumerate() {
-        let row = &denoms[b * shares.len()..(b + 1) * shares.len()];
+    let units = shares.len();
+    let denoms = rendezvous_denominators(units);
+    // Four buckets per iteration with the member scan innermost: each
+    // bucket's running argmax is an independent lane (score = weight /
+    // -ln(r), larger is better — classic weighted rendezvous), members are
+    // visited in the same order as the scalar loop, and the strict `>`
+    // keeps the same winner under ties, so the vectorized pass produces
+    // exactly the scalar table.
+    let mut chunks = table.chunks_exact_mut(4);
+    let mut b = 0usize;
+    for t4 in chunks.by_ref() {
+        let mut best = [members[0] as u16; 4];
+        let mut best_score = [f64::NEG_INFINITY; 4];
+        for &u in members {
+            let w = shares[u] as f64;
+            for i in 0..4 {
+                let score = w / denoms[(b + i) * units + u];
+                if score > best_score[i] {
+                    best_score[i] = score;
+                    best[i] = u as u16;
+                }
+            }
+        }
+        t4.copy_from_slice(&best);
+        b += 4;
+    }
+    for (i, slot) in chunks.into_remainder().iter_mut().enumerate() {
+        let row = &denoms[(b + i) * units..(b + i + 1) * units];
         let mut best = members[0];
         let mut best_score = f64::NEG_INFINITY;
         for &u in members {
-            // score = weight / -ln(r) (classic weighted rendezvous),
-            // larger is better.
             let score = shares[u] as f64 / row[u];
             if score > best_score {
                 best_score = score;

@@ -7,7 +7,7 @@
 //! of address each) and counts hits/misses. Scaling the sampled miss rate by
 //! the stream's total access count yields the absolute miss curve.
 
-use ndpx_sim::rng::hash_range;
+use ndpx_sim::rng::mix64;
 
 /// A miss curve: estimated misses per epoch at increasing capacities.
 ///
@@ -104,6 +104,9 @@ pub fn capacity_points(min_cap: u64, max_cap: u64, count: usize) -> Vec<u64> {
 struct CapCase {
     capacity: u64,
     slots: u64,
+    /// Monitoring stride: `(slots / sets.len()).max(1)`, precomputed so the
+    /// per-access filter is one remainder instead of a division chain.
+    stride: u64,
     /// Sampled-set contents: key + 1 per monitored set (0 = empty).
     sets: Vec<u64>,
     hits: u64,
@@ -132,10 +135,12 @@ impl SetSampler {
             .iter()
             .map(|&capacity| {
                 let slots = (capacity / grain).max(1);
+                let monitored = k.min(slots as usize) as u64;
                 CapCase {
                     capacity,
                     slots,
-                    sets: vec![0; k.min(slots as usize)],
+                    stride: (slots / monitored).max(1),
+                    sets: vec![0; monitored as usize],
                     hits: 0,
                     misses: 0,
                 }
@@ -145,20 +150,28 @@ impl SetSampler {
     }
 
     /// Observes one access to the stream (key = slot-granularity index).
+    ///
+    /// One hashed draw serves every capacity case: `hash_range(key, n)` is
+    /// a multiply-shift range reduction of `mix64(key)`, so hoisting the
+    /// mix out of the loop leaves each case a single widening multiply —
+    /// the same bits `hash_range` would produce per case, at a fraction of
+    /// the cost (the mix is three xor-shift-multiply rounds, and a sampled
+    /// stream pays it per capacity point per access).
     pub fn observe(&mut self, key: u64) {
+        let mixed = mix64(key);
+        let tag = key + 1;
         for case in &mut self.cases {
-            let slot = hash_range(key, case.slots);
-            let monitored = case.sets.len() as u64;
-            let stride = (case.slots / monitored).max(1);
-            if !slot.is_multiple_of(stride) {
+            let slot = ((u128::from(mixed) * u128::from(case.slots)) >> 64) as u64;
+            if !slot.is_multiple_of(case.stride) {
                 continue;
             }
-            let idx = ((slot / stride) % monitored) as usize;
-            if case.sets[idx] == key + 1 {
+            let monitored = case.sets.len() as u64;
+            let idx = ((slot / case.stride) % monitored) as usize;
+            if case.sets[idx] == tag {
                 case.hits += 1;
             } else {
                 case.misses += 1;
-                case.sets[idx] = key + 1;
+                case.sets[idx] = tag;
             }
         }
     }

@@ -34,7 +34,7 @@ use ndpx_mem::device::{DramDevice, EccOutcome, MemFault};
 use ndpx_noc::network::{Network, NocFault};
 use ndpx_noc::topology::UnitId;
 use ndpx_sim::energy::Power;
-use ndpx_sim::engine::{EventQueue, ProgressWatchdog};
+use ndpx_sim::engine::{EventQueue, ProgressWatchdog, QueueStats};
 use ndpx_sim::fault::domain;
 use ndpx_sim::stats::Histogram;
 use ndpx_sim::telemetry::log::{enabled, Level};
@@ -72,18 +72,6 @@ const REQ_BYTES: u32 = 16;
 /// Response/data message size granularity.
 const LINE_BYTES: u32 = 64;
 
-#[derive(Debug)]
-struct Unit {
-    dram: DramDevice,
-    l1: SetAssocCache,
-    /// SLB: fully-associative over stream IDs.
-    slb: SetAssocCache,
-    /// Baselines' SRAM metadata cache over 512 B regions.
-    meta: SetAssocCache,
-    /// Per-stream tag arrays for this unit's DRAM cache region.
-    tags: Vec<Option<TagArray>>,
-}
-
 struct SamplerSlot {
     unit: usize,
     sampler: SetSampler,
@@ -97,26 +85,46 @@ pub struct NdpSystem {
     workload_name: &'static str,
     net: Network,
     ext: ExtendedMemory,
-    units: Vec<Unit>,
+    // Hot per-unit device state in struct-of-arrays form: each access-path
+    // stage walks exactly one of these parallel vectors (all indexed by
+    // unit), instead of striding over one wide per-unit struct and dragging
+    // the cold members through the cache with it.
+    /// Per-unit DRAM devices.
+    drams: Vec<DramDevice>,
+    /// Per-core L1 data caches.
+    l1s: Vec<SetAssocCache>,
+    /// Per-unit SLBs: fully-associative over stream IDs.
+    slbs: Vec<SetAssocCache>,
+    /// Baselines' per-unit SRAM metadata caches over 512 B regions.
+    metas: Vec<SetAssocCache>,
+    /// Per-(stream, unit) tag arrays for each unit's DRAM cache region,
+    /// stream-major: `tags[si * units + u]`, so one stream's arrays across
+    /// all units are one contiguous row.
+    tags: Vec<Option<TagArray>>,
     layouts: Vec<StreamLayout>,
     /// Per-stream hot-path descriptors, indexed by `StreamId`; immutable
     /// for a run (grain/key/fetch math depends only on the stream config
     /// and the policy).
     descs: Vec<StreamDesc>,
     attenuation: Vec<Vec<f64>>,
-    /// Uncontended unit-to-unit latency in picoseconds (64 B message).
-    distance: Vec<Vec<u64>>,
+    /// Uncontended unit-to-unit latency in picoseconds (64 B message),
+    /// row-major flat: `distance[src * units + dst]`.
+    distance: Vec<u64>,
     /// Per unit pair: `(intra_weight, total_weight)` picosecond hop-time
     /// weights for splitting a NoC duration between the intra/inter
-    /// latency components without re-deriving hop counts.
-    noc_weights: Vec<Vec<(u64, u64)>>,
+    /// latency components without re-deriving hop counts. Row-major flat,
+    /// same indexing as `distance`.
+    noc_weights: Vec<(u64, u64)>,
     // Epoch state.
     next_epoch: Time,
-    acc_counts: Vec<Vec<u64>>,
+    /// Per-(stream, unit) access counts for the current epoch, stream-major
+    /// flat: `acc_counts[si * units + u]`.
+    acc_counts: Vec<u64>,
     /// Exponentially-weighted access history (halved each epoch, current
     /// counts added): smooths phase behaviour that is shorter than an epoch
     /// so the allocator keeps capacity for streams between their bursts.
-    acc_history: Vec<Vec<u64>>,
+    /// Same flat layout as `acc_counts`.
+    acc_history: Vec<u64>,
     samplers: Vec<Option<SamplerSlot>>,
     prev_curves: Vec<Option<MissCurve>>,
     // Statistics.
@@ -170,19 +178,33 @@ impl NdpSystem {
         // Distance, attenuation, and NoC-split weight matrices.
         let dram_lat = cfg.dram_config().timing.row_empty().as_ps() as f64;
         let (intra_l, inter_l) = cfg.link_params();
-        let mut distance = vec![vec![0u64; units_n]; units_n];
+        let mut distance = vec![0u64; units_n * units_n];
         let mut attenuation = vec![vec![1.0; units_n]; units_n];
-        let mut noc_weights = vec![vec![(0u64, 1u64); units_n]; units_n];
-        for u in 0..units_n {
+        let mut noc_weights = vec![(0u64, 1u64); units_n * units_n];
+        for (u, att) in attenuation.iter_mut().enumerate() {
+            let row = u * units_n;
             for v in 0..units_n {
                 let d = net.base_latency(UnitId(u), UnitId(v), LINE_BYTES).as_ps();
-                distance[u][v] = d;
-                attenuation[u][v] = dram_lat / (dram_lat + d as f64);
+                distance[row + v] = d;
                 let iw = cfg.topology.intra_hops(UnitId(u), UnitId(v)) as u64
                     * intra_l.hop_latency.as_ps();
                 let xw = cfg.topology.inter_hops(UnitId(u), UnitId(v)) as u64
                     * inter_l.hop_latency.as_ps();
-                noc_weights[u][v] = (iw, (iw + xw).max(1));
+                noc_weights[row + v] = (iw, (iw + xw).max(1));
+            }
+            // Attenuation derives elementwise from the distance row:
+            // computed as a second chunked pass the compiler can lower to
+            // 4-wide vector divides (each lane independent, so the result
+            // is bit-identical to the scalar loop).
+            let mut dc = distance[row..row + units_n].chunks_exact(4);
+            let mut ac = att.chunks_exact_mut(4);
+            for (d4, a4) in dc.by_ref().zip(ac.by_ref()) {
+                for i in 0..4 {
+                    a4[i] = dram_lat / (dram_lat + d4[i] as f64);
+                }
+            }
+            for (d, a) in dc.remainder().iter().zip(ac.into_remainder()) {
+                *a = dram_lat / (dram_lat + *d as f64);
             }
         }
 
@@ -195,28 +217,32 @@ impl NdpSystem {
             workload.table.iter().map(|s| StreamDesc::build(*s, desc_params)).collect();
 
         let stream_count = workload.table.len();
-        let units = (0..units_n)
-            .map(|_| Unit {
-                dram: DramDevice::new(cfg.dram_config()),
-                l1: SetAssocCache::with_capacity(cfg.l1_bytes, cfg.line_bytes, cfg.l1_ways),
-                slb: SetAssocCache::new(1, cfg.slb_entries),
-                meta: SetAssocCache::with_capacity(cfg.metadata_cache_bytes, 8, 8),
-                tags: (0..stream_count).map(|_| None).collect(),
-            })
+        let drams = (0..units_n).map(|_| DramDevice::new(cfg.dram_config())).collect();
+        let l1s = (0..units_n)
+            .map(|_| SetAssocCache::with_capacity(cfg.l1_bytes, cfg.line_bytes, cfg.l1_ways))
             .collect();
+        let slbs = (0..units_n).map(|_| SetAssocCache::new(1, cfg.slb_entries)).collect();
+        let metas = (0..units_n)
+            .map(|_| SetAssocCache::with_capacity(cfg.metadata_cache_bytes, 8, 8))
+            .collect();
+        let tags = (0..stream_count * units_n).map(|_| None).collect();
 
         let mut sys = NdpSystem {
             ext: ExtendedMemory::new(cfg.cxl, cfg.ext_capacity),
             net,
-            units,
+            drams,
+            l1s,
+            slbs,
+            metas,
+            tags,
             layouts: Vec::new(),
             descs,
             attenuation,
             distance,
             noc_weights,
             next_epoch: cfg.epoch(),
-            acc_counts: vec![vec![0; units_n]; stream_count],
-            acc_history: vec![vec![0; units_n]; stream_count],
+            acc_counts: vec![0; stream_count * units_n],
+            acc_history: vec![0; stream_count * units_n],
             samplers: (0..stream_count).map(|_| None).collect(),
             prev_curves: vec![None; stream_count],
             table: workload.table,
@@ -250,8 +276,8 @@ impl NdpSystem {
         let fcfg = sys.cfg.fault;
         sys.ext.set_fault(fcfg.plan(domain::CXL, 0).map(|p| CxlFault::new(p, fcfg.cxl_ber)));
         sys.net.set_fault(fcfg.plan(domain::NOC, 0).map(|p| NocFault::new(p, fcfg.noc_fer)));
-        for (u, unit) in sys.units.iter_mut().enumerate() {
-            unit.dram.set_fault(
+        for (u, dram) in sys.drams.iter_mut().enumerate() {
+            dram.set_fault(
                 fcfg.plan(domain::MEM, u as u64)
                     .map(|p| MemFault::new(p, fcfg.mem_ce, fcfg.mem_ue)),
             );
@@ -358,7 +384,7 @@ impl NdpSystem {
             };
         }
 
-        let report = self.report(makespan, total_ops, queue.processed(), queue.peak_len() as u64);
+        let report = self.report(makespan, total_ops, &queue.stats());
         if let Some(tr) = self.trace.take() {
             let label = format!("{:?}/{}", self.cfg.policy, self.workload_name);
             match tr.write(&label) {
@@ -373,6 +399,13 @@ impl NdpSystem {
         self.cfg.core_freq.cycles_to_time(n)
     }
 
+    /// Index into the flat stream-major `(stream × unit)` matrices
+    /// (`tags`, `acc_counts`, `acc_history`).
+    #[inline]
+    fn su(&self, si: usize, unit: usize) -> usize {
+        si * self.l1s.len() + unit
+    }
+
     /// Splits a NoC duration between the intra/inter components by the
     /// uncontended hop-time ratio (weights precomputed per unit pair).
     fn charge_noc(&mut self, src: usize, dst: usize, dur: Time) {
@@ -382,7 +415,7 @@ impl NdpSystem {
         if self.trace_noc {
             Self::trace_slow_leg(src, dst, dur);
         }
-        let (iw, total_w) = self.noc_weights[src][dst];
+        let (iw, total_w) = self.noc_weights[src * self.l1s.len() + dst];
         let intra_part = Time::from_ps(dur.as_ps() * iw / total_w);
         self.breakdown.add(LatComponent::NocIntra, intra_part);
         self.breakdown.add(LatComponent::NocInter, dur - intra_part);
@@ -445,7 +478,7 @@ impl NdpSystem {
         self.mem_ops += 1;
         let t = t + self.cycles(L1_CYCLES);
         let line = addr / self.cfg.line_bytes;
-        if self.units[core].l1.access(line, write).is_hit() {
+        if self.l1s[core].access(line, write).is_hit() {
             self.l1_hits += 1;
             return t;
         }
@@ -466,7 +499,7 @@ impl NdpSystem {
 
         // L1.
         let line = addr / self.cfg.line_bytes;
-        match self.units[core].l1.access(line, m.write) {
+        match self.l1s[core].access(line, m.write) {
             ndpx_cache::setassoc::Outcome::Hit => {
                 self.l1_hits += 1;
                 return now;
@@ -484,7 +517,8 @@ impl NdpSystem {
 
         // Epoch accounting + sampling happen at DRAM-cache level.
         let key = desc.key_of(m.elem, addr);
-        self.acc_counts[m.sid.index()][core] += 1;
+        let su = self.su(m.sid.index(), core);
+        self.acc_counts[su] += 1;
         if let Some(slot) = &mut self.samplers[m.sid.index()] {
             // The sampler monitors sets of the distributed cache, which see
             // the whole system's (hashed) access mix — not just accesses
@@ -504,7 +538,7 @@ impl NdpSystem {
         if self.cfg.policy.is_stream_grain() {
             now += self.cycles(SLB_CYCLES);
             self.breakdown.add(LatComponent::Metadata, self.cycles(SLB_CYCLES));
-            if !self.units[core].slb.access(sid_i as u64, false).is_hit() {
+            if !self.slbs[core].access(sid_i as u64, false).is_hit() {
                 self.slb_misses += 1;
                 now += self.cfg.slb_miss_penalty;
                 self.breakdown.add(LatComponent::Metadata, self.cfg.slb_miss_penalty);
@@ -513,13 +547,13 @@ impl NdpSystem {
             now += self.cycles(SRAM_TAG_CYCLES);
             self.breakdown.add(LatComponent::Metadata, self.cycles(SRAM_TAG_CYCLES));
             let region = addr / self.cfg.metadata_block;
-            if !self.units[core].meta.access(region, false).is_hit() {
+            if !self.metas[core].access(region, false).is_hit() {
                 // In-DRAM tag read at the line's home unit.
                 self.metadata_dram += 1;
                 if let Some((home, slot)) = located {
                     let t1 = self.net.send(UnitId(core), UnitId(home), REQ_BYTES, now);
                     let daddr = self.layouts[sid_i].slot_addr(home, slot);
-                    let t2 = self.units[home].dram.access(daddr, LINE_BYTES, false, t1);
+                    let t2 = self.drams[home].access(daddr, LINE_BYTES, false, t1);
                     let t3 = self.net.send(UnitId(home), UnitId(core), LINE_BYTES, t2);
                     self.breakdown.add(LatComponent::Metadata, t3 - now);
                     now = t3;
@@ -544,6 +578,7 @@ impl NdpSystem {
         let stream_grain = self.cfg.policy.is_stream_grain();
         let grain = desc.grain;
         let daddr = self.layouts[sid_i].slot_addr(target, slot);
+        let tag_at = self.su(sid_i, target);
 
         // Set when a data-path DRAM read returns uncorrectable (poisoned)
         // ECC data; a poisoned hit aborts the stream's cached copy at the
@@ -554,19 +589,19 @@ impl NdpSystem {
             let tag_lat = self.cycles(SRAM_TAG_CYCLES);
             now += tag_lat;
             self.breakdown.add(LatComponent::Metadata, tag_lat);
-            let tags = self.units[target].tags[sid_i].as_mut().expect("located implies allocated");
+            let tags = self.tags[tag_at].as_mut().expect("located implies allocated");
             tags.access(slot, key, m.write)
         } else if stream_grain {
             // Indirect: one DRAM access returns tag + data.
-            let (t2, ecc) = self.units[target].dram.access_checked(daddr, LINE_BYTES, m.write, now);
+            let (t2, ecc) = self.drams[target].access_checked(daddr, LINE_BYTES, m.write, now);
             poisoned = ecc == EccOutcome::Poisoned;
             self.breakdown.add(LatComponent::DramCache, t2 - now);
             now = t2;
-            let tags = self.units[target].tags[sid_i].as_mut().expect("allocated");
+            let tags = self.tags[tag_at].as_mut().expect("allocated");
             tags.access(slot, key, m.write)
         } else {
             // Line grain: tag state came with the metadata read.
-            let tags = self.units[target].tags[sid_i].as_mut().expect("located implies allocated");
+            let tags = self.tags[tag_at].as_mut().expect("located implies allocated");
             tags.access(slot, key, m.write)
         };
 
@@ -585,8 +620,7 @@ impl NdpSystem {
             // Stream-grain indirect hits are served straight from the
             // element slot; everything else pays the DRAM-cache row access.
             if !stream_grain || affine_stream {
-                let (t2, ecc) =
-                    self.units[target].dram.access_checked(daddr, LINE_BYTES, m.write, now);
+                let (t2, ecc) = self.drams[target].access_checked(daddr, LINE_BYTES, m.write, now);
                 poisoned = ecc == EccOutcome::Poisoned;
                 self.breakdown.add(LatComponent::DramCache, t2 - now);
                 if let Some(tr) = self.trace.as_deref_mut() {
@@ -606,7 +640,7 @@ impl NdpSystem {
             let done = self.ext_access(target, base_addr, fetch, false, now);
             now = done;
             // Install into the DRAM cache without blocking the response.
-            self.units[target].dram.access(daddr, fetch, true, now);
+            self.drams[target].access(daddr, fetch, true, now);
         }
 
         // Data response back to the requester.
@@ -635,14 +669,14 @@ impl NdpSystem {
                 sid.index()
             );
         }
-        let sid_i = sid.index();
-        if let Some(tags) = self.units[unit].tags[sid_i].as_mut() {
+        let tag_at = self.su(sid.index(), unit);
+        if let Some(tags) = self.tags[tag_at].as_mut() {
             let (valid, _) = tags.invalidate_all();
             self.invalidations += valid;
         }
         let done = self.ext_access(unit, desc.addr_of_key(key), desc.fetch_bytes, false, now);
         // Reinstall the clean copy without blocking the response.
-        self.units[unit].dram.access(daddr, desc.fetch_bytes, true, done);
+        self.drams[unit].access(daddr, desc.fetch_bytes, true, done);
         done
     }
 
@@ -657,10 +691,11 @@ impl NdpSystem {
         if let Some((target, slot)) = self.layouts[sid_i].locate(core, key) {
             let t1 = self.net.send(UnitId(core), UnitId(target), LINE_BYTES, t);
             let daddr = self.layouts[sid_i].slot_addr(target, slot);
-            if let Some(tags) = self.units[target].tags[sid_i].as_mut() {
+            let tag_at = self.su(sid_i, target);
+            if let Some(tags) = self.tags[tag_at].as_mut() {
                 if tags.probe(slot, key) {
                     tags.access(slot, key, true);
-                    self.units[target].dram.access(daddr, LINE_BYTES, true, t1);
+                    self.drams[target].access(daddr, LINE_BYTES, true, t1);
                     return;
                 }
             }
@@ -677,15 +712,18 @@ impl NdpSystem {
             return Time::ZERO;
         }
         // Invalidate every cached copy (clean by construction: no writebacks
-        // needed, §IV-B).
-        for unit in &mut self.units {
-            if let Some(tags) = unit.tags[sid_i].as_mut() {
+        // needed, §IV-B). The stream's tag arrays are one contiguous row of
+        // the flat stream-major matrix.
+        let units_n = self.cfg.units();
+        let mut invalidated = 0;
+        for slot in &mut self.tags[sid_i * units_n..(sid_i + 1) * units_n] {
+            if let Some(tags) = slot.as_mut() {
                 let (valid, _) = tags.invalidate_all();
-                self.invalidations += valid;
+                invalidated += valid;
             }
         }
+        self.invalidations += invalidated;
         // Merge all groups: per-unit shares summed, one group.
-        let units_n = self.cfg.units();
         let mut shares = vec![0u64; units_n];
         for g in &self.layouts[sid_i].groups {
             for (total, &s) in shares.iter_mut().zip(&g.shares) {
@@ -699,13 +737,14 @@ impl NdpSystem {
         layout.groups.push(Group::new(shares, consistent));
         layout.finalize_offsets(units_n);
         let dist = &self.distance;
-        layout.assign_nearest(units_n, |a, b| dist[a][b]);
+        layout.assign_nearest(units_n, |a, b| dist[a * units_n + b]);
         self.layouts[sid_i] = layout;
         RO_TRANSITION_PENALTY
     }
 
     /// Collects per-stream demands from this epoch's counters and samplers.
     fn collect_demands(&mut self, warmup: bool) -> Vec<StreamDemand> {
+        let units_n = self.cfg.units();
         (0..self.table.len())
             .map(|si| {
                 let sid = StreamId(si as u16);
@@ -715,9 +754,9 @@ impl NdpSystem {
                     // Nothing observed yet: assume every unit touches every
                     // stream equally so the warmup allocation hands all
                     // streams capacity.
-                    (0..self.cfg.units()).map(|u| (u, 1)).collect()
+                    (0..units_n).map(|u| (u, 1)).collect()
                 } else {
-                    self.acc_history[si]
+                    self.acc_history[si * units_n..(si + 1) * units_n]
                         .iter()
                         .enumerate()
                         .filter(|(_, &a)| a > 0)
@@ -834,7 +873,7 @@ impl NdpSystem {
                 *off += per * grain;
             }
             let dist = &self.distance;
-            layout.assign_nearest(units_n, |a, b| dist[a][b]);
+            layout.assign_nearest(units_n, |a, b| dist[a * units_n + b]);
             new_layouts.push(layout);
         }
 
@@ -865,12 +904,14 @@ impl NdpSystem {
                     *total += s;
                 }
             }
-            // Take the old arrays, build fresh ones.
+            // Take the old arrays, build fresh ones. The stream's row of
+            // the flat tag matrix is contiguous.
+            let row = si * units_n;
             let old_arrays: Vec<Option<TagArray>> =
-                (0..units_n).map(|u| self.units[u].tags[si].take()).collect();
+                self.tags[row..row + units_n].iter_mut().map(Option::take).collect();
             for (u, per) in per_unit.iter().enumerate() {
                 if *per > 0 {
-                    self.units[u].tags[si] = Some(TagArray::new(*per, ways));
+                    self.tags[row + u] = Some(TagArray::new(*per, ways));
                 }
             }
             if consistent {
@@ -885,7 +926,7 @@ impl NdpSystem {
                     for (key, dirty) in old.entries() {
                         match new_layout.locate(u, key) {
                             Some((target, slot)) => {
-                                let installed = self.units[target].tags[si]
+                                let installed = self.tags[row + target]
                                     .as_mut()
                                     .is_some_and(|t| t.install_if_free(slot, key, dirty));
                                 if !installed {
@@ -941,10 +982,18 @@ impl NdpSystem {
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.instant("core", "reconfigure", 0, t);
         }
-        for (hist, cur) in self.acc_history.iter_mut().zip(&self.acc_counts) {
-            for (h, &c) in hist.iter_mut().zip(cur) {
-                *h = *h / 2 + c;
+        // Decay the flat (stream × unit) history matrix in 4-wide chunks
+        // the compiler lowers to vector shift-adds; integer lanes are
+        // independent, so this is bit-identical to the scalar loop.
+        let mut hist = self.acc_history.chunks_exact_mut(4);
+        let mut cur = self.acc_counts.chunks_exact(4);
+        for (h4, c4) in hist.by_ref().zip(cur.by_ref()) {
+            for i in 0..4 {
+                h4[i] = h4[i] / 2 + c4[i];
             }
+        }
+        for (h, &c) in hist.into_remainder().iter_mut().zip(cur.remainder()) {
+            *h = *h / 2 + c;
         }
         let within_budget = self.cfg.max_reconfigs.is_none_or(|m| self.reconfigs <= m);
         if self.cfg.policy.reconfigures() && within_budget {
@@ -975,16 +1024,14 @@ impl NdpSystem {
             }
         }
         self.assign_epoch_samplers();
-        for counts in &mut self.acc_counts {
-            counts.fill(0);
-        }
+        self.acc_counts.fill(0);
     }
 
     /// Runs the max-flow sampler assignment on this epoch's access bitvector
     /// and instantiates fresh samplers.
     fn assign_epoch_samplers(&mut self) {
         let units_n = self.cfg.units();
-        let nothing_observed = self.acc_counts.iter().all(|c| c.iter().all(|&a| a == 0));
+        let nothing_observed = self.acc_counts.iter().all(|&a| a == 0);
         let accessed: Vec<Vec<usize>> = if nothing_observed {
             // First epoch: no bitvectors yet. Spread streams round-robin so
             // sampling starts immediately.
@@ -993,7 +1040,11 @@ impl NdpSystem {
                 .collect()
         } else {
             (0..units_n)
-                .map(|u| (0..self.table.len()).filter(|&si| self.acc_counts[si][u] > 0).collect())
+                .map(|u| {
+                    (0..self.table.len())
+                        .filter(|&si| self.acc_counts[si * units_n + u] > 0)
+                        .collect()
+                })
                 .collect()
         };
         let assignment = assign_samplers(&accessed, self.table.len(), self.cfg.samplers_per_unit);
@@ -1026,12 +1077,20 @@ impl NdpSystem {
     /// Gathers the hierarchical stat dump from every subsystem. Built from
     /// single-threaded post-run state, so it is identical no matter how many
     /// harness worker threads surround the run.
-    fn build_registry(&self, engine_events: u64, peak_queue: u64) -> StatRegistry {
+    fn build_registry(&self, qstats: &QueueStats) -> StatRegistry {
         let mut registry = StatRegistry::new();
         {
             let mut engine = registry.scope("engine");
-            engine.count("events", engine_events);
-            engine.count("peak_queue_depth", peak_queue);
+            engine.count("events", qstats.processed);
+            engine.count("peak_queue_depth", qstats.peak_depth);
+            let mut queue = engine.scope("queue");
+            queue.count("scheduled", qstats.scheduled);
+            queue.count("processed", qstats.processed);
+            queue.count("peak_depth", qstats.peak_depth);
+            queue.count("overflow_scheduled", qstats.overflow_scheduled);
+            for (i, &n) in qstats.bucket_occupancy.iter().enumerate() {
+                queue.count(&format!("bucket_occ{i}"), n);
+            }
         }
         {
             let mut core = registry.scope("core");
@@ -1061,13 +1120,13 @@ impl NdpSystem {
             {
                 let mut mem = fault.scope("mem");
                 let (mut ce, mut ue, mut scrub_ps, mut rolls) = (0u64, 0u64, 0u64, 0u64);
-                for u in &self.units {
-                    if let Some(s) = u.dram.fault_stats() {
+                for dram in &self.drams {
+                    if let Some(s) = dram.fault_stats() {
                         ce += s.ce;
                         ue += s.ue;
                         scrub_ps += s.scrub_time.as_ps();
                     }
-                    rolls += u.dram.fault_rolls().unwrap_or(0);
+                    rolls += dram.fault_rolls().unwrap_or(0);
                 }
                 mem.count("ce", ce);
                 mem.count("ue", ue);
@@ -1077,21 +1136,21 @@ impl NdpSystem {
             self.net.register_fault_stats(&mut fault.scope("noc"));
             fault.scope("stream").count("aborts", self.stream_aborts);
         }
-        for (i, u) in self.units.iter().enumerate() {
+        for i in 0..self.drams.len() {
             let mut scope = registry.scope(&format!("unit{i:03}"));
-            u.dram.register_stats(&mut scope.scope("dram"));
-            u.l1.register_stats(&mut scope.scope("l1"));
-            u.slb.register_stats(&mut scope.scope("slb"));
-            u.meta.register_stats(&mut scope.scope("meta"));
+            self.drams[i].register_stats(&mut scope.scope("dram"));
+            self.l1s[i].register_stats(&mut scope.scope("l1"));
+            self.slbs[i].register_stats(&mut scope.scope("slb"));
+            self.metas[i].register_stats(&mut scope.scope("meta"));
         }
         registry
     }
 
-    fn report(&self, makespan: Time, ops: u64, engine_events: u64, peak_queue: u64) -> RunReport {
+    fn report(&self, makespan: Time, ops: u64, qstats: &QueueStats) -> RunReport {
         let mut energy = EnergyBreakdown::default();
-        for u in &self.units {
-            energy.dram += u.dram.dynamic_energy();
-            energy.static_ += u.dram.background_energy(makespan);
+        for dram in &self.drams {
+            energy.dram += dram.dynamic_energy();
+            energy.static_ += dram.background_energy(makespan);
         }
         energy.static_ += (CORE_STATIC * self.cfg.units() as f64).over(makespan);
         energy.static_ += self.ext.background_energy(makespan);
@@ -1119,9 +1178,9 @@ impl NdpSystem {
             migrations: self.migrations,
             replicated_fraction: self.replicated_fraction,
             access_latency: self.access_latency.clone(),
-            engine_events,
-            peak_queue_depth: peak_queue,
-            registry: self.build_registry(engine_events, peak_queue),
+            engine_events: qstats.processed,
+            peak_queue_depth: qstats.peak_depth,
+            registry: self.build_registry(qstats),
         }
     }
 }

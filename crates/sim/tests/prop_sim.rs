@@ -5,11 +5,24 @@
 //! deterministic and needs no external property-testing framework (the
 //! workspace builds fully offline).
 
-use ndpx_sim::engine::EventQueue;
+use ndpx_sim::engine::{EventQueue, QueueImpl};
 use ndpx_sim::rng::{hash_range, Xoshiro256};
 use ndpx_sim::time::{Freq, Time};
 
 const CASES: u64 = 256;
+
+/// A random event time mixing near-horizon and far-future (overflow-tree)
+/// scales: mostly nanoseconds, sometimes tens of microseconds beyond the
+/// wheel's near horizon, with repeated values so equal-time ties occur.
+fn mixed_time(rng: &mut Xoshiro256, base: Time) -> Time {
+    let t = match rng.below(8) {
+        0..=4 => Time::from_ns(rng.below(64)),
+        5 => Time::from_ns(rng.below(4)), // dense ties
+        6 => Time::from_us(1 + rng.below(40)),
+        _ => Time::from_ps(rng.below(1 << 30)),
+    };
+    base + t
+}
 
 #[test]
 fn time_addition_is_commutative_and_monotonic() {
@@ -67,6 +80,97 @@ fn event_queue_pops_sorted_and_stable() {
                 }
             }
             last = Some((t, i));
+        }
+    }
+}
+
+/// Differential oracle: the time-wheel and the reference `BinaryHeap`
+/// implementation must produce identical results for identical random
+/// FIFO-mode sequences (`push` / `push_pop` / `pop`), including equal-time
+/// ties and far-future times that route through the wheel's overflow tree.
+#[test]
+fn wheel_matches_heap_fifo_sequences() {
+    let mut rng = Xoshiro256::seed_from(0xD1FF);
+    for _ in 0..96 {
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut heap = EventQueue::with_impl(QueueImpl::Heap);
+        let mut now = Time::ZERO;
+        let mut payload = 0u64;
+        for _ in 0..400 {
+            match rng.below(4) {
+                0 | 1 => {
+                    let t = mixed_time(&mut rng, now);
+                    wheel.push(t, payload);
+                    heap.push(t, payload);
+                    payload += 1;
+                }
+                2 => {
+                    let t = mixed_time(&mut rng, now);
+                    let a = wheel.push_pop(t, payload);
+                    let b = heap.push_pop(t, payload);
+                    assert_eq!(a, b, "push_pop diverged");
+                    payload += 1;
+                    now = now.max(a.0);
+                }
+                _ => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "pop diverged");
+                    if let Some((t, _)) = a {
+                        now = now.max(t);
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        assert_eq!(wheel.peek_time(), heap.peek_time());
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b, "drain diverged"),
+            }
+        }
+        assert_eq!(wheel.scheduled(), heap.scheduled());
+        assert_eq!(wheel.processed(), heap.processed());
+    }
+}
+
+/// Differential oracle for the ranked tiebreak space: identical random
+/// `push_ranked` / `push_pop_ranked` / `pop` sequences — with deliberate
+/// equal-time, distinct-rank collisions — must pop identically from both
+/// implementations.
+#[test]
+fn wheel_matches_heap_ranked_sequences() {
+    let mut rng = Xoshiro256::seed_from(0xAB1E);
+    for _ in 0..96 {
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut heap = EventQueue::with_impl(QueueImpl::Heap);
+        // One pending event per rank (the run-loop invariant), times drawn
+        // from few distinct values so equal-time rank ties are common.
+        let ranks = 2 + rng.below(14);
+        for r in 0..ranks {
+            let t = mixed_time(&mut rng, Time::ZERO);
+            wheel.push_ranked(t, r, r);
+            heap.push_ranked(t, r, r);
+        }
+        let (mut now, mut rank) = {
+            let a = wheel.pop().expect("non-empty");
+            let b = heap.pop().expect("non-empty");
+            assert_eq!(a, b);
+            a
+        };
+        for _ in 0..500 {
+            let t = mixed_time(&mut rng, now);
+            let a = wheel.push_pop_ranked(t, rank, rank);
+            let b = heap.push_pop_ranked(t, rank, rank);
+            assert_eq!(a, b, "push_pop_ranked diverged");
+            (now, rank) = a;
+        }
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b, "ranked drain diverged"),
+            }
         }
     }
 }

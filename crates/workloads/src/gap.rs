@@ -26,7 +26,7 @@ const RAW_PERIOD: u32 = 2048;
 fn sized_graph(p: &ScaleParams, aux_bytes_per_vertex: u64) -> Arc<CsrGraph> {
     let bytes_per_vertex = 8 + 4 * u64::from(AVG_DEGREE) + aux_bytes_per_vertex;
     let vertices = (p.footprint / bytes_per_vertex).clamp(1024, u32::MAX as u64 / 2) as u32;
-    Arc::new(CsrGraph::powerlaw(vertices, AVG_DEGREE, p.seed))
+    CsrGraph::powerlaw_shared(vertices, AVG_DEGREE, p.seed)
 }
 
 struct GraphStreams {
