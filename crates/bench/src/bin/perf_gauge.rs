@@ -34,11 +34,12 @@ use ndpx_bench::digest::report_digest;
 use ndpx_bench::gauge::{cell_key, gauge_ops, gauge_specs, scale_name};
 use ndpx_bench::manifest::{self, RunManifest};
 use ndpx_bench::micro::{self, MicroResult};
-use ndpx_bench::pool::{CellPool, CellResult, CellTask, MonitorConfig};
+use ndpx_bench::pool::{CellPool, CellResult, CellTask, MonitorConfig, ThreadPlan};
 use ndpx_bench::runner::{run_ndp_cached, BenchScale, RunSpec};
 use ndpx_core::config::PolicyKind;
 use ndpx_core::stats::RunReport;
 use ndpx_sim::engine::QueueImpl;
+use ndpx_sim::telemetry::StatRegistry;
 use ndpx_workloads::TraceCache;
 
 struct Cell {
@@ -57,6 +58,57 @@ impl Cell {
         } else {
             0.0
         }
+    }
+}
+
+/// Per-cell `engine.batch.*` registry readout (run-ahead batching
+/// telemetry); all zeros when the cell predates the scope or batching is
+/// disabled.
+#[derive(Debug, Default, Clone, Copy)]
+struct BatchCell {
+    enabled: bool,
+    batches: u64,
+    ops: u64,
+    fast_hits: u64,
+    max_len: u64,
+}
+
+impl BatchCell {
+    fn from_registry(reg: &StatRegistry) -> Self {
+        let count = |path: &str| reg.get(path).and_then(|v| v.as_count()).unwrap_or(0);
+        BatchCell {
+            enabled: count("engine.batch.enabled") != 0,
+            batches: count("engine.batch.batches"),
+            ops: count("engine.batch.ops"),
+            fast_hits: count("engine.batch.fast_hits"),
+            max_len: count("engine.batch.max_len"),
+        }
+    }
+
+    fn mean_len(&self) -> f64 {
+        if self.batches > 0 {
+            self.ops as f64 / self.batches as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn fast_hit_ratio(&self) -> f64 {
+        if self.ops > 0 {
+            self.fast_hits as f64 / self.ops as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn sum(cells: &[BatchCell]) -> BatchCell {
+        cells.iter().fold(BatchCell::default(), |a, c| BatchCell {
+            enabled: a.enabled || c.enabled,
+            batches: a.batches + c.batches,
+            ops: a.ops + c.ops,
+            fast_hits: a.fast_hits + c.fast_hits,
+            max_len: a.max_len.max(c.max_len),
+        })
     }
 }
 
@@ -133,8 +185,11 @@ fn main() {
     let (serial, _) = run_matrix(&specs, CellPool::with_threads(1), &TraceCache::disabled(), None);
 
     // Phase 2: the optimized path — pool at the environment's width, traces
-    // shared across cells, heartbeat + watchdog attached.
-    let pool = CellPool::from_env();
+    // shared across cells, heartbeat + watchdog attached. The plan keeps
+    // the requested-vs-host distinction for the report: explicit widths
+    // past the host are honored but flagged as oversubscribed.
+    let plan = ThreadPlan::from_env();
+    let pool = plan.pool();
     let cache = TraceCache::from_env();
     let monitor = MonitorConfig::from_env("perf_gauge", names);
     let (parallel, parallel_results) = run_matrix(&specs, pool, &cache, Some(&monitor));
@@ -193,6 +248,10 @@ fn main() {
         &parallel_results,
         Some(cache_stats),
     );
+    // Run-ahead batch telemetry, read out of each cell's registry before
+    // the reports are dropped.
+    let batch_cells: Vec<BatchCell> =
+        parallel_results.iter().map(|r| BatchCell::from_registry(&r.value.registry)).collect();
     drop(parallel_results);
 
     // Optional component micro-benchmarks: raw queue ops under both
@@ -260,7 +319,16 @@ fn main() {
     }
 
     let out_path = std::env::var("NDPX_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
-    let json = render_json(scale, &phases, &cache_stats, baseline_agg, &run_manifest, &micros);
+    let json = render_json(
+        scale,
+        &phases,
+        plan,
+        &cache_stats,
+        baseline_agg,
+        &run_manifest,
+        &micros,
+        &batch_cells,
+    );
     std::fs::write(&out_path, json).expect("write BENCH_PERF.json");
     println!(
         "{agg:.0} simulated ops/sec over {} cells at {} thread(s) ({:.2}x vs serial) -> {out_path}",
@@ -270,32 +338,34 @@ fn main() {
     );
 }
 
-fn host_cpus() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
-/// Renders the report (`ndpx-perf-gauge-v4`: v3 plus the active event-queue
-/// implementation and, under `NDPX_GAUGE_MICRO=1`, component micro-bench
-/// rates). Hand-rolled: the workspace has no JSON dependency, and the format
+/// Renders the report (`ndpx-perf-gauge-v5`: v4 plus the thread plan —
+/// requested width vs host CPUs with an oversubscription flag — the serial
+/// event rate, and per-cell + aggregate run-ahead batch telemetry).
+/// Hand-rolled: the workspace has no JSON dependency, and the format
 /// below is line-oriented so `parse_digests` can read it back without a
-/// parser (v1–v3 baselines parse the same way).
+/// parser (v1–v4 baselines parse the same way).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: BenchScale,
     phases: &[Phase],
+    plan: ThreadPlan,
     cache_stats: &ndpx_workloads::TraceCacheStats,
     baseline_agg: Option<f64>,
     run_manifest: &RunManifest,
     micros: &[MicroResult],
+    batch_cells: &[BatchCell],
 ) -> String {
     let (serial, parallel) = (&phases[0], &phases[1]);
     let agg = parallel.rate();
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v4\",");
+    let _ = writeln!(s, "  \"schema\": \"ndpx-perf-gauge-v5\",");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"queue_impl\": \"{}\",", QueueImpl::from_env().name());
     let _ = writeln!(s, "  \"threads\": {},", parallel.threads);
-    let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
+    let _ = writeln!(s, "  \"requested_threads\": {},", plan.requested);
+    let _ = writeln!(s, "  \"host_cpus\": {},", plan.host_cpus);
+    let _ = writeln!(s, "  \"oversubscribed\": {},", plan.oversubscribed());
     let _ = writeln!(s, "  \"ops_total\": {},", parallel.ops_total());
     let _ = writeln!(s, "  \"wall_seconds\": {:.3},", parallel.wall_s);
     let _ = writeln!(s, "  \"sim_ops_per_sec\": {agg:.1},");
@@ -304,6 +374,11 @@ fn render_json(
     let _ = writeln!(s, "  \"peak_queue_depth\": {},", run_manifest.peak_queue_depth());
     let _ = writeln!(s, "  \"serial_wall_seconds\": {:.3},", serial.wall_s);
     let _ = writeln!(s, "  \"serial_sim_ops_per_sec\": {:.1},", serial.rate());
+    // `engine.events` is defined as completed ops (one queue event can
+    // carry a whole run-ahead batch), so the serial event rate IS the
+    // serial op rate; written explicitly so trend tooling need not know
+    // that equivalence.
+    let _ = writeln!(s, "  \"serial_events_per_sec\": {:.1},", serial.rate());
     let _ = writeln!(
         s,
         "  \"parallel_speedup_vs_serial\": {:.3},",
@@ -320,6 +395,18 @@ fn render_json(
         let _ = writeln!(s, "  \"baseline_sim_ops_per_sec\": {b:.1},");
         let _ = writeln!(s, "  \"speedup_over_baseline\": {:.3},", agg / b);
     }
+    let b = BatchCell::sum(batch_cells);
+    let _ = writeln!(
+        s,
+        "  \"batch\": {{\"enabled\": {}, \"batches\": {}, \"ops\": {}, \"fast_hits\": {}, \"max_len\": {}, \"mean_len\": {:.3}, \"fast_hit_ratio\": {:.4}}},",
+        b.enabled,
+        b.batches,
+        b.ops,
+        b.fast_hits,
+        b.max_len,
+        b.mean_len(),
+        b.fast_hit_ratio()
+    );
     if !micros.is_empty() {
         s.push_str("  \"micro\": [\n");
         for (i, m) in micros.iter().enumerate() {
@@ -340,8 +427,10 @@ fn render_json(
         let comma = if i + 1 < phases.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{\"threads\": {}, \"trace_cache\": {}, \"wall_seconds\": {:.3}, \"sim_ops_per_sec\": {:.1}}}{comma}",
+            "    {{\"threads\": {}, \"host_cpus\": {}, \"oversubscribed\": {}, \"trace_cache\": {}, \"wall_seconds\": {:.3}, \"sim_ops_per_sec\": {:.1}}}{comma}",
             p.threads,
+            plan.host_cpus,
+            p.threads > plan.host_cpus,
             p.cached,
             p.wall_s,
             p.rate()
@@ -363,9 +452,10 @@ fn render_json(
     s.push_str("  \"cells\": [\n");
     for (i, (c, m)) in parallel.cells.iter().zip(&run_manifest.cells).enumerate() {
         let comma = if i + 1 < parallel.cells.len() { "," } else { "" };
+        let bc = batch_cells.get(i).copied().unwrap_or_default();
         let _ = writeln!(
             s,
-            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"worker\": {}, \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}, \"digest\": \"{:016x}\"}}{comma}",
+            "    {{\"cell\": \"{}\", \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.1}, \"worker\": {}, \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}, \"batch_mean_len\": {:.3}, \"batch_fast_hit_ratio\": {:.4}, \"digest\": \"{:016x}\"}}{comma}",
             c.key,
             c.ops,
             c.wall_s * 1e3,
@@ -373,6 +463,8 @@ fn render_json(
             c.worker,
             m.events_per_sec(),
             m.peak_queue_depth,
+            bc.mean_len(),
+            bc.fast_hit_ratio(),
             c.digest
         );
     }

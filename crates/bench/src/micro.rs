@@ -74,6 +74,36 @@ fn queue_fused(impl_kind: QueueImpl, name: &'static str, iters: u64) -> MicroRes
     })
 }
 
+/// The run-ahead batching pattern from the system run loops: the popped
+/// core advances through consecutive op completions while each stays
+/// strictly below the queue's pending minimum ([`EventQueue::peek_time`]),
+/// touching the queue once per batch instead of once per op. Cores are
+/// staggered so the window admits a few ops per batch, matching the
+/// heterogeneous-latency phases where batching pays.
+fn queue_run_ahead(impl_kind: QueueImpl, name: &'static str, iters: u64) -> MicroResult {
+    let mut q: EventQueue<usize> = EventQueue::with_impl(impl_kind);
+    let cores = 16u64;
+    for c in 0..cores {
+        q.push_ranked(Time::from_ps(c * 4000), c, c as usize);
+    }
+    let mut rng = Xoshiro256::seed_from(0xBA7C);
+    let (mut now, mut core) = q.pop().expect("non-empty");
+    timed(name, iters, || {
+        let mut done = 0u64;
+        while done < iters {
+            let window = q.peek_time().unwrap_or(Time::MAX);
+            let mut t = now + Time::from_ps(100 + rng.below(900));
+            done += 1;
+            while t < window && done < iters {
+                t += Time::from_ps(100 + rng.below(900));
+                done += 1;
+            }
+            (now, core) = q.push_pop_ranked(t, core as u64, core);
+        }
+        black_box((now, core));
+    })
+}
+
 /// Bursty schedule: fill a batch of future events, then drain it — the
 /// pattern that exercises bucket chains and the refill/cascade path.
 fn queue_churn(impl_kind: QueueImpl, name: &'static str, iters: u64) -> MicroResult {
@@ -151,6 +181,8 @@ pub fn run_all() -> Vec<MicroResult> {
     vec![
         queue_fused(QueueImpl::Wheel, "queue_wheel_push_pop_ranked", 2_000_000),
         queue_fused(QueueImpl::Heap, "queue_heap_push_pop_ranked", 2_000_000),
+        queue_run_ahead(QueueImpl::Wheel, "run_ahead_wheel", 2_000_000),
+        queue_run_ahead(QueueImpl::Heap, "run_ahead_heap", 2_000_000),
         queue_churn(QueueImpl::Wheel, "queue_wheel_batch_churn", 1_000_000),
         queue_churn(QueueImpl::Heap, "queue_heap_batch_churn", 1_000_000),
         sampler_observe(300_000),
@@ -169,6 +201,8 @@ mod tests {
         let rs = [
             queue_fused(QueueImpl::Wheel, "w", 4_000),
             queue_fused(QueueImpl::Heap, "h", 4_000),
+            queue_run_ahead(QueueImpl::Wheel, "rw", 4_000),
+            queue_run_ahead(QueueImpl::Heap, "rh", 4_000),
             queue_churn(QueueImpl::Wheel, "wc", 8_192),
             queue_churn(QueueImpl::Heap, "hc", 8_192),
             sampler_observe(2_000),

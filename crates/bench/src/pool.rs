@@ -205,6 +205,55 @@ fn execute<T>(task: &(dyn Fn() -> T + Send + '_), retry: RetryPolicy) -> (CellOu
     }
 }
 
+/// The host's available parallelism (1 when it cannot be queried).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The resolved thread plan for a pooled run: what was requested, what the
+/// host offers, and whether honoring the request oversubscribes the
+/// machine.
+///
+/// The default (no `NDPX_THREADS`, zero, or unparsable) clamps to
+/// [`host_cpus`], so an unconfigured run never oversubscribes. An explicit
+/// request is honored even past the host width — digest checks deliberately
+/// run `threads=4` on narrow CI boxes — but the report marks such runs
+/// `oversubscribed` so their wall clocks are not read as scaling data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPlan {
+    /// Worker count the pool will actually use.
+    pub requested: usize,
+    /// Host parallelism at resolution time.
+    pub host_cpus: usize,
+}
+
+impl ThreadPlan {
+    /// Resolves the plan from `NDPX_THREADS`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("NDPX_THREADS").ok().as_deref())
+    }
+
+    /// Pure resolution for tests: explicit `n >= 1` is honored, anything
+    /// else clamps to the host width.
+    pub fn parse(value: Option<&str>) -> Self {
+        let host = host_cpus();
+        match value.and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => ThreadPlan { requested: n, host_cpus: host },
+            _ => ThreadPlan { requested: host, host_cpus: host },
+        }
+    }
+
+    /// True when the request exceeds the host's parallelism.
+    pub fn oversubscribed(&self) -> bool {
+        self.requested > self.host_cpus
+    }
+
+    /// A pool honoring the request.
+    pub fn pool(&self) -> CellPool {
+        CellPool::with_threads(self.requested)
+    }
+}
+
 /// A scoped work-stealing thread pool over independent cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellPool {
@@ -217,19 +266,17 @@ impl CellPool {
         CellPool { threads: threads.max(1) }
     }
 
-    /// Reads `NDPX_THREADS` (default: available parallelism).
+    /// Reads `NDPX_THREADS` (default: available parallelism, via
+    /// [`ThreadPlan`]).
     pub fn from_env() -> Self {
-        Self::with_threads(Self::parse(std::env::var("NDPX_THREADS").ok().as_deref()))
+        ThreadPlan::from_env().pool()
     }
 
     /// Parses a thread-count override; `None`, zero, and unparsable values
     /// map to the machine's available parallelism. Pure so tests need not
     /// touch the (process-global, racy) environment.
     pub fn parse(value: Option<&str>) -> usize {
-        match value.and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-        }
+        ThreadPlan::parse(value).requested
     }
 
     /// The configured worker count.
@@ -541,6 +588,28 @@ mod tests {
         assert_eq!(CellPool::parse(None), auto);
         assert_eq!(CellPool::parse(Some("0")), auto);
         assert_eq!(CellPool::parse(Some("bogus")), auto);
+    }
+
+    #[test]
+    fn thread_plan_clamps_default_and_marks_oversubscription() {
+        let host = host_cpus();
+        // Unset / zero / garbage requests clamp to the host width and can
+        // never oversubscribe.
+        for v in [None, Some("0"), Some("bogus")] {
+            let plan = ThreadPlan::parse(v);
+            assert_eq!(plan.requested, host);
+            assert_eq!(plan.host_cpus, host);
+            assert!(!plan.oversubscribed());
+        }
+        // Explicit requests are honored verbatim; past the host width they
+        // are flagged, not clamped (digest checks need threads=4 anywhere).
+        let wide = ThreadPlan::parse(Some(&(host + 1).to_string()));
+        assert_eq!(wide.requested, host + 1);
+        assert!(wide.oversubscribed());
+        assert_eq!(wide.pool().threads(), host + 1);
+        let one = ThreadPlan::parse(Some("1"));
+        assert_eq!(one.requested, 1);
+        assert!(!one.oversubscribed());
     }
 
     #[test]

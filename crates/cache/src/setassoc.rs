@@ -79,6 +79,10 @@ impl Way {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     sets: usize,
+    /// `sets - 1` when `sets` is a power of two: `hash % sets` and
+    /// `hash & mask` agree exactly, and the mask avoids a divide on every
+    /// access.
+    set_mask: Option<u64>,
     ways: usize,
     lines: Vec<Way>,
     tick: u64,
@@ -95,6 +99,7 @@ impl SetAssocCache {
         assert!(sets > 0 && ways > 0, "cache must have at least one line");
         SetAssocCache {
             sets,
+            set_mask: if sets.is_power_of_two() { Some(sets as u64 - 1) } else { None },
             ways,
             lines: vec![Way::EMPTY; sets * ways],
             tick: 0,
@@ -117,7 +122,11 @@ impl SetAssocCache {
 
     #[inline]
     fn set_of(&self, key: u64) -> usize {
-        (mix64(key) % self.sets as u64) as usize
+        let h = mix64(key);
+        match self.set_mask {
+            Some(mask) => (h & mask) as usize,
+            None => (h % self.sets as u64) as usize,
+        }
     }
 
     /// Accesses `key`, filling on miss. `write` marks the line dirty.

@@ -9,6 +9,7 @@
 //! [`StreamId`](ndpx_stream::StreamId); the free functions remain as the
 //! uncached reference implementations the property tests compare against.
 
+use ndpx_sim::fastdiv::Divisor;
 use ndpx_stream::{StreamConfig, StreamKind};
 
 /// The policy-dependent constants a descriptor is built from.
@@ -93,22 +94,74 @@ pub struct StreamDesc {
     stream_grain: bool,
     /// Affine stream.
     pub affine: bool,
+    /// Stream base address.
+    base: u64,
+    /// Element bytes (indirect element→address math).
+    elem_bytes: u64,
+    /// Strength-reduced `/ epb` for affine stream-grain keys.
+    epb_div: Divisor,
+    /// Strength-reduced `/ line_bytes` for line-grain keys.
+    line_div: Divisor,
+    /// Strength-reduced first/second access-order dimension lengths of an
+    /// affine shape (the two divides of `access_to_coords`).
+    lp0_div: Divisor,
+    lp1_div: Divisor,
+    /// Byte strides permuted into access order (`strides[perm[i]]`).
+    sp: [u64; 3],
 }
 
 impl StreamDesc {
     /// Builds the descriptor; agrees with the reference functions by
     /// construction (and by the property suite).
     pub fn build(cfg: StreamConfig, p: DescParams) -> Self {
+        let epb = (p.affine_block / u64::from(cfg.elem_size)).max(1);
+        // Access-order walk constants: the two dimension lengths
+        // `access_to_coords` divides by, and the strides permuted so the
+        // offset sum indexes them directly.
+        let (lp0, lp1, sp) = match &cfg.kind {
+            StreamKind::Affine(shape) => {
+                let perm = shape.order.perm();
+                (
+                    shape.lengths[perm[0]],
+                    shape.lengths[perm[1]],
+                    [shape.strides[perm[0]], shape.strides[perm[1]], shape.strides[perm[2]]],
+                )
+            }
+            StreamKind::Indirect { .. } => (1, 1, [0; 3]),
+        };
         StreamDesc {
             grain: grain_of(&cfg, p),
             fetch_bytes: fetch_bytes(&cfg, p),
-            epb: (p.affine_block / u64::from(cfg.elem_size)).max(1),
+            epb,
             last_elem: cfg.elems() - 1,
             line_bytes: p.line_bytes,
             stream_grain: p.stream_grain,
             affine: cfg.kind.is_affine(),
+            base: cfg.base,
+            elem_bytes: u64::from(cfg.elem_size),
+            epb_div: Divisor::new(epb),
+            line_div: Divisor::new(p.line_bytes.max(1)),
+            lp0_div: Divisor::new(lp0.max(1)),
+            lp1_div: Divisor::new(lp1.max(1)),
+            sp,
             cfg,
         }
+    }
+
+    /// Physical address of element `elem` — [`StreamConfig::addr_of`]
+    /// with the coordinate divides strength-reduced through the
+    /// precomputed dimension divisors.
+    #[inline]
+    pub fn addr_of_elem(&self, elem: u64) -> u64 {
+        let addr = if self.affine {
+            let (k1, c0) = self.lp0_div.divmod(elem);
+            let (c2, c1) = self.lp1_div.divmod(k1);
+            self.base + c0 * self.sp[0] + c1 * self.sp[1] + c2 * self.sp[2]
+        } else {
+            self.base + elem * self.elem_bytes
+        };
+        debug_assert_eq!(addr, self.cfg.addr_of(elem));
+        addr
     }
 
     /// Cache key of element `elem` at address `addr`.
@@ -116,12 +169,12 @@ impl StreamDesc {
     pub fn key_of(&self, elem: u64, addr: u64) -> u64 {
         if self.stream_grain {
             if self.affine {
-                elem / self.epb
+                self.epb_div.div(elem)
             } else {
                 elem
             }
         } else {
-            addr / self.line_bytes
+            self.line_div.div(addr)
         }
     }
 
@@ -130,9 +183,9 @@ impl StreamDesc {
     pub fn addr_of_key(&self, key: u64) -> u64 {
         if self.stream_grain {
             if self.affine {
-                self.cfg.addr_of((key * self.epb).min(self.last_elem))
+                self.addr_of_elem((key * self.epb).min(self.last_elem))
             } else {
-                self.cfg.addr_of(key.min(self.last_elem))
+                self.addr_of_elem(key.min(self.last_elem))
             }
         } else {
             key * self.line_bytes

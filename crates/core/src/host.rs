@@ -11,7 +11,7 @@ use ndpx_mem::device::{DramConfig, DramDevice};
 use ndpx_noc::network::{LinkParams, Network};
 use ndpx_noc::topology::{IntraKind, Topology, UnitId};
 use ndpx_sim::energy::Power;
-use ndpx_sim::engine::{EventQueue, QueueStats};
+use ndpx_sim::engine::{batching_from_env, BatchStats, EventQueue, QueueStats, BATCH_CAP};
 use ndpx_sim::rng::hash_range;
 use ndpx_sim::stats::Histogram;
 use ndpx_sim::telemetry::StatRegistry;
@@ -86,6 +86,11 @@ pub struct HostSystem {
     llc_hits: u64,
     llc_misses: u64,
     access_latency: Histogram,
+    /// Run-ahead batching enabled (`NDPX_BATCH`; see
+    /// [`set_batching`](Self::set_batching)).
+    batch: bool,
+    /// Run-loop batch telemetry (`engine.batch.*`).
+    batch_stats: BatchStats,
 }
 
 /// Static power of one host core (wider than an NDP core).
@@ -139,7 +144,16 @@ impl HostSystem {
             llc_hits: 0,
             llc_misses: 0,
             access_latency: Histogram::new(),
+            batch: batching_from_env(),
+            batch_stats: BatchStats::default(),
         })
+    }
+
+    /// Enables or disables run-ahead batching for this host, overriding
+    /// `NDPX_BATCH`. Bit-identical either way; exists for differential
+    /// tests (see [`crate::system::NdpSystem::set_batching`]).
+    pub fn set_batching(&mut self, on: bool) {
+        self.batch = on;
     }
 
     /// Runs `ops_per_core` operations per core; returns the report.
@@ -156,41 +170,73 @@ impl HostSystem {
         let mut makespan = Time::ZERO;
         let mut ops = 0u64;
         let mut next = queue.pop();
-        while let Some((t, core)) = next {
-            let op = self.source.next_op(core);
-            let is_mem = !matches!(op, Op::Compute(_));
-            let done = match op {
-                Op::Compute(c) => t + self.cfg.freq.cycles_to_time(u64::from(c)),
-                Op::Mem(m) => {
-                    let addr = self.table.get(m.sid).addr_of(m.elem);
-                    self.access(core, addr, m.write, t)
+        while let Some((mut t, core)) = next {
+            // Run-ahead window: the host has no epochs, so only the queue
+            // bounds it (see `NdpSystem::run` for the invariant).
+            let window =
+                if self.batch { queue.peek_time().unwrap_or(Time::MAX) } else { Time::ZERO };
+            let fast0 = self.l1_hits;
+            let mut batch_len = 0u64;
+            loop {
+                let op = self.source.next_op(core);
+                let is_mem = !matches!(op, Op::Compute(_));
+                let done = match op {
+                    Op::Compute(c) => t + self.cfg.freq.cycles_to_time(u64::from(c)),
+                    Op::Mem(m) => {
+                        let addr = self.table.get(m.sid).addr_of(m.elem);
+                        self.access(core, addr, m.write, t)
+                    }
+                    Op::RawMem { addr, write } => self.access(core, addr, write, t),
+                };
+                if is_mem {
+                    self.access_latency.record(done.saturating_sub(t));
                 }
-                Op::RawMem { addr, write } => self.access(core, addr, write, t),
-            };
-            if is_mem {
-                self.access_latency.record(done.saturating_sub(t));
+                batch_len += 1;
+                makespan = makespan.max(done);
+                remaining[core] -= 1;
+                if remaining[core] == 0 {
+                    next = queue.pop();
+                    break;
+                }
+                if done < window && batch_len < BATCH_CAP {
+                    t = done;
+                    continue;
+                }
+                next = Some(queue.push_pop_ranked(done, core as u64, core));
+                break;
             }
-            ops += 1;
-            makespan = makespan.max(done);
-            remaining[core] -= 1;
-            next = if remaining[core] > 0 {
-                Some(queue.push_pop_ranked(done, core as u64, core))
-            } else {
-                queue.pop()
-            };
+            ops += batch_len;
+            self.batch_stats.record(batch_len, self.l1_hits - fast0);
         }
         self.report(makespan, ops, &queue.stats())
     }
 
+    /// One memory access: the slim L1 probe inlines into the run loop; the
+    /// NUCA/DRAM continuation lives in [`access_miss`](Self::access_miss).
+    #[inline]
     fn access(&mut self, core: usize, addr: u64, write: bool, t: Time) -> Time {
         self.mem_ops += 1;
         let line = addr / 64;
         let l1_lat = self.cfg.freq.cycles_to_time(2);
-        let mut now = t + l1_lat;
+        let now = t + l1_lat;
         if self.l1s[core].access(line, write).is_hit() {
             self.l1_hits += 1;
             return now;
         }
+        self.access_miss(core, addr, line, write, l1_lat, now)
+    }
+
+    /// The post-L1 continuation of [`access`](Self::access).
+    #[inline(never)]
+    fn access_miss(
+        &mut self,
+        core: usize,
+        addr: u64,
+        line: u64,
+        write: bool,
+        l1_lat: Time,
+        mut now: Time,
+    ) -> Time {
         self.breakdown.add(LatComponent::CoreL1, l1_lat);
 
         // Static line interleaving across banks.
@@ -218,7 +264,9 @@ impl HostSystem {
         let mut registry = StatRegistry::new();
         {
             let mut engine = registry.scope("engine");
-            engine.count("events", qstats.processed);
+            // Ops executed by the loop, not raw queue pops — comparable
+            // across batching on/off (see `NdpSystem::build_registry`).
+            engine.count("events", self.batch_stats.ops);
             engine.count("peak_queue_depth", qstats.peak_depth);
             let mut queue = engine.scope("queue");
             queue.count("scheduled", qstats.scheduled);
@@ -227,6 +275,19 @@ impl HostSystem {
             queue.count("overflow_scheduled", qstats.overflow_scheduled);
             for (i, &n) in qstats.bucket_occupancy.iter().enumerate() {
                 queue.count(&format!("bucket_occ{i}"), n);
+            }
+            drop(queue);
+            let b = &self.batch_stats;
+            let mut batch = engine.scope("batch");
+            batch.count("enabled", u64::from(self.batch));
+            batch.count("batches", b.batches);
+            batch.count("ops", b.ops);
+            batch.count("fast_hits", b.fast_hits);
+            batch.count("max_len", b.max_len);
+            batch.gauge("mean_len", b.mean_len());
+            batch.gauge("fast_hit_ratio", b.fast_hit_ratio());
+            for (i, &n) in b.len_hist.iter().enumerate() {
+                batch.count(&format!("len_c{i}"), n);
             }
         }
         {
@@ -271,7 +332,8 @@ impl HostSystem {
             migrations: 0,
             replicated_fraction: 0.0,
             access_latency: self.access_latency.clone(),
-            engine_events: qstats.processed,
+            // Engine-loop ops, not raw queue pops (see `NdpSystem::report`).
+            engine_events: ops,
             peak_queue_depth: qstats.peak_depth,
             registry: self.build_registry(qstats),
         }

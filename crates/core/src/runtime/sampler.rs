@@ -7,6 +7,7 @@
 //! of address each) and counts hits/misses. Scaling the sampled miss rate by
 //! the stream's total access count yields the absolute miss curve.
 
+use ndpx_sim::fastdiv::Divisor;
 use ndpx_sim::rng::mix64;
 
 /// A miss curve: estimated misses per epoch at increasing capacities.
@@ -104,9 +105,13 @@ pub fn capacity_points(min_cap: u64, max_cap: u64, count: usize) -> Vec<u64> {
 struct CapCase {
     capacity: u64,
     slots: u64,
-    /// Monitoring stride: `(slots / sets.len()).max(1)`, precomputed so the
-    /// per-access filter is one remainder instead of a division chain.
-    stride: u64,
+    /// Strength-reduced monitoring stride `(slots / sets.len()).max(1)` —
+    /// the per-access filter is the dominant cost of a sampled stream, and
+    /// a hardware divide per case per access serializes the whole case
+    /// loop.
+    stride_div: Divisor,
+    /// Strength-reduced `sets.len()` for the monitored-set index.
+    monitored_div: Divisor,
     /// Sampled-set contents: key + 1 per monitored set (0 = empty).
     sets: Vec<u64>,
     hits: u64,
@@ -136,10 +141,12 @@ impl SetSampler {
             .map(|&capacity| {
                 let slots = (capacity / grain).max(1);
                 let monitored = k.min(slots as usize) as u64;
+                let stride = (slots / monitored).max(1);
                 CapCase {
                     capacity,
                     slots,
-                    stride: (slots / monitored).max(1),
+                    stride_div: Divisor::new(stride),
+                    monitored_div: Divisor::new(monitored),
                     sets: vec![0; monitored as usize],
                     hits: 0,
                     misses: 0,
@@ -162,11 +169,10 @@ impl SetSampler {
         let tag = key + 1;
         for case in &mut self.cases {
             let slot = ((u128::from(mixed) * u128::from(case.slots)) >> 64) as u64;
-            if !slot.is_multiple_of(case.stride) {
+            if !case.stride_div.is_multiple(slot) {
                 continue;
             }
-            let monitored = case.sets.len() as u64;
-            let idx = ((slot / case.stride) % monitored) as usize;
+            let idx = case.monitored_div.rem(case.stride_div.div(slot)) as usize;
             if case.sets[idx] == tag {
                 case.hits += 1;
             } else {

@@ -34,7 +34,10 @@ use ndpx_mem::device::{DramDevice, EccOutcome, MemFault};
 use ndpx_noc::network::{Network, NocFault};
 use ndpx_noc::topology::UnitId;
 use ndpx_sim::energy::Power;
-use ndpx_sim::engine::{EventQueue, ProgressWatchdog, QueueStats};
+use ndpx_sim::engine::{
+    batching_from_env, BatchStats, EventQueue, ProgressWatchdog, QueueStats, BATCH_CAP,
+};
+use ndpx_sim::fastdiv::Divisor;
 use ndpx_sim::fault::domain;
 use ndpx_sim::stats::Histogram;
 use ndpx_sim::telemetry::log::{enabled, Level};
@@ -146,6 +149,18 @@ pub struct NdpSystem {
     replicated_fraction: f64,
     /// End-to-end latency distribution of post-L1 memory accesses.
     access_latency: Histogram,
+    /// Run-ahead batching enabled (`NDPX_BATCH`, overridable per system
+    /// via [`set_batching`](Self::set_batching)). Purely a performance
+    /// switch: results are bit-identical either way.
+    batch: bool,
+    /// Run-loop batch telemetry (`engine.batch.*`).
+    batch_stats: BatchStats,
+    /// Strength-reduced `/ cfg.line_bytes` (every op computes its line).
+    line_div: Divisor,
+    /// Strength-reduced `/ cfg.metadata_block` (per line-grain miss).
+    meta_div: Divisor,
+    /// Progress-watchdog stall diagnostics observed during the run.
+    stalls: u64,
     /// Log-facade gates cached at construction so the hot paths pay one
     /// boolean test instead of an atomic load per access.
     trace_noc: bool,
@@ -248,6 +263,8 @@ impl NdpSystem {
             table: workload.table,
             source: workload.source,
             workload_name: workload.name,
+            line_div: Divisor::new(cfg.line_bytes.max(1)),
+            meta_div: Divisor::new(cfg.metadata_block.max(1)),
             cfg,
             mem_ops: 0,
             l1_hits: 0,
@@ -264,6 +281,9 @@ impl NdpSystem {
             stream_aborts: 0,
             replicated_fraction: 0.0,
             access_latency: Histogram::new(),
+            batch: batching_from_env(),
+            batch_stats: BatchStats::default(),
+            stalls: 0,
             trace_noc: enabled(Level::Trace),
             trace_alloc: enabled(Level::Debug),
             trace: TraceSink::from_env().map(Box::new),
@@ -328,13 +348,41 @@ impl NdpSystem {
         }
     }
 
+    /// Enables or disables run-ahead batching for this system, overriding
+    /// whatever `NDPX_BATCH` configured at construction. Batching is
+    /// bit-identical to the per-op loop (see [`run`](Self::run)); this
+    /// exists so differential tests can compare both paths in one process.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batch = on;
+    }
+
     /// Runs `ops_per_core` trace operations on every core; returns the
     /// report. Can be called once per system.
     ///
     /// Cores are scheduled through [`EventQueue`] with the core index as
-    /// the equal-time tiebreak (lower core first), and each completed op
-    /// re-schedules its core through the in-place `push_pop` fast path.
+    /// the equal-time tiebreak (lower core first). When a core is popped
+    /// at time `t` the loop *runs ahead*: it keeps executing that core's
+    /// ops in a tight inner loop for as long as each completion stays
+    /// strictly below both the queue's minimum pending time and the next
+    /// epoch boundary. Inside that window no other core (and no epoch
+    /// action) can be scheduled, so shared state is touched in exactly
+    /// the per-op order and results are bit-identical — the queue
+    /// round-trip, epoch check, and watchdog observation are simply
+    /// amortized over the batch. A batch ends by landing on or past the
+    /// window (re-entering through the fused `push_pop`, whose tiebreak
+    /// resolves equal times identically), by exhausting the core's ops,
+    /// or at [`BATCH_CAP`] (a liveness bound for the watchdog).
     pub fn run(&mut self, ops_per_core: u64) -> RunReport {
+        self.run_with_watchdog(ops_per_core, ProgressWatchdog::from_env())
+    }
+
+    /// [`run`](Self::run) with an explicit progress watchdog (tests inject
+    /// small limits; the environment default is `NDPX_STALL_ITERS`).
+    pub fn run_with_watchdog(
+        &mut self,
+        ops_per_core: u64,
+        mut watchdog: ProgressWatchdog,
+    ) -> RunReport {
         let cores = self.cfg.units();
         let mut queue: EventQueue<usize> = EventQueue::new();
         let mut remaining: Vec<u64> = vec![ops_per_core; cores];
@@ -343,11 +391,11 @@ impl NdpSystem {
         }
         let mut makespan = Time::ZERO;
         let mut total_ops = 0u64;
-        let mut watchdog = ProgressWatchdog::from_env();
 
         let mut next = queue.pop();
-        while let Some((t, core)) = next {
+        while let Some((mut t, core)) = next {
             if let Some(stall) = watchdog.observe(t, queue.len()) {
+                self.stalls += 1;
                 ndpx_warn!(
                     "engine deadlock suspected in {:?}/{} while serving core {core}: {stall}",
                     self.cfg.policy,
@@ -359,29 +407,49 @@ impl NdpSystem {
                 self.reconfigure(at);
                 self.next_epoch = at + self.cfg.epoch();
             }
-            let op = self.source.next_op(core);
-            let is_mem = !matches!(op, Op::Compute(_));
-            let done = match op {
-                Op::Compute(cycles) => t + self.cfg.core_freq.cycles_to_time(u64::from(cycles)),
-                Op::Mem(m) => self.process_mem(core, m, t),
-                Op::RawMem { addr, write } => self.process_raw(core, addr, write, t),
+            // Run-ahead window: completions strictly below it cannot
+            // interleave with any pending event or epoch boundary. With
+            // batching off the window is ZERO, so every completion exits
+            // the inner loop — the historical per-op behaviour.
+            let window = if self.batch {
+                queue.peek_time().map_or(self.next_epoch, |m| m.min(self.next_epoch))
+            } else {
+                Time::ZERO
             };
-            if is_mem {
-                self.access_latency.record(done.saturating_sub(t));
-                if let Some(tr) = self.trace.as_deref_mut() {
-                    if tr.in_window(t) {
-                        tr.complete("engine", "mem_op", core as u32, t, done.saturating_sub(t));
+            let fast0 = self.l1_hits;
+            let mut batch_len = 0u64;
+            loop {
+                let op = self.source.next_op(core);
+                let is_mem = !matches!(op, Op::Compute(_));
+                let done = match op {
+                    Op::Compute(cycles) => t + self.cfg.core_freq.cycles_to_time(u64::from(cycles)),
+                    Op::Mem(m) => self.process_mem(core, m, t),
+                    Op::RawMem { addr, write } => self.process_raw(core, addr, write, t),
+                };
+                if is_mem {
+                    self.access_latency.record(done.saturating_sub(t));
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        if tr.in_window(t) {
+                            tr.complete("engine", "mem_op", core as u32, t, done.saturating_sub(t));
+                        }
                     }
                 }
+                batch_len += 1;
+                makespan = makespan.max(done);
+                remaining[core] -= 1;
+                if remaining[core] == 0 {
+                    next = queue.pop();
+                    break;
+                }
+                if done < window && batch_len < BATCH_CAP {
+                    t = done;
+                    continue;
+                }
+                next = Some(queue.push_pop_ranked(done, core as u64, core));
+                break;
             }
-            total_ops += 1;
-            makespan = makespan.max(done);
-            remaining[core] -= 1;
-            next = if remaining[core] > 0 {
-                Some(queue.push_pop_ranked(done, core as u64, core))
-            } else {
-                queue.pop()
-            };
+            total_ops += batch_len;
+            self.batch_stats.record(batch_len, self.l1_hits - fast0);
         }
 
         let report = self.report(makespan, total_ops, &queue.stats());
@@ -477,7 +545,7 @@ impl NdpSystem {
     fn process_raw(&mut self, core: usize, addr: u64, write: bool, t: Time) -> Time {
         self.mem_ops += 1;
         let t = t + self.cycles(L1_CYCLES);
-        let line = addr / self.cfg.line_bytes;
+        let line = self.line_div.div(addr);
         if self.l1s[core].access(line, write).is_hit() {
             self.l1_hits += 1;
             return t;
@@ -489,30 +557,55 @@ impl NdpSystem {
         done + self.cycles(RESTART_CYCLES)
     }
 
+    /// One memory op. The body is only the slim L1 probe — the common
+    /// L1-hit case returns after a cache lookup and two counter bumps, and
+    /// inlines into the run loop's batch so a hit never pays a call or the
+    /// general dispatch below. Everything past the L1 lives out-of-line in
+    /// [`process_mem_miss`](Self::process_mem_miss), in exactly the
+    /// historical order (so the split cannot move a single shared-state
+    /// mutation).
+    #[inline]
     fn process_mem(&mut self, core: usize, m: MemRef, t: Time) -> Time {
         self.mem_ops += 1;
-        // Copy out the cached descriptor: everything the access path needs
-        // (grain, key math, fetch size) without re-consulting the table.
-        let desc = self.descs[m.sid.index()];
-        let addr = desc.cfg.addr_of(m.elem);
-        let mut now = t + self.cycles(L1_CYCLES);
+        let addr = self.descs[m.sid.index()].addr_of_elem(m.elem);
+        let now = t + self.cycles(L1_CYCLES);
 
         // L1.
-        let line = addr / self.cfg.line_bytes;
+        let line = self.line_div.div(addr);
         match self.l1s[core].access(line, m.write) {
             ndpx_cache::setassoc::Outcome::Hit => {
                 self.l1_hits += 1;
-                return now;
+                now
             }
             ndpx_cache::setassoc::Outcome::Miss { evicted } => {
-                self.breakdown.add(LatComponent::CoreL1, self.cycles(L1_CYCLES));
-                if let Some((victim_line, true)) = evicted {
-                    // Dirty L1 writeback: fire-and-forget store into the
-                    // cache hierarchy.
-                    let victim_addr = victim_line * self.cfg.line_bytes;
-                    self.writeback_line(core, victim_addr, now);
-                }
+                // Copy out the cached descriptor only on the miss path:
+                // everything it needs (grain, key math, fetch size)
+                // without re-consulting the table, while the dominant hit
+                // path above stays copy-free.
+                let desc = self.descs[m.sid.index()];
+                self.process_mem_miss(core, m, desc, addr, evicted, now)
             }
+        }
+    }
+
+    /// The post-L1 continuation of [`process_mem`](Self::process_mem):
+    /// metadata, placement, and data paths.
+    #[inline(never)]
+    fn process_mem_miss(
+        &mut self,
+        core: usize,
+        m: MemRef,
+        desc: StreamDesc,
+        addr: u64,
+        evicted: Option<(u64, bool)>,
+        mut now: Time,
+    ) -> Time {
+        self.breakdown.add(LatComponent::CoreL1, self.cycles(L1_CYCLES));
+        if let Some((victim_line, true)) = evicted {
+            // Dirty L1 writeback: fire-and-forget store into the
+            // cache hierarchy.
+            let victim_addr = victim_line * self.cfg.line_bytes;
+            self.writeback_line(core, victim_addr, now);
         }
 
         // Epoch accounting + sampling happen at DRAM-cache level.
@@ -546,7 +639,7 @@ impl NdpSystem {
         } else {
             now += self.cycles(SRAM_TAG_CYCLES);
             self.breakdown.add(LatComponent::Metadata, self.cycles(SRAM_TAG_CYCLES));
-            let region = addr / self.cfg.metadata_block;
+            let region = self.meta_div.div(addr);
             if !self.metas[core].access(region, false).is_hit() {
                 // In-DRAM tag read at the line's home unit.
                 self.metadata_dram += 1;
@@ -1081,8 +1174,14 @@ impl NdpSystem {
         let mut registry = StatRegistry::new();
         {
             let mut engine = registry.scope("engine");
-            engine.count("events", qstats.processed);
+            // Engine-loop events are *ops executed by the loop*: with
+            // run-ahead batching one queue event can carry a whole batch,
+            // so this deliberately counts ops (comparable across batching
+            // on/off and with pre-batching baselines), while the raw queue
+            // traffic stays under `engine.queue.*`.
+            engine.count("events", self.batch_stats.ops);
             engine.count("peak_queue_depth", qstats.peak_depth);
+            engine.count("stalls", self.stalls);
             let mut queue = engine.scope("queue");
             queue.count("scheduled", qstats.scheduled);
             queue.count("processed", qstats.processed);
@@ -1090,6 +1189,19 @@ impl NdpSystem {
             queue.count("overflow_scheduled", qstats.overflow_scheduled);
             for (i, &n) in qstats.bucket_occupancy.iter().enumerate() {
                 queue.count(&format!("bucket_occ{i}"), n);
+            }
+            drop(queue);
+            let b = &self.batch_stats;
+            let mut batch = engine.scope("batch");
+            batch.count("enabled", u64::from(self.batch));
+            batch.count("batches", b.batches);
+            batch.count("ops", b.ops);
+            batch.count("fast_hits", b.fast_hits);
+            batch.count("max_len", b.max_len);
+            batch.gauge("mean_len", b.mean_len());
+            batch.gauge("fast_hit_ratio", b.fast_hit_ratio());
+            for (i, &n) in b.len_hist.iter().enumerate() {
+                batch.count(&format!("len_c{i}"), n);
             }
         }
         {
@@ -1178,7 +1290,11 @@ impl NdpSystem {
             migrations: self.migrations,
             replicated_fraction: self.replicated_fraction,
             access_latency: self.access_latency.clone(),
-            engine_events: qstats.processed,
+            // Ops executed by the engine loop (see `engine.events` in the
+            // registry): one queue event can carry a whole run-ahead
+            // batch, so raw queue traffic would under-count under batching
+            // and break comparability with pre-batching baselines.
+            engine_events: ops,
             peak_queue_depth: qstats.peak_depth,
             registry: self.build_registry(qstats),
         }

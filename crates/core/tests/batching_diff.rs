@@ -1,0 +1,130 @@
+//! Differential tests for run-ahead batching.
+//!
+//! The batched run loop (the default) may only move the wall clock: every
+//! simulated fact — the full [`RunReport`], including the telemetry
+//! registry dump — must be byte-identical to the per-op loop
+//! (`NDPX_BATCH=0`). These tests drive both loops directly through
+//! `set_batching`, so they hold regardless of the process environment, and
+//! sweep random workloads, seeds, policies, and footprints so the
+//! equivalence is a property, not three blessed cases.
+
+use ndpx_core::config::{PolicyKind, SystemConfig};
+use ndpx_core::{HostConfig, HostSystem, NdpSystem, RunReport};
+use ndpx_sim::engine::ProgressWatchdog;
+use ndpx_sim::rng::Xoshiro256;
+use ndpx_workloads::trace::ScaleParams;
+use ndpx_workloads::{build, Workload, REPRESENTATIVE_WORKLOADS};
+
+/// Everything a run produced, as one comparable string: the derived Debug
+/// of the report (truncated before the inline registry) covers every
+/// counter and breakdown, and the registry JSON pins the full stat dump.
+/// The `engine.batch.*` and `engine.queue.*` scopes are excluded — they
+/// describe the shape of the run loop itself (batch lengths, raw queue
+/// traffic), which batching changes on purpose; everything simulated must
+/// match to the bit.
+fn fingerprint(r: &RunReport) -> String {
+    let debug = format!("{r:?}");
+    let head = debug.split(", registry:").next().unwrap_or(&debug).to_string();
+    let stats: String = r
+        .registry
+        .iter()
+        .filter(|(path, _)| {
+            !path.starts_with("engine.batch.") && !path.starts_with("engine.queue.")
+        })
+        .map(|(path, value)| format!("{path}: {value:?}\n"))
+        .collect();
+    format!("{head}\n{stats}")
+}
+
+/// A random representative workload spec; `build` is deterministic in the
+/// spec, so both loops get byte-identical traces from a fresh build each.
+fn random_spec(rng: &mut Xoshiro256, cores: usize) -> (&'static str, ScaleParams) {
+    let name = REPRESENTATIVE_WORKLOADS[rng.below(REPRESENTATIVE_WORKLOADS.len() as u64) as usize];
+    let p = ScaleParams { cores, footprint: (4 << 20) + rng.below(12 << 20), seed: rng.next_u64() };
+    (name, p)
+}
+
+fn build_wl(name: &str, p: &ScaleParams) -> Workload {
+    build(name, p).expect("known").expect("builds")
+}
+
+#[test]
+fn ndp_batched_run_is_bit_identical_to_per_op_loop() {
+    let mut rng = Xoshiro256::seed_from(0x000B_A7C4_D1FF);
+    for case in 0..6 {
+        let policy = PolicyKind::ALL[rng.below(PolicyKind::ALL.len() as u64) as usize];
+        let cfg = SystemConfig::test(policy);
+        let (name, p) = random_spec(&mut rng, cfg.units());
+        let ops = 2_000 + rng.below(6_000);
+
+        let mut batched = NdpSystem::new(cfg.clone(), build_wl(name, &p)).expect("valid");
+        batched.set_batching(true);
+        let rb = batched.run(ops);
+
+        let mut serial = NdpSystem::new(cfg, build_wl(name, &p)).expect("valid");
+        serial.set_batching(false);
+        let rs = serial.run(ops);
+
+        assert_eq!(
+            fingerprint(&rb),
+            fingerprint(&rs),
+            "case {case}: {policy:?}/{name} at {ops} ops diverged between loops"
+        );
+    }
+}
+
+#[test]
+fn host_batched_run_is_bit_identical_to_per_op_loop() {
+    let mut rng = Xoshiro256::seed_from(0x0000_5775_D1FF);
+    for case in 0..4 {
+        let cfg = HostConfig::test(8);
+        let (name, p) = random_spec(&mut rng, 8);
+        let ops = 2_000 + rng.below(6_000);
+
+        let mut batched = HostSystem::new(cfg.clone(), build_wl(name, &p)).expect("valid");
+        batched.set_batching(true);
+        let rb = batched.run(ops);
+
+        let mut serial = HostSystem::new(cfg, build_wl(name, &p)).expect("valid");
+        serial.set_batching(false);
+        let rs = serial.run(ops);
+
+        assert_eq!(
+            fingerprint(&rb),
+            fingerprint(&rs),
+            "case {case}: host/{name} at {ops} ops diverged between loops"
+        );
+    }
+}
+
+#[test]
+fn watchdog_still_fires_with_fast_path_active() {
+    // Every core starts at Time::ZERO, so the first pops repeat the same
+    // (time, depth) observation; a tiny iteration limit makes that burst
+    // trip the watchdog. Batching hoists the observation to once per batch
+    // — the point of this test is that the hoist cannot hoist it away.
+    let cfg = SystemConfig::test(PolicyKind::NdpExt);
+    let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 7 };
+    let wl = build("pr", &p).expect("known").expect("builds");
+    let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+    sys.set_batching(true);
+    let r = sys.run_with_watchdog(4_000, ProgressWatchdog::new(4));
+    let stalls = r.registry.get("engine.stalls").and_then(|v| v.as_count()).unwrap_or(0);
+    assert!(stalls >= 1, "watchdog did not fire under the batched loop");
+}
+
+#[test]
+fn watchdog_observations_match_across_loops() {
+    // The stall verdict itself must be loop-invariant: same limit, same
+    // workload, same number of recorded stalls either way.
+    let stalls_with = |batch: bool| {
+        let cfg = SystemConfig::test(PolicyKind::NdpExt);
+        let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 11 };
+        let wl = build("mv", &p).expect("known").expect("builds");
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        sys.set_batching(batch);
+        let r = sys.run_with_watchdog(3_000, ProgressWatchdog::new(4));
+        r.registry.get("engine.stalls").and_then(|v| v.as_count()).unwrap_or(0)
+    };
+    assert_eq!(stalls_with(true), stalls_with(false));
+}

@@ -7,6 +7,7 @@
 //! bit transferred and per activate/precharge pair.
 
 use ndpx_sim::energy::Energy;
+use ndpx_sim::fastdiv::Divisor;
 use ndpx_sim::fault::FaultPlan;
 use ndpx_sim::stats::Counter;
 use ndpx_sim::time::Time;
@@ -205,6 +206,11 @@ pub struct DramDevice {
     stats: DramStats,
     dynamic: Energy,
     fault: Option<MemFault>,
+    /// Strength-reduced geometry divisors (`/ row_bytes`, `/ banks`,
+    /// `% channels`): the address decompose runs on every access.
+    row_div: Divisor,
+    bank_div: Divisor,
+    chan_div: Divisor,
 }
 
 /// Reservation slots per channel bus.
@@ -224,6 +230,9 @@ impl DramDevice {
         DramDevice {
             banks: vec![Bank::default(); cfg.banks],
             buses: vec![Time::ZERO; cfg.channels * BUS_SLOTS],
+            row_div: Divisor::new(cfg.row_bytes),
+            bank_div: Divisor::new(cfg.banks as u64),
+            chan_div: Divisor::new(cfg.channels as u64),
             cfg,
             stats: DramStats::default(),
             dynamic: Energy::ZERO,
@@ -273,9 +282,9 @@ impl DramDevice {
         write: bool,
         now: Time,
     ) -> (Time, EccOutcome) {
-        let row_id = addr / self.cfg.row_bytes;
-        let bank_idx = (row_id % self.cfg.banks as u64) as usize;
-        let row = row_id / self.cfg.banks as u64;
+        let row_id = self.row_div.div(addr);
+        let (row, bank_idx) = self.bank_div.divmod(row_id);
+        let bank_idx = bank_idx as usize;
         let bank = &mut self.banks[bank_idx];
 
         let start = now.max(bank.busy_until);
@@ -307,7 +316,7 @@ impl DramDevice {
 
         // The channel data bus serializes transfers from all banks on it.
         let transfer = Time::from_ns_f64(f64::from(bytes) / self.cfg.bus_bytes_per_ns);
-        let chan = bank_idx % self.cfg.channels;
+        let chan = self.chan_div.rem(bank_idx as u64) as usize;
         let slots = &mut self.buses[chan * BUS_SLOTS..(chan + 1) * BUS_SLOTS];
         let slot = if slots[0] <= slots[1] { 0 } else { 1 };
         let bus_start = bank_done.saturating_sub(transfer).max(slots[slot]);

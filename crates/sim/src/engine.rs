@@ -87,6 +87,89 @@ impl QueueImpl {
     }
 }
 
+/// Whether the system run loops may run ahead — executing several of a
+/// core's ops per queue event while completions stay inside the safe
+/// window (see the run-loop docs). `NDPX_BATCH=0` restores the historical
+/// per-op loop; anything else (including unset) enables batching. The
+/// choice is read once per process.
+pub fn batching_from_env() -> bool {
+    static CHOICE: OnceLock<bool> = OnceLock::new();
+    *CHOICE.get_or_init(|| parse_batching(std::env::var("NDPX_BATCH").ok().as_deref()))
+}
+
+/// Pure form of the `NDPX_BATCH` parse for tests.
+pub fn parse_batching(v: Option<&str>) -> bool {
+    !matches!(v.map(str::trim), Some("0"))
+}
+
+/// Maximum ops a run loop may execute per run-ahead batch before it
+/// returns to the queue. Purely a liveness bound: it keeps the progress
+/// watchdog (which observes once per batch) firing within a bounded
+/// number of ops when simulated time freezes, and it cannot change
+/// results — a batch cut short re-enters through the fused push-pop,
+/// which returns the same core whenever its completion still precedes
+/// every pending event.
+pub const BATCH_CAP: u64 = 1024;
+
+/// Number of log2 batch-length classes tracked in [`BatchStats`]
+/// (`1, 2–3, 4–7, …, ≥128`).
+pub const BATCH_CLASSES: usize = 8;
+
+/// Telemetry for a run loop's run-ahead batches.
+///
+/// A batch is the ops one core executes per queue event; length 1 means
+/// the loop degenerated to the historical per-op behaviour (and with
+/// batching disabled every batch has length 1). Fast hits count ops that
+/// completed through the inlined L1-hit fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Batches executed (outer run-loop iterations).
+    pub batches: u64,
+    /// Total ops across all batches.
+    pub ops: u64,
+    /// Ops that completed through the inlined L1-hit fast path.
+    pub fast_hits: u64,
+    /// Longest batch observed.
+    pub max_len: u64,
+    /// Log2 batch-length histogram: class `i` counts batches of length
+    /// `2^i ..= 2^(i+1) - 1` (the last class saturates).
+    pub len_hist: [u64; BATCH_CLASSES],
+}
+
+impl BatchStats {
+    /// Records one completed batch of `len` ops, `fast` of which took the
+    /// fast path.
+    #[inline]
+    pub fn record(&mut self, len: u64, fast: u64) {
+        self.batches += 1;
+        self.ops += len;
+        self.fast_hits += fast;
+        if len > self.max_len {
+            self.max_len = len;
+        }
+        let class = (63 - len.max(1).leading_zeros() as usize).min(BATCH_CLASSES - 1);
+        self.len_hist[class] += 1;
+    }
+
+    /// Mean ops per batch (0 when nothing ran).
+    pub fn mean_len(&self) -> f64 {
+        if self.batches > 0 {
+            self.ops as f64 / self.batches as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of ops that completed through the fast path.
+    pub fn fast_hit_ratio(&self) -> f64 {
+        if self.ops > 0 {
+            self.fast_hits as f64 / self.ops as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Snapshot of an [`EventQueue`]'s telemetry counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueStats {
@@ -163,6 +246,12 @@ struct TimeWheel<T> {
     /// rebase. Makes repeated min scans O(1) amortized as the wheel drains
     /// front to back.
     scan_from: std::cell::Cell<usize>,
+    /// Memoized [`find_min`](Self::find_min) result, so a `peek_time`
+    /// followed by a fused `push_pop` costs one chain scan, not two.
+    /// Invalidated on removal; kept coherent across inserts (a strictly
+    /// smaller key replaces it, a head insert into its bucket fixes
+    /// `prev`). A `Cell` so the `&self` scan can memoize.
+    cached_min: std::cell::Cell<Option<FoundMin>>,
     /// Tick index (`time_ps >> TICK_SHIFT`) of bucket 0.
     base: u64,
     near_len: usize,
@@ -171,6 +260,7 @@ struct TimeWheel<T> {
 }
 
 /// Location of the minimum-key event in the near wheel.
+#[derive(Clone, Copy)]
 struct FoundMin {
     bucket: usize,
     idx: u32,
@@ -189,6 +279,7 @@ impl<T> TimeWheel<T> {
             bucket_len: [0; BUCKETS],
             occ: [0; WORDS],
             scan_from: std::cell::Cell::new(0),
+            cached_min: std::cell::Cell::new(None),
             base: 0,
             near_len: 0,
             overflow: BTreeMap::new(),
@@ -259,6 +350,24 @@ impl<T> TimeWheel<T> {
         }
         self.bucket_len[b] = self.bucket_len[b].saturating_add(1);
         self.near_len += 1;
+        match self.cached_min.get() {
+            Some(c) if (time, seq) < (c.time, c.seq) => {
+                // Strictly smaller key: the new head of bucket `b` is now
+                // the min. (On an exact tie the resident event keeps
+                // winning — FIFO — so the cache stays as-is.)
+                self.cached_min.set(Some(FoundMin { bucket: b, idx, prev: NIL, time, seq }));
+            }
+            Some(c) if b == c.bucket && c.prev == NIL => {
+                // Head insert in front of the cached min: it gained a
+                // predecessor. Deeper nodes keep their `prev` unchanged.
+                self.cached_min.set(Some(FoundMin { prev: idx, ..c }));
+            }
+            None if self.near_len == 1 => {
+                // First near event is trivially the min.
+                self.cached_min.set(Some(FoundMin { bucket: b, idx, prev: NIL, time, seq }));
+            }
+            _ => {}
+        }
         (usize::from(self.bucket_len[b]) - 1).min(OCC_CLASSES - 1)
     }
 
@@ -315,6 +424,9 @@ impl<T> TimeWheel<T> {
     /// Requires `near_len > 0`.
     fn find_min(&self) -> FoundMin {
         debug_assert!(self.near_len > 0, "find_min on an empty wheel");
+        if let Some(m) = self.cached_min.get() {
+            return m;
+        }
         let mut b = 0usize;
         for (w, &word) in self.occ.iter().enumerate().skip(self.scan_from.get()) {
             if word != 0 {
@@ -347,6 +459,7 @@ impl<T> TimeWheel<T> {
             prev = cur;
             cur = s.next;
         }
+        self.cached_min.set(Some(best));
         best
     }
 
@@ -363,6 +476,7 @@ impl<T> TimeWheel<T> {
 
     /// Unlinks a located min from its bucket chain and frees the slot.
     fn remove(&mut self, m: &FoundMin) -> (Time, T) {
+        self.cached_min.set(None);
         let next = self.slots[m.idx as usize].next;
         if m.prev == NIL {
             self.buckets[m.bucket] = next;
@@ -1024,6 +1138,36 @@ mod tests {
         assert_eq!(ProgressWatchdog::parse_limit(Some("123")), 123);
         assert_eq!(ProgressWatchdog::parse_limit(Some("0")), 0);
         assert_eq!(ProgressWatchdog::parse_limit(Some("bad")), ProgressWatchdog::DEFAULT_LIMIT);
+    }
+
+    #[test]
+    fn batching_parse() {
+        assert!(parse_batching(None));
+        assert!(parse_batching(Some("1")));
+        assert!(parse_batching(Some("yes")));
+        assert!(!parse_batching(Some("0")));
+        assert!(!parse_batching(Some(" 0 ")));
+    }
+
+    #[test]
+    fn batch_stats_histogram_and_ratios() {
+        let mut b = BatchStats::default();
+        b.record(1, 1);
+        b.record(3, 0);
+        b.record(8, 4);
+        b.record(1 << 20, 0); // saturates into the last class
+        assert_eq!(b.batches, 4);
+        assert_eq!(b.ops, 12 + (1 << 20));
+        assert_eq!(b.max_len, 1 << 20);
+        assert_eq!(b.len_hist[0], 1); // len 1
+        assert_eq!(b.len_hist[1], 1); // len 2-3
+        assert_eq!(b.len_hist[3], 1); // len 8-15
+        assert_eq!(b.len_hist[BATCH_CLASSES - 1], 1);
+        assert!((b.mean_len() - b.ops as f64 / 4.0).abs() < 1e-9);
+        assert!((b.fast_hit_ratio() - 5.0 / b.ops as f64).abs() < 1e-12);
+        let empty = BatchStats::default();
+        assert_eq!(empty.mean_len(), 0.0);
+        assert_eq!(empty.fast_hit_ratio(), 0.0);
     }
 
     #[test]

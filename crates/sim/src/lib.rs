@@ -38,6 +38,7 @@
 
 pub mod energy;
 pub mod engine;
+pub mod fastdiv;
 pub mod fault;
 pub mod rng;
 pub mod stats;

@@ -135,6 +135,59 @@ fn wheel_matches_heap_fifo_sequences() {
     }
 }
 
+/// `peek_time` checked after every mutation: the wheel memoizes its
+/// minimum, and that cache must stay coherent through inserts (smaller,
+/// equal, and later keys), removals, and overflow cascades. The run-ahead
+/// batching window reads `peek_time` once per batch — a stale cache would
+/// silently widen or shrink the window, changing simulated interleavings.
+#[test]
+fn peek_time_stays_coherent_under_churn() {
+    let mut rng = Xoshiro256::seed_from(0x9EEC);
+    for _ in 0..96 {
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut heap = EventQueue::with_impl(QueueImpl::Heap);
+        let mut now = Time::ZERO;
+        let mut payload = 0u64;
+        for _ in 0..300 {
+            match rng.below(5) {
+                0 | 1 => {
+                    let t = mixed_time(&mut rng, now);
+                    wheel.push(t, payload);
+                    heap.push(t, payload);
+                    payload += 1;
+                }
+                2 => {
+                    let t = mixed_time(&mut rng, now);
+                    let a = wheel.push_pop(t, payload);
+                    let b = heap.push_pop(t, payload);
+                    assert_eq!(a, b, "push_pop diverged");
+                    payload += 1;
+                    now = now.max(a.0);
+                }
+                _ => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "pop diverged");
+                    if let Some((t, _)) = a {
+                        now = now.max(t);
+                    }
+                }
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged mid-churn");
+        }
+        // Drain: every peek must equal the time the next pop returns, and
+        // peeking must never perturb pop order.
+        while let Some(pt) = wheel.peek_time() {
+            let (t, _) = wheel.pop().expect("peek said non-empty");
+            assert_eq!(pt, t, "peek disagreed with pop");
+            let (th, _) = heap.pop().expect("heap in lockstep");
+            assert_eq!(t, th, "drain diverged");
+        }
+        assert!(heap.peek_time().is_none());
+        assert!(wheel.pop().is_none() && heap.pop().is_none());
+    }
+}
+
 /// Differential oracle for the ranked tiebreak space: identical random
 /// `push_ranked` / `push_pop_ranked` / `pop` sequences — with deliberate
 /// equal-time, distinct-rank collisions — must pop identically from both

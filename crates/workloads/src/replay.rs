@@ -131,7 +131,12 @@ impl OpSource for ReplaySource {
     fn next_op(&mut self, core: usize) -> Op {
         let seq = &self.trace.ops[core];
         let cursor = &mut self.cursors[core];
-        let op = seq[*cursor % seq.len()];
+        // Wrap by compare, not `%`: a 64-bit divide per op is measurable
+        // in the run loop, and the cursor value itself is not observable.
+        if *cursor >= seq.len() {
+            *cursor = 0;
+        }
+        let op = seq[*cursor];
         *cursor += 1;
         op
     }
