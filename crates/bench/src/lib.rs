@@ -13,6 +13,7 @@ pub mod gauge;
 pub mod manifest;
 pub mod micro;
 pub mod pool;
+pub mod report;
 pub mod runner;
 
 pub use manifest::{CellFailure, CellMetrics, RunManifest};

@@ -138,8 +138,13 @@ pub fn run_ndp_cached(spec: &RunSpec, cache: &TraceCache) -> RunReport {
         tweak(&mut cfg);
     }
     let params = spec.scale.workload(&cfg);
+    let trace_gen_start = std::time::Instant::now();
     let wl = cache.workload(spec.workload, &params, spec.ops_per_core);
+    let trace_gen = trace_gen_start.elapsed();
     let mut sys = NdpSystem::new(cfg, wl).expect("config and workload are consistent");
+    // Attributed post-hoc: the profiler (if `NDPX_PROFILE` enabled one)
+    // only exists once the system does.
+    sys.record_phase(ndpx_core::Phase::TraceGen, trace_gen);
     sys.run(spec.ops_per_core)
 }
 

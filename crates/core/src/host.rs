@@ -14,8 +14,9 @@ use ndpx_sim::energy::Power;
 use ndpx_sim::engine::{batching_from_env, BatchStats, EventQueue, QueueStats, BATCH_CAP};
 use ndpx_sim::rng::hash_range;
 use ndpx_sim::stats::Histogram;
-use ndpx_sim::telemetry::StatRegistry;
+use ndpx_sim::telemetry::{StatRegistry, TimelineSampler};
 use ndpx_sim::time::{Freq, Time};
+use ndpx_sim::{ndpx_info, ndpx_warn};
 use ndpx_workloads::trace::{Op, Workload};
 
 use crate::config::PolicyKind;
@@ -91,6 +92,9 @@ pub struct HostSystem {
     batch: bool,
     /// Run-loop batch telemetry (`engine.batch.*`).
     batch_stats: BatchStats,
+    /// Opt-in windowed timeline sampler (`NDPX_TIMELINE`), mirroring
+    /// [`crate::system::NdpSystem`]'s.
+    timeline: Option<Box<TimelineSampler>>,
 }
 
 /// Static power of one host core (wider than an NDP core).
@@ -146,7 +150,14 @@ impl HostSystem {
             access_latency: Histogram::new(),
             batch: batching_from_env(),
             batch_stats: BatchStats::default(),
+            timeline: TimelineSampler::from_env().map(Box::new),
         })
+    }
+
+    /// Attaches (or, with `None`, detaches) a windowed timeline sampler,
+    /// overriding whatever `NDPX_TIMELINE` configured at construction.
+    pub fn set_timeline(&mut self, cfg: Option<ndpx_sim::telemetry::TimelineConfig>) {
+        self.timeline = cfg.map(|c| Box::new(TimelineSampler::new(c)));
     }
 
     /// Enables or disables run-ahead batching for this host, overriding
@@ -171,10 +182,26 @@ impl HostSystem {
         let mut ops = 0u64;
         let mut next = queue.pop();
         while let Some((mut t, core)) = next {
+            // Timeline boundary: snapshot cumulative state strictly before
+            // processing the first event at or past it.
+            if self.timeline.as_deref().is_some_and(|tl| tl.due(t)) {
+                let snap = self.timeline_snapshot(queue.len() as u64);
+                if let Some(tl) = self.timeline.as_deref_mut() {
+                    tl.record(t, snap);
+                }
+            }
             // Run-ahead window: the host has no epochs, so only the queue
-            // bounds it (see `NdpSystem::run` for the invariant).
-            let window =
-                if self.batch { queue.peek_time().unwrap_or(Time::MAX) } else { Time::ZERO };
+            // (and any timeline boundary) bounds it (see `NdpSystem::run`
+            // for the invariant).
+            let window = if self.batch {
+                let base = queue.peek_time().unwrap_or(Time::MAX);
+                match self.timeline.as_deref() {
+                    Some(tl) => base.min(tl.next_boundary()),
+                    None => base,
+                }
+            } else {
+                Time::ZERO
+            };
             let fast0 = self.l1_hits;
             let mut batch_len = 0u64;
             loop {
@@ -208,7 +235,45 @@ impl HostSystem {
             ops += batch_len;
             self.batch_stats.record(batch_len, self.l1_hits - fast0);
         }
+        if self.timeline.is_some() {
+            let snap = self.timeline_snapshot(queue.len() as u64);
+            if let Some(mut tl) = self.timeline.take() {
+                tl.finish(snap);
+                let label = format!("Host-{}", self.workload_name);
+                match tl.write(&label) {
+                    Ok(path) => ndpx_info!("timeline for {label} written to {}", path.display()),
+                    Err(e) => ndpx_warn!("failed to write timeline for {label}: {e}"),
+                }
+            }
+        }
         self.report(makespan, ops, &queue.stats())
+    }
+
+    /// Cumulative registry snapshot for one timeline window: the host's
+    /// simulation-derived series only (see `NdpSystem::timeline_snapshot`
+    /// for the determinism contract).
+    fn timeline_snapshot(&self, queue_depth: u64) -> StatRegistry {
+        let mut reg = StatRegistry::new();
+        {
+            let mut engine = reg.scope("engine");
+            engine.gauge("queue.depth", queue_depth as f64);
+            let b = &self.batch_stats;
+            let mut batch = engine.scope("batch");
+            batch.count("batches", b.batches);
+            batch.count("ops", b.ops);
+            batch.count("fast_hits", b.fast_hits);
+            batch.gauge("fast_hit_ratio", b.fast_hit_ratio());
+        }
+        {
+            let mut core = reg.scope("core");
+            core.count("mem_ops", self.mem_ops);
+            core.count("l1_hits", self.l1_hits);
+            core.count("llc_hits", self.llc_hits);
+            core.count("llc_misses", self.llc_misses);
+        }
+        self.net.register_stats(&mut reg.scope("noc"));
+        self.mem.register_stats(&mut reg.scope("mem"));
+        reg
     }
 
     /// One memory access: the slim L1 probe inlines into the run loop; the
@@ -378,6 +443,28 @@ mod tests {
         // The host LLC is tiny relative to the footprint: high miss rate.
         let r = run_host("pr", 8, 4000);
         assert!(r.miss_rate() > 0.2, "expected llc pressure, miss rate {}", r.miss_rate());
+    }
+
+    #[test]
+    fn host_timeline_writes_and_stays_bit_identical() {
+        use ndpx_sim::telemetry::TimelineConfig;
+
+        let base = run_host("mv", 8, 1500);
+        let cfg = HostConfig::test(8);
+        let p = ScaleParams { cores: 8, footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build("mv", &p).unwrap().unwrap();
+        let mut sys = HostSystem::new(cfg, wl).unwrap();
+        let stem = std::env::temp_dir().join("ndpx-host-test-timeline.json");
+        let mut tc = TimelineConfig::to_path(&stem);
+        tc.window = Time::from_ns(2_000);
+        sys.set_timeline(Some(tc));
+        let r = sys.run(1500);
+        assert_eq!(r.sim_time, base.sim_time, "sampling must not perturb results");
+        let path = std::env::temp_dir().join("ndpx-host-test-timeline.Host-mv.json");
+        let text = std::fs::read_to_string(&path).expect("timeline written");
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"ndpx-timeline-v1\""));
+        assert!(text.contains("\"core.mem_ops\""));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use config::{MemKind, PolicyKind, ReconfigTransfer, SystemConfig};
 pub mod stats;
 pub mod system;
 
+pub use ndpx_sim::telemetry::Phase;
 pub use stats::{Breakdown, EnergyBreakdown, LatComponent, RunReport};
 pub use system::NdpSystem;
 

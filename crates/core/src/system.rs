@@ -41,7 +41,9 @@ use ndpx_sim::fastdiv::Divisor;
 use ndpx_sim::fault::domain;
 use ndpx_sim::stats::Histogram;
 use ndpx_sim::telemetry::log::{enabled, Level};
-use ndpx_sim::telemetry::{StatRegistry, TraceSink};
+use ndpx_sim::telemetry::{
+    Phase, PhaseProfiler, ProfileSpan, StatRegistry, StatScope, TimelineSampler, TraceSink,
+};
 use ndpx_sim::time::Time;
 use ndpx_sim::{ndpx_debug, ndpx_info, ndpx_trace, ndpx_warn};
 use ndpx_stream::{StreamId, StreamTable};
@@ -78,6 +80,79 @@ const LINE_BYTES: u32 = 64;
 struct SamplerSlot {
     unit: usize,
     sampler: SetSampler,
+}
+
+/// Epoch-level service telemetry: per-epoch access-latency percentiles,
+/// placement staleness, and reconfiguration downtime (the `slo.*` scope).
+///
+/// Tracking is active only while the system has a time-resolved consumer
+/// attached (timeline sampler or phase profiler). Otherwise [`record`]
+/// (Self::record) is one dead branch per memory op and the `slo.*` scope is
+/// absent from registry dumps, so default runs stay byte-identical.
+#[derive(Debug, Default)]
+struct SloTracker {
+    enabled: bool,
+    /// Access-latency distribution of the epoch in progress.
+    epoch_hist: Histogram,
+    /// Epochs closed so far.
+    epochs: u64,
+    /// Percentiles of the last closed epoch (bucket floors).
+    last_p50: Time,
+    last_p95: Time,
+    last_p99: Time,
+    /// Worst per-epoch p99 over the run.
+    worst_p99: Time,
+    /// Staleness measured at the last epoch boundary.
+    last_staleness: Time,
+    /// Worst placement staleness observed at any epoch boundary.
+    worst_staleness: Time,
+    /// Simulated time of the last *applied* reconfiguration.
+    last_applied: Time,
+    /// Cumulative migration-drain span across applied reconfigurations.
+    downtime: Time,
+}
+
+impl SloTracker {
+    /// Feeds one post-L1 access latency into the current epoch.
+    #[inline]
+    fn record(&mut self, lat: Time) {
+        if self.enabled {
+            self.epoch_hist.record(lat);
+        }
+    }
+
+    /// Closes the epoch ending at `t`: captures the percentiles and the
+    /// placement staleness (time since the last applied reconfiguration),
+    /// then resets the per-epoch histogram.
+    fn close_epoch(&mut self, t: Time) {
+        self.epochs += 1;
+        self.last_p50 = self.epoch_hist.p50();
+        self.last_p95 = self.epoch_hist.p95();
+        self.last_p99 = self.epoch_hist.p99();
+        self.worst_p99 = self.worst_p99.max(self.last_p99);
+        self.last_staleness = t.saturating_sub(self.last_applied);
+        self.worst_staleness = self.worst_staleness.max(self.last_staleness);
+        self.epoch_hist = Histogram::new();
+    }
+
+    /// Records an applied reconfiguration at `t` whose migration traffic
+    /// drains over `drain`.
+    fn applied(&mut self, t: Time, drain: Time) {
+        self.last_applied = t;
+        self.downtime += drain;
+    }
+
+    /// Publishes the `slo.*` nodes; `now` anchors the staleness gauge.
+    fn register(&self, scope: &mut StatScope<'_>, now: Time) {
+        scope.count("epochs", self.epochs);
+        scope.gauge("epoch_p50_ns", self.last_p50.as_ns() as f64);
+        scope.gauge("epoch_p95_ns", self.last_p95.as_ns() as f64);
+        scope.gauge("epoch_p99_ns", self.last_p99.as_ns() as f64);
+        scope.gauge("worst_p99_ns", self.worst_p99.as_ns() as f64);
+        scope.gauge("staleness_ns", now.saturating_sub(self.last_applied).as_ns() as f64);
+        scope.gauge("worst_staleness_ns", self.worst_staleness.as_ns() as f64);
+        scope.count("downtime_ns", self.downtime.as_ns());
+    }
 }
 
 /// The NDP system simulator.
@@ -168,6 +243,15 @@ pub struct NdpSystem {
     /// Opt-in Chrome-trace exporter (`NDPX_TRACE`); `None` costs one branch
     /// per recording site.
     trace: Option<Box<TraceSink>>,
+    /// Opt-in windowed timeline sampler (`NDPX_TIMELINE`); `None` costs one
+    /// branch per scheduler pop.
+    timeline: Option<Box<TimelineSampler>>,
+    /// Opt-in sim-phase profiler (`NDPX_PROFILE`); phase boundaries are
+    /// per-epoch, so the hot path never sees it.
+    profile: Option<Box<PhaseProfiler>>,
+    /// Epoch SLO stats; active only while a time-resolved consumer is
+    /// attached (see [`SloTracker`]).
+    slo: SloTracker,
 }
 
 impl NdpSystem {
@@ -287,7 +371,11 @@ impl NdpSystem {
             trace_noc: enabled(Level::Trace),
             trace_alloc: enabled(Level::Debug),
             trace: TraceSink::from_env().map(Box::new),
+            timeline: TimelineSampler::from_env().map(Box::new),
+            profile: PhaseProfiler::from_env().map(Box::new),
+            slo: SloTracker::default(),
         };
+        sys.slo.enabled = sys.timeline.is_some() || sys.profile.is_some();
         // Deterministic fault injection: each device derives an independent
         // decision plan from (master seed, domain, instance), so schedules
         // are reproducible regardless of harness thread count. With the
@@ -304,6 +392,7 @@ impl NdpSystem {
         }
         // Warmup configuration: every policy starts from the equal static
         // allocation and (if it reconfigures) adapts at the first epoch.
+        let warmup_start = std::time::Instant::now();
         let demands = sys.collect_demands(true);
         let alloc = allocate_baseline(
             if sys.cfg.policy.is_stream_grain() {
@@ -317,6 +406,9 @@ impl NdpSystem {
         );
         sys.apply_allocation(&alloc, Time::ZERO);
         sys.assign_epoch_samplers();
+        if let Some(p) = sys.profile.as_deref_mut() {
+            p.add(Phase::Warmup, warmup_start.elapsed(), Time::ZERO);
+        }
         Ok(sys)
     }
 
@@ -326,6 +418,36 @@ impl NdpSystem {
     /// environment.
     pub fn set_trace(&mut self, cfg: Option<ndpx_sim::telemetry::TraceConfig>) {
         self.trace = cfg.map(|c| Box::new(TraceSink::new(c)));
+    }
+
+    /// Attaches (or, with `None`, detaches) a windowed timeline sampler,
+    /// overriding whatever `NDPX_TIMELINE` configured at construction. Also
+    /// switches epoch SLO tracking, which feeds the timeline's `slo.*`
+    /// series.
+    pub fn set_timeline(&mut self, cfg: Option<ndpx_sim::telemetry::TimelineConfig>) {
+        self.timeline = cfg.map(|c| Box::new(TimelineSampler::new(c)));
+        self.sync_slo();
+    }
+
+    /// Enables or disables the sim-phase profiler, overriding whatever
+    /// `NDPX_PROFILE` configured at construction. Phases that already ran
+    /// (warmup happens inside [`new`](Self::new)) are not retroactively
+    /// attributed.
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on.then(|| Box::new(PhaseProfiler::new()));
+        self.sync_slo();
+    }
+
+    /// Attributes an externally timed phase (e.g. trace generation in the
+    /// bench harness) to this system's profiler, if one is attached.
+    pub fn record_phase(&mut self, phase: Phase, wall: std::time::Duration) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.add(phase, wall, Time::ZERO);
+        }
+    }
+
+    fn sync_slo(&mut self) {
+        self.slo.enabled = self.timeline.is_some() || self.profile.is_some();
     }
 
     fn config_ctx(&self) -> ConfigCtx {
@@ -391,6 +513,11 @@ impl NdpSystem {
         }
         let mut makespan = Time::ZERO;
         let mut total_ops = 0u64;
+        // The profiler rides outside `self` for the duration of the loop so
+        // `reconfigure` can time its sub-phases while the rest of the system
+        // is mutably borrowed.
+        let mut profile = self.profile.take();
+        let run_start = std::time::Instant::now();
 
         let mut next = queue.pop();
         while let Some((mut t, core)) = next {
@@ -404,15 +531,31 @@ impl NdpSystem {
             }
             while t >= self.next_epoch {
                 let at = self.next_epoch;
-                self.reconfigure(at);
+                self.reconfigure(at, profile.as_deref_mut());
                 self.next_epoch = at + self.cfg.epoch();
+            }
+            // Timeline boundary: snapshot the cumulative state strictly
+            // before processing the first event at or past it. Sim-order
+            // only, so timelines are identical at any thread count.
+            if self.timeline.as_deref().is_some_and(|tl| tl.due(t)) {
+                let snap = self.timeline_snapshot(queue.len() as u64, t);
+                if let Some(tl) = self.timeline.as_deref_mut() {
+                    tl.record(t, snap);
+                }
             }
             // Run-ahead window: completions strictly below it cannot
             // interleave with any pending event or epoch boundary. With
             // batching off the window is ZERO, so every completion exits
             // the inner loop — the historical per-op behaviour.
             let window = if self.batch {
-                queue.peek_time().map_or(self.next_epoch, |m| m.min(self.next_epoch))
+                let base = queue.peek_time().map_or(self.next_epoch, |m| m.min(self.next_epoch));
+                // Clamp run-ahead to the next timeline boundary so windows
+                // close on time. Batching stays bit-identical — batches just
+                // end earlier when a boundary is near.
+                match self.timeline.as_deref() {
+                    Some(tl) => base.min(tl.next_boundary()),
+                    None => base,
+                }
             } else {
                 Time::ZERO
             };
@@ -427,10 +570,12 @@ impl NdpSystem {
                     Op::RawMem { addr, write } => self.process_raw(core, addr, write, t),
                 };
                 if is_mem {
-                    self.access_latency.record(done.saturating_sub(t));
+                    let lat = done.saturating_sub(t);
+                    self.access_latency.record(lat);
+                    self.slo.record(lat);
                     if let Some(tr) = self.trace.as_deref_mut() {
                         if tr.in_window(t) {
-                            tr.complete("engine", "mem_op", core as u32, t, done.saturating_sub(t));
+                            tr.complete("engine", "mem_op", core as u32, t, lat);
                         }
                     }
                 }
@@ -452,8 +597,29 @@ impl NdpSystem {
             self.batch_stats.record(batch_len, self.l1_hits - fast0);
         }
 
+        if let Some(p) = profile.as_deref_mut() {
+            p.add(Phase::Run, run_start.elapsed(), makespan);
+        }
+        self.profile = profile;
+        // Close the trailing timeline window on the end-of-run state and
+        // write the file under a stable per-cell name.
+        if self.timeline.is_some() {
+            let snap = self.timeline_snapshot(queue.len() as u64, makespan);
+            if let Some(mut tl) = self.timeline.take() {
+                tl.finish(snap);
+                let label = self.cell_label();
+                match tl.write(&label) {
+                    Ok(path) => ndpx_info!("timeline for {label} written to {}", path.display()),
+                    Err(e) => ndpx_warn!("failed to write timeline for {label}: {e}"),
+                }
+            }
+        }
+
         let report = self.report(makespan, total_ops, &queue.stats());
-        if let Some(tr) = self.trace.take() {
+        if let Some(mut tr) = self.trace.take() {
+            if let Some(p) = self.profile.as_deref() {
+                p.export_trace(&mut tr, 0, makespan);
+            }
             let label = format!("{:?}/{}", self.cfg.policy, self.workload_name);
             match tr.write(&label) {
                 Ok(path) => ndpx_info!("trace for {label} written to {}", path.display()),
@@ -461,6 +627,54 @@ impl NdpSystem {
             }
         }
         report
+    }
+
+    /// Stable per-cell label — memory kind, policy, workload — used for
+    /// deterministically named timeline files (one per bench-matrix cell).
+    fn cell_label(&self) -> String {
+        format!("{:?}-{:?}-{}", self.cfg.mem_kind, self.cfg.policy, self.workload_name)
+    }
+
+    /// Cumulative registry snapshot for one timeline window. Restricted to
+    /// values that are a pure function of simulated event order — never
+    /// queue-backend internals like wheel bucket occupancy — so timelines
+    /// are byte-identical across thread counts and event-queue backends.
+    fn timeline_snapshot(&self, queue_depth: u64, now: Time) -> StatRegistry {
+        let mut reg = StatRegistry::new();
+        {
+            let mut engine = reg.scope("engine");
+            engine.gauge("queue.depth", queue_depth as f64);
+            let b = &self.batch_stats;
+            let mut batch = engine.scope("batch");
+            batch.count("batches", b.batches);
+            batch.count("ops", b.ops);
+            batch.count("fast_hits", b.fast_hits);
+            batch.gauge("fast_hit_ratio", b.fast_hit_ratio());
+        }
+        {
+            let mut core = reg.scope("core");
+            core.count("mem_ops", self.mem_ops);
+            core.count("l1_hits", self.l1_hits);
+            core.count("cache_hits", self.cache_hits);
+            core.count("cache_misses", self.cache_misses);
+            core.count("reconfigs", self.reconfigs);
+            core.count("invalidations", self.invalidations);
+            core.count("migrations", self.migrations);
+        }
+        self.net.register_stats(&mut reg.scope("noc"));
+        {
+            let mut cxl = reg.scope("cxl");
+            self.ext.register_stats(&mut cxl);
+            cxl.gauge("degradation", self.ext.degradation());
+        }
+        self.register_fault_scope(&mut reg);
+        if self.slo.enabled {
+            let mut slo = reg.scope("slo");
+            self.slo.register(&mut slo, now);
+            slo.count("streams.poisoned", self.table.poisoned_streams());
+            slo.count("streams.refetched", self.table.poison_events());
+        }
+        reg
     }
 
     fn cycles(&self, n: u64) -> Time {
@@ -902,8 +1116,11 @@ impl NdpSystem {
     }
 
     /// Applies a new allocation: builds layouts, transfers or invalidates
-    /// cached contents, rebuilds tag arrays.
-    fn apply_allocation(&mut self, alloc: &Allocation, t: Time) {
+    /// cached contents, rebuilds tag arrays. Returns the simulated span over
+    /// which migration traffic drains (zero when nothing migrates) — the
+    /// reconfiguration "downtime" reported under `slo.*`.
+    fn apply_allocation(&mut self, alloc: &Allocation, t: Time) -> Time {
+        let mut drain = Time::ZERO;
         let units_n = self.cfg.units();
         let consistent = self.cfg.transfer == ReconfigTransfer::ConsistentHash;
         self.replicated_fraction = alloc.replicated_fraction();
@@ -1047,6 +1264,7 @@ impl NdpSystem {
                     for i in 0..chunks {
                         self.net.send(UnitId(u), UnitId(neighbor), 4096, t + spacing * i);
                     }
+                    drain = drain.max(spacing * chunks);
                 }
             } else {
                 for old in old_arrays.into_iter().flatten() {
@@ -1055,6 +1273,7 @@ impl NdpSystem {
             }
         }
         self.layouts = new_layouts;
+        drain
     }
 
     fn tag_ways(&self, sid: StreamId) -> usize {
@@ -1069,9 +1288,19 @@ impl NdpSystem {
         }
     }
 
-    /// Epoch boundary: derive and apply the next configuration.
-    fn reconfigure(&mut self, t: Time) {
+    /// Epoch boundary: derive and apply the next configuration. `prof`, when
+    /// present, receives the sampler-solve / rehash / reconfig sub-phase
+    /// timings.
+    fn reconfigure(&mut self, t: Time, mut prof: Option<&mut PhaseProfiler>) {
         self.reconfigs += 1;
+        if self.slo.enabled {
+            self.slo.close_epoch(t);
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.counter("slo", "slo.epoch_p50_ns", 0, t, self.slo.last_p50.as_ns() as f64);
+                tr.counter("slo", "slo.epoch_p99_ns", 0, t, self.slo.last_p99.as_ns() as f64);
+                tr.counter("slo", "slo.staleness_ns", 0, t, self.slo.last_staleness.as_ns() as f64);
+            }
+        }
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.instant("core", "reconfigure", 0, t);
         }
@@ -1090,12 +1319,15 @@ impl NdpSystem {
         }
         let within_budget = self.cfg.max_reconfigs.is_none_or(|m| self.reconfigs <= m);
         if self.cfg.policy.reconfigures() && within_budget {
-            let demands = self.collect_demands(false);
-            let ctx = self.config_ctx();
-            let alloc = if self.cfg.policy == PolicyKind::NdpExt {
-                allocate_ndpext(&demands, &ctx)
-            } else {
-                allocate_baseline(self.cfg.policy, &demands, &ctx, self.cfg.nexus_degree)
+            let alloc = {
+                let _span = ProfileSpan::enter_opt(prof.as_deref_mut(), Phase::SamplerSolve);
+                let demands = self.collect_demands(false);
+                let ctx = self.config_ctx();
+                if self.cfg.policy == PolicyKind::NdpExt {
+                    allocate_ndpext(&demands, &ctx)
+                } else {
+                    allocate_baseline(self.cfg.policy, &demands, &ctx, self.cfg.nexus_degree)
+                }
             };
             // Skip immaterial reconfigurations outright: sampling noise
             // produces small deltas every epoch, and applying them costs
@@ -1113,7 +1345,21 @@ impl NdpSystem {
                 .sum();
             let capacity = self.cfg.unit_capacity * self.cfg.units() as u64;
             if moved * 100 >= capacity * 15 {
-                self.apply_allocation(&alloc, t);
+                let drain = {
+                    let _span = ProfileSpan::enter_opt(prof.as_deref_mut(), Phase::Rehash);
+                    self.apply_allocation(&alloc, t)
+                };
+                // The Reconfig phase carries the simulated drain window; the
+                // host-side work is already under Rehash.
+                if let Some(p) = prof {
+                    p.add(Phase::Reconfig, std::time::Duration::ZERO, drain);
+                }
+                if self.slo.enabled {
+                    self.slo.applied(t, drain);
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        tr.counter("slo", "slo.reconfig_drain_ns", 0, t, drain.as_ns() as f64);
+                    }
+                }
             }
         }
         self.assign_epoch_samplers();
@@ -1170,7 +1416,7 @@ impl NdpSystem {
     /// Gathers the hierarchical stat dump from every subsystem. Built from
     /// single-threaded post-run state, so it is identical no matter how many
     /// harness worker threads surround the run.
-    fn build_registry(&self, qstats: &QueueStats) -> StatRegistry {
+    fn build_registry(&self, qstats: &QueueStats, makespan: Time) -> StatRegistry {
         let mut registry = StatRegistry::new();
         {
             let mut engine = registry.scope("engine");
@@ -1223,30 +1469,18 @@ impl NdpSystem {
         self.net.register_stats(&mut registry.scope("noc"));
         self.ext.register_stats(&mut registry.scope("cxl"));
         self.table.register_stats(&mut registry.scope("stream_table"));
-        if self.cfg.fault.enabled() {
-            // Injection counters live under one `fault.*` scope so smoke
-            // tests and manifests can assert on them in one place; the
-            // whole scope is absent from fault-free dumps.
-            let mut fault = registry.scope("fault");
-            self.ext.register_fault_stats(&mut fault.scope("cxl"));
-            {
-                let mut mem = fault.scope("mem");
-                let (mut ce, mut ue, mut scrub_ps, mut rolls) = (0u64, 0u64, 0u64, 0u64);
-                for dram in &self.drams {
-                    if let Some(s) = dram.fault_stats() {
-                        ce += s.ce;
-                        ue += s.ue;
-                        scrub_ps += s.scrub_time.as_ps();
-                    }
-                    rolls += dram.fault_rolls().unwrap_or(0);
-                }
-                mem.count("ce", ce);
-                mem.count("ue", ue);
-                mem.count("scrub_ps", scrub_ps);
-                mem.count("rolls", rolls);
-            }
-            self.net.register_fault_stats(&mut fault.scope("noc"));
-            fault.scope("stream").count("aborts", self.stream_aborts);
+        self.register_fault_scope(&mut registry);
+        if self.slo.enabled {
+            // Epoch service stats ride only on time-resolved runs, so the
+            // scope is absent (and dumps unchanged) by default — same
+            // contract as `fault.*`.
+            let mut slo = registry.scope("slo");
+            self.slo.register(&mut slo, makespan);
+            slo.count("streams.poisoned", self.table.poisoned_streams());
+            slo.count("streams.refetched", self.table.poison_events());
+        }
+        if let Some(p) = self.profile.as_deref() {
+            p.register(&mut registry);
         }
         for i in 0..self.drams.len() {
             let mut scope = registry.scope(&format!("unit{i:03}"));
@@ -1256,6 +1490,36 @@ impl NdpSystem {
             self.metas[i].register_stats(&mut scope.scope("meta"));
         }
         registry
+    }
+
+    /// Publishes the `fault.*` scope when fault injection is configured.
+    /// Injection counters live under one scope so smoke tests and manifests
+    /// can assert on them in one place; the whole scope is absent from
+    /// fault-free dumps.
+    fn register_fault_scope(&self, registry: &mut StatRegistry) {
+        if !self.cfg.fault.enabled() {
+            return;
+        }
+        let mut fault = registry.scope("fault");
+        self.ext.register_fault_stats(&mut fault.scope("cxl"));
+        {
+            let mut mem = fault.scope("mem");
+            let (mut ce, mut ue, mut scrub_ps, mut rolls) = (0u64, 0u64, 0u64, 0u64);
+            for dram in &self.drams {
+                if let Some(s) = dram.fault_stats() {
+                    ce += s.ce;
+                    ue += s.ue;
+                    scrub_ps += s.scrub_time.as_ps();
+                }
+                rolls += dram.fault_rolls().unwrap_or(0);
+            }
+            mem.count("ce", ce);
+            mem.count("ue", ue);
+            mem.count("scrub_ps", scrub_ps);
+            mem.count("rolls", rolls);
+        }
+        self.net.register_fault_stats(&mut fault.scope("noc"));
+        fault.scope("stream").count("aborts", self.stream_aborts);
     }
 
     fn report(&self, makespan: Time, ops: u64, qstats: &QueueStats) -> RunReport {
@@ -1296,7 +1560,7 @@ impl NdpSystem {
             // and break comparability with pre-batching baselines.
             engine_events: ops,
             peak_queue_depth: qstats.peak_depth,
-            registry: self.build_registry(qstats),
+            registry: self.build_registry(qstats, makespan),
         }
     }
 }
@@ -1527,5 +1791,113 @@ mod tests {
         let p = ScaleParams { cores: cfg.units() + 1, footprint: 1 << 20, seed: 1 };
         let wl = ndpx_workloads::build("pr", &p).unwrap().unwrap();
         assert!(NdpSystem::new(cfg, wl).is_err());
+    }
+
+    #[test]
+    fn slo_and_profile_scopes_are_opt_in() {
+        let cfg = SystemConfig::test(PolicyKind::NdpExt);
+        let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build("pr", &p).unwrap().unwrap();
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        sys.set_profile(true);
+        let on = sys.run(40_000);
+        assert!(on.reconfigs > 0, "need at least one epoch for SLO stats");
+        let epochs = on.registry.get("slo.epochs").expect("slo scope").as_count().expect("count");
+        assert!(epochs > 0);
+        assert!(on.registry.get("slo.downtime_ns").is_some());
+        assert!(on.registry.get("slo.streams.poisoned").is_some());
+        assert!(on.registry.get("profile.run").is_some(), "run phase always recorded");
+        assert!(on.registry.get("profile.sampler_solve").is_some(), "epochs solve demands");
+
+        // Identical run with telemetry off: no slo.*/profile.* keys, and the
+        // rest of the registry is unchanged key-for-key.
+        let off = run_one(PolicyKind::NdpExt, "pr", 40_000);
+        assert!(off
+            .registry
+            .iter()
+            .all(|(k, _)| !k.starts_with("slo.") && !k.starts_with("profile.")));
+        assert_eq!(on.sim_time, off.sim_time, "profiling must not perturb results");
+        let strip = |r: &RunReport| {
+            let mut reg = StatRegistry::new();
+            for (k, v) in r.registry.iter() {
+                if !k.starts_with("slo.") && !k.starts_with("profile.") {
+                    reg.publish(k, v.clone());
+                }
+            }
+            reg.to_json()
+        };
+        assert_eq!(strip(&on), strip(&off));
+    }
+
+    #[test]
+    fn timeline_writes_windows_without_perturbing_results() {
+        use ndpx_sim::telemetry::TimelineConfig;
+
+        let base = run_one(PolicyKind::NdpExt, "mv", 4000);
+
+        let cfg = SystemConfig::test(PolicyKind::NdpExt);
+        let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build("mv", &p).unwrap().unwrap();
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        let dir = std::env::temp_dir();
+        let stem = dir.join("ndpx-core-test-timeline.json");
+        let mut tc = TimelineConfig::to_path(&stem);
+        tc.window = Time::from_ns(2_000);
+        sys.set_timeline(Some(tc));
+        let r = sys.run(4000);
+
+        assert_eq!(r.sim_time, base.sim_time, "sampling must not perturb results");
+        assert_eq!(r.cache_hits, base.cache_hits);
+        let label = format!(
+            "{:?}-{:?}-mv",
+            SystemConfig::test(PolicyKind::NdpExt).mem_kind,
+            PolicyKind::NdpExt
+        );
+        let path = dir.join(format!("ndpx-core-test-timeline.{label}.json"));
+        let text = std::fs::read_to_string(&path).expect("timeline file written");
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"ndpx-timeline-v1\""));
+        assert!(text.contains("\"engine.queue.depth\""));
+        assert!(text.contains("\"slo.epochs\""), "timeline runs carry the slo series");
+        assert!(text.contains("\"noc."), "per-link NoC series present");
+        ndpx_sim::telemetry::Json::parse(&text).expect("timeline is valid JSON");
+    }
+
+    #[test]
+    fn timeline_is_identical_with_batching_on_and_off() {
+        use ndpx_sim::telemetry::TimelineConfig;
+
+        let render = |batch: bool| {
+            let cfg = SystemConfig::test(PolicyKind::NdpExt);
+            let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+            let wl = ndpx_workloads::build("pr", &p).unwrap().unwrap();
+            let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+            sys.set_batching(batch);
+            let stem = std::env::temp_dir()
+                .join(format!("ndpx-core-test-timeline-batch{}.json", u8::from(batch)));
+            let mut tc = TimelineConfig::to_path(&stem);
+            tc.window = Time::from_ns(1_000);
+            sys.set_timeline(Some(tc));
+            let r = sys.run(3000);
+            assert!(r.sim_time > Time::ZERO);
+            let label = format!(
+                "{:?}-{:?}-pr",
+                SystemConfig::test(PolicyKind::NdpExt).mem_kind,
+                PolicyKind::NdpExt
+            );
+            let path = std::env::temp_dir()
+                .join(format!("ndpx-core-test-timeline-batch{}.{label}.json", u8::from(batch)));
+            let text = std::fs::read_to_string(&path).expect("timeline written");
+            std::fs::remove_file(&path).ok();
+            text
+        };
+        // The `engine.batch.*` series legitimately differs (batching groups
+        // ops into fewer batches); every simulation-derived series must not.
+        let strip = |text: String| -> String {
+            text.lines().filter(|l| !l.contains("\"engine.batch.")).collect::<Vec<_>>().join("\n")
+        };
+        let a = strip(render(false));
+        let b = strip(render(true));
+        assert_eq!(a, b, "run-ahead batching must not change simulation-derived timelines");
     }
 }

@@ -65,15 +65,24 @@ pub struct NocStats {
 pub struct LinkStats {
     /// Messages forwarded over this link.
     pub forwarded: Counter,
+    /// Flits forwarded over this link (`FLIT_BYTES`-byte units).
+    pub flits: Counter,
     /// Payload bytes forwarded over this link.
     pub bytes: Counter,
+    /// Serialization time the link spent busy (utilization numerator:
+    /// divide a window's `busy_ps` delta by the window width).
+    pub busy: Time,
     /// Worst queueing delay a message saw waiting for this link.
     pub peak_wait: Time,
+    /// Most reservations simultaneously held on this link's virtual
+    /// channels at any injection instant.
+    pub peak_inflight: u64,
     /// Link-level retransmissions after flit corruption (fault model).
     pub retransmits: Counter,
 }
 
-/// Size of one flit for the corruption model, bytes.
+/// Size of one flit, bytes: the unit of the corruption model and of the
+/// per-link flit counters.
 const FLIT_BYTES: u32 = 16;
 
 /// Flit-corruption fault model for the interconnect.
@@ -162,15 +171,20 @@ pub struct Network {
     /// Four directed inter-stack links per stack (E, W, N, S), with
     /// `VIRTUAL_CHANNELS` next-free times each.
     stack_links: Vec<Time>,
-    /// Cross-stack messages and payload bytes per `(src stack, dst stack)`
-    /// pair (row-major). Routes are static, so exact per-link forwarded
-    /// counts are expanded from these at report time — the send hot loop
-    /// only pays two adds per message instead of three updates per hop.
+    /// Cross-stack messages, payload bytes, and flits per `(src stack, dst
+    /// stack)` pair (row-major). Routes are static, so exact per-link
+    /// forwarded counts are expanded from these at report time — the send
+    /// hot loop only pays three adds per message instead of updates per hop.
     pair_msgs: Vec<u64>,
     pair_bytes: Vec<u64>,
+    pair_flits: Vec<u64>,
     /// Worst queueing delay per directed inter-stack link (`stack × 4 +
-    /// dir` indexing); the only per-hop telemetry update in `send`.
+    /// dir` indexing); updated per hop in `send`.
     link_peak_wait: Vec<Time>,
+    /// Most simultaneously held virtual-channel reservations per directed
+    /// inter-stack link (same indexing); piggybacks on the reservation scan,
+    /// so it costs no extra pass.
+    link_peak_inflight: Vec<u64>,
     /// Retransmissions per directed inter-stack link (same indexing as
     /// `link_peak_wait`); only touched by the fault model.
     link_retransmits: Vec<u64>,
@@ -214,7 +228,9 @@ impl Network {
             stack_links: vec![Time::ZERO; stacks * 4 * VIRTUAL_CHANNELS],
             pair_msgs: vec![0; stacks * stacks],
             pair_bytes: vec![0; stacks * stacks],
+            pair_flits: vec![0; stacks * stacks],
             link_peak_wait: vec![Time::ZERO; stacks * 4],
+            link_peak_inflight: vec![0; stacks * 4],
             link_retransmits: vec![0; stacks * 4],
             dist: DistanceTable::new(&topo),
             routes,
@@ -282,7 +298,7 @@ impl Network {
 
         // Source injection port.
         let mut t =
-            Self::reserve(port_channels(&mut self.unit_ports, src.index() * 2), now, intra_ser);
+            Self::reserve(port_channels(&mut self.unit_ports, src.index() * 2), now, intra_ser).0;
         t += self.intra.hop_latency * intra_h;
 
         // Inter-stack XY route (links precomputed per stack pair).
@@ -290,12 +306,18 @@ impl Network {
             let pair = self.topo.stack_of(src) * self.topo.stacks() + self.topo.stack_of(dst);
             self.pair_msgs[pair] += 1;
             self.pair_bytes[pair] += u64::from(bytes);
+            self.pair_flits[pair] += u64::from(bytes.div_ceil(FLIT_BYTES));
             for &link in &self.routes[pair] {
-                let start = Self::reserve(
+                let (start, busy) = Self::reserve(
                     port_channels(&mut self.stack_links, link as usize),
                     t,
                     inter_ser,
                 );
+                // This reservation plus every channel still pending at `t`.
+                let inflight = u64::from(busy) + 1;
+                if inflight > self.link_peak_inflight[link as usize] {
+                    self.link_peak_inflight[link as usize] = inflight;
+                }
                 let wait = start.saturating_sub(t);
                 if wait > self.link_peak_wait[link as usize] {
                     self.link_peak_wait[link as usize] = wait;
@@ -323,24 +345,32 @@ impl Network {
         }
 
         // Destination ejection port, then the payload streams out.
-        t = Self::reserve(port_channels(&mut self.unit_ports, dst.index() * 2 + 1), t, intra_ser);
+        t = Self::reserve(port_channels(&mut self.unit_ports, dst.index() * 2 + 1), t, intra_ser).0;
         t + if inter_h > 0 { inter_ser } else { intra_ser }
     }
 
     /// Reserves the least-loaded virtual channel: each channel holds the
     /// reservation for `VIRTUAL_CHANNELS ×` the serialization time, so the
-    /// resource's aggregate bandwidth is unchanged.
+    /// resource's aggregate bandwidth is unchanged. Also returns how many
+    /// channels were still reserved past `at` (first-min slot selection is
+    /// unchanged; the busy count rides on the same scan).
     #[inline]
-    fn reserve(channels: &mut [Time], at: Time, hold: Time) -> Time {
-        let slot = channels
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .map(|(i, _)| i)
-            .expect("channels is non-empty");
-        let start = at.max(channels[slot]);
+    fn reserve(channels: &mut [Time], at: Time, hold: Time) -> (Time, u32) {
+        let mut slot = 0usize;
+        let mut best = Time::MAX;
+        let mut busy = 0u32;
+        for (i, &c) in channels.iter().enumerate() {
+            if c > at {
+                busy += 1;
+            }
+            if c < best {
+                best = c;
+                slot = i;
+            }
+        }
+        let start = at.max(best);
         channels[slot] = start + hold * VIRTUAL_CHANNELS as u64;
-        start
+        (start, busy)
     }
 
     /// Statistics accumulated so far.
@@ -349,8 +379,9 @@ impl Network {
     }
 
     /// Per-directed-link telemetry, indexed `stack × 4 + dir`
-    /// (0=E, 1=W, 2=N, 3=S). Forwarded/byte counts are expanded exactly from
-    /// the per-stack-pair counters over the static routes.
+    /// (0=E, 1=W, 2=N, 3=S). Forwarded/byte/flit counts and busy time are
+    /// expanded exactly from the per-stack-pair counters over the static
+    /// routes.
     pub fn link_stats(&self) -> Vec<LinkStats> {
         let mut out = vec![LinkStats::default(); self.topo.stacks() * 4];
         for (pair, &msgs) in self.pair_msgs.iter().enumerate() {
@@ -358,13 +389,21 @@ impl Network {
                 continue;
             }
             let bytes = self.pair_bytes[pair];
+            let flits = self.pair_flits[pair];
             for &link in &self.routes[pair] {
                 out[link as usize].forwarded.add(msgs);
                 out[link as usize].bytes.add(bytes);
+                out[link as usize].flits.add(flits);
             }
+        }
+        for ls in out.iter_mut() {
+            ls.busy = Time::from_ns_f64(ls.bytes.get() as f64 / self.inter.bytes_per_ns);
         }
         for (ls, &w) in out.iter_mut().zip(&self.link_peak_wait) {
             ls.peak_wait = w;
+        }
+        for (ls, &p) in out.iter_mut().zip(&self.link_peak_inflight) {
+            ls.peak_inflight = p;
         }
         for (ls, &r) in out.iter_mut().zip(&self.link_retransmits) {
             ls.retransmits.add(r);
@@ -372,25 +411,43 @@ impl Network {
         out
     }
 
+    /// Destination stack of directed link `idx` (`stack × 4 + dir`). Only
+    /// meaningful for links that carried traffic — XY routes never leave the
+    /// grid, so a traffic-bearing link always has an on-grid neighbor.
+    fn link_dst_stack(&self, idx: usize) -> usize {
+        let (sx, sy) = self.topo.stack_coords(idx / 4);
+        let (dx, dy) = match idx % 4 {
+            0 => (sx + 1, sy),
+            1 => (sx - 1, sy),
+            2 => (sx, sy + 1),
+            _ => (sx, sy - 1),
+        };
+        dy * self.topo.stacks_x + dx
+    }
+
     /// Publishes aggregate and per-directed-link stats under `scope`
-    /// (`…​.messages`, `…​.stack00.link[e].forwarded`, …). Idle links are
-    /// omitted; traffic is a deterministic function of the run, so the dump
-    /// stays reproducible.
+    /// (`…​.messages`, `…​.link.s00-s01.flits`, …). Links are named by their
+    /// directed `source-destination` stack pair; idle links are omitted.
+    /// Traffic is a deterministic function of the run, so the dump stays
+    /// reproducible.
     pub fn register_stats(&self, scope: &mut StatScope<'_>) {
         scope.count("messages", self.stats.messages.get());
         scope.count("bytes", self.stats.bytes.get());
         scope.count("intra_hops", self.stats.intra_hops.get());
         scope.count("inter_hops", self.stats.inter_hops.get());
         scope.gauge("dynamic_pj", self.dynamic.as_pj());
-        const DIRS: [&str; 4] = ["e", "w", "n", "s"];
         for (i, ls) in self.link_stats().iter().enumerate() {
             if ls.forwarded.get() == 0 {
                 continue;
             }
-            let mut link = scope.scope(&format!("stack{:02}.link[{}]", i / 4, DIRS[i % 4]));
+            let mut link =
+                scope.scope(&format!("link.s{:02}-s{:02}", i / 4, self.link_dst_stack(i)));
             link.count("forwarded", ls.forwarded.get());
+            link.count("flits", ls.flits.get());
             link.count("bytes", ls.bytes.get());
+            link.count("busy_ps", ls.busy.as_ps());
             link.count("peak_wait_ps", ls.peak_wait.as_ps());
+            link.count("peak_inflight", ls.peak_inflight);
             if ls.retransmits.get() > 0 {
                 link.count("retransmits", ls.retransmits.get());
             }
@@ -539,13 +596,39 @@ mod tests {
         let east = n.link_stats()[0];
         assert_eq!(east.forwarded.get(), 2);
         assert_eq!(east.bytes.get(), 128);
+        // 64 B messages are 4 flits each at 16 B/flit.
+        assert_eq!(east.flits.get(), 8);
+        // 128 B at 32 B/ns keeps the link busy 4 ns.
+        assert_eq!(east.busy, Time::from_ns(4));
+        assert!(east.peak_inflight >= 1);
         assert!(n.link_stats().iter().skip(1).all(|l| l.forwarded.get() == 0));
 
         let mut reg = ndpx_sim::telemetry::StatRegistry::new();
         n.register_stats(&mut reg.scope("noc"));
         let json = reg.to_json();
-        assert!(json.contains("\"noc.stack00.link[e].forwarded\": 2"));
-        assert!(!json.contains("link[w]"), "idle links are omitted");
+        assert!(json.contains("\"noc.link.s00-s01.forwarded\": 2"));
+        assert!(json.contains("\"noc.link.s00-s01.flits\": 8"));
+        assert!(json.contains("\"noc.link.s00-s01.busy_ps\": 4000"));
+        assert!(json.contains("\"noc.link.s00-s01.peak_inflight\": "));
+        assert!(!json.contains("s01-s00"), "idle links are omitted");
+    }
+
+    #[test]
+    fn peak_inflight_counts_overlapping_reservations() {
+        let mut n = mesh_net();
+        // Saturate one inter-stack link with big simultaneous messages: the
+        // peak must exceed one reservation and never exceed the channel
+        // count.
+        for _ in 0..40 {
+            n.send(UnitId(0), UnitId(16), 4096, Time::ZERO);
+        }
+        let east = n.link_stats()[0];
+        assert!(east.peak_inflight > 1, "got {}", east.peak_inflight);
+        assert!(east.peak_inflight <= VIRTUAL_CHANNELS as u64);
+        // A quiet link that saw one message at an idle instant records 1.
+        let mut q = mesh_net();
+        q.send(UnitId(0), UnitId(16), 64, Time::ZERO);
+        assert_eq!(q.link_stats()[0].peak_inflight, 1);
     }
 
     fn faulty_net(fer: f64) -> Network {
@@ -586,7 +669,7 @@ mod tests {
         f.register_stats(&mut reg.scope("noc"));
         f.register_fault_stats(&mut reg.scope("fault.noc"));
         let json = reg.to_json();
-        assert!(json.contains("\"noc.stack00.link[e].retransmits\": 1"));
+        assert!(json.contains("\"noc.link.s00-s01.retransmits\": 1"));
         assert!(json.contains("\"fault.noc.retransmits\": 1"));
     }
 

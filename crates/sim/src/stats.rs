@@ -336,4 +336,62 @@ mod tests {
         h.record(Time::from_us(4_000_000)); // 4s, clamps to top bucket
         assert_eq!(h.count(), 2);
     }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new();
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Time::ZERO);
+        }
+        assert_eq!(h.mean(), Time::ZERO);
+        assert_eq!(h.iter().count(), 0, "empty histogram exposes no buckets");
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(Time::from_ns(300)); // bucket [256, 512)
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p).as_ns(), 256, "p={p}");
+        }
+        // p=0 has target 0, which the very first (empty) bucket satisfies —
+        // the 0th percentile is the distribution's floor, not a sample.
+        assert_eq!(h.percentile(0.0), Time::ZERO);
+        assert_eq!(h.mean().as_ns(), 300, "mean is exact, not bucket-floored");
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..10_000 {
+            h.record(Time::from_ns(47)); // bucket [32, 64)
+        }
+        assert_eq!(h.p50().as_ns(), 32);
+        assert_eq!(h.p95().as_ns(), 32);
+        assert_eq!(h.p99().as_ns(), 32);
+        assert_eq!(h.mean().as_ns(), 47);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(32, 10_000)]);
+    }
+
+    #[test]
+    fn top_bucket_saturation_reports_top_floor() {
+        let mut h = Histogram::new();
+        // Everything at or above 2^31 ns lands in the last bucket, including
+        // durations whose log2 exceeds the bucket range.
+        h.record(Time::from_ns(1 << 31));
+        h.record(Time::from_ns(u64::MAX >> 12));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50().as_ns(), 1 << 31);
+        assert_eq!(h.percentile(1.0).as_ns(), 1 << 31);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(1 << 31, 2)]);
+        // A mix stays monotone: p50 in a low bucket, p99 saturated at top.
+        let mut m = Histogram::new();
+        for _ in 0..99 {
+            m.record(Time::from_ns(8));
+        }
+        m.record(Time::from_ns(u64::MAX >> 12));
+        assert_eq!(m.p50().as_ns(), 8);
+        assert_eq!(m.p99().as_ns(), 8);
+        assert_eq!(m.percentile(1.0).as_ns(), 1 << 31);
+    }
 }

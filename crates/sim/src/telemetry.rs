@@ -1,23 +1,39 @@
-//! Full-stack telemetry: hierarchical stat registry, Chrome-trace event
-//! export, and a levelled logging facade.
+//! Full-stack telemetry: hierarchical stat registry, windowed metric
+//! timelines, a sim-phase profiler, Chrome-trace event export, and a
+//! levelled logging facade.
 //!
-//! The three pieces are independent but share one design rule: **nothing here
+//! The pieces are independent but share one design rule: **nothing here
 //! may perturb simulation results**. Stats are read out of the models after a
-//! run completes, traces are recorded from simulated timestamps only, and the
-//! log facade defaults to warnings-only so default runs stay silent.
+//! run completes, timeline snapshots and traces are keyed to simulated
+//! timestamps only, and the log facade defaults to warnings-only so default
+//! runs stay silent.
 //!
 //! * [`registry`] — [`StatRegistry`]: subsystems publish named
 //!   `Counter`/`MeanAcc`/`Histogram` nodes under hierarchical dotted paths
-//!   (`stack00.mesh.link[e].flits`), serialized deterministically to JSON.
+//!   (`noc.link.s00-s01.flits`), serialized deterministically to JSON.
+//! * [`timeline`] — [`TimelineSampler`]: opt-in registry snapshots in fixed
+//!   sim-time windows rendered as per-window delta series, enabled via
+//!   `NDPX_TIMELINE=<path>`; byte-identical at any thread count.
+//! * [`profile`] — [`PhaseProfiler`]: per-phase wall/sim time attribution
+//!   (trace-gen, warmup, run, sampler-solve, rehash, reconfig), enabled via
+//!   `NDPX_PROFILE=1`; sim time goes to the registry, wall time to the trace.
 //! * [`trace`] — [`TraceSink`]: an opt-in bounded ring buffer of simulation
 //!   events written as Chrome trace-event JSON (loadable in Perfetto or
 //!   `chrome://tracing`), enabled via `NDPX_TRACE=<path>`.
+//! * [`json`] — [`Json`]: the dependency-free JSON parser backing the trace
+//!   validator and the `ndpx_report` run-diff tool.
 //! * [`log`] — a tiny levelled `eprintln!` switchboard (`NDPX_LOG=debug`)
 //!   replacing ad-hoc debug prints in the system models.
 
+pub mod json;
 pub mod log;
+pub mod profile;
 pub mod registry;
+pub mod timeline;
 pub mod trace;
 
+pub use json::Json;
+pub use profile::{Phase, PhaseProfiler, ProfileSpan};
 pub use registry::{StatRegistry, StatScope, StatValue};
+pub use timeline::{TimelineConfig, TimelineSampler};
 pub use trace::{validate_chrome_trace, TraceConfig, TraceSink};

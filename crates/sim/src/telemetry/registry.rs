@@ -166,6 +166,11 @@ impl StatScope<'_> {
         format!("{}.{name}", self.prefix)
     }
 
+    /// Publishes an arbitrary [`StatValue`] under this scope.
+    pub fn publish(&mut self, name: &str, value: StatValue) {
+        self.reg.publish(&self.path(name), value);
+    }
+
     /// Publishes an event count.
     pub fn count(&mut self, name: &str, v: u64) {
         self.reg.publish(&self.path(name), StatValue::Count(v));

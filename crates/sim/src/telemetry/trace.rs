@@ -11,6 +11,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use super::json::Json;
 use super::registry::{write_json_f64, write_json_string};
 use crate::time::Time;
 
@@ -69,7 +70,8 @@ fn env_f64(key: &str) -> Option<f64> {
 
 #[derive(Debug, Clone, PartialEq)]
 struct TraceEvent {
-    /// Chrome phase: `X` = complete (has `dur`), `i` = instant.
+    /// Chrome phase: `X` = complete (has `dur`), `i` = instant,
+    /// `C` = counter sample (value in `args`).
     ph: char,
     cat: &'static str,
     name: String,
@@ -77,6 +79,8 @@ struct TraceEvent {
     track: u32,
     ts: Time,
     dur: Time,
+    /// Counter sample value; only rendered for `C` events.
+    value: f64,
 }
 
 /// Monotonic suffix so concurrent cells writing the same configured path get
@@ -135,7 +139,15 @@ impl TraceSink {
         dur: Time,
     ) {
         if self.in_window(start) {
-            self.push(TraceEvent { ph: 'X', cat, name: name.into(), track, ts: start, dur });
+            self.push(TraceEvent {
+                ph: 'X',
+                cat,
+                name: name.into(),
+                track,
+                ts: start,
+                dur,
+                value: 0.0,
+            });
         }
     }
 
@@ -149,6 +161,30 @@ impl TraceSink {
                 track,
                 ts: at,
                 dur: Time::ZERO,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Records a counter sample. Perfetto renders consecutive samples with
+    /// the same name as one counter track.
+    pub fn counter(
+        &mut self,
+        cat: &'static str,
+        name: impl Into<String>,
+        track: u32,
+        at: Time,
+        value: f64,
+    ) {
+        if self.in_window(at) {
+            self.push(TraceEvent {
+                ph: 'C',
+                cat,
+                name: name.into(),
+                track,
+                ts: at,
+                dur: Time::ZERO,
+                value,
             });
         }
     }
@@ -205,11 +241,17 @@ impl TraceSink {
             write_json_string(&mut out, &ev.name);
             out.push_str(", \"ts\": ");
             write_json_f64(&mut out, ev.ts.as_us_f64());
-            if ev.ph == 'X' {
-                out.push_str(", \"dur\": ");
-                write_json_f64(&mut out, ev.dur.as_us_f64());
-            } else {
-                out.push_str(", \"s\": \"t\"");
+            match ev.ph {
+                'X' => {
+                    out.push_str(", \"dur\": ");
+                    write_json_f64(&mut out, ev.dur.as_us_f64());
+                }
+                'C' => {
+                    out.push_str(", \"args\": {\"value\": ");
+                    write_json_f64(&mut out, ev.value);
+                    out.push('}');
+                }
+                _ => out.push_str(", \"s\": \"t\""),
             }
             out.push('}');
         }
@@ -245,230 +287,47 @@ fn sequenced_path(base: &Path, seq: u64) -> PathBuf {
 /// Validates that `json` is a well-formed Chrome trace-event document:
 /// a top-level object with a `traceEvents` array whose entries each have a
 /// string `ph` and `name`, a numeric `pid`/`tid`/`ts` (metadata events may
-/// omit `ts`), and a numeric `dur` when `ph` is `"X"`. Returns the number of
-/// events on success.
+/// omit `ts`), a numeric `dur` when `ph` is `"X"`, and a numeric
+/// `args.value` when `ph` is `"C"`. Returns the number of events on success.
 ///
-/// This is a purpose-built parser, not a general JSON library — the workspace
-/// is dependency-free by design — but it fully tokenizes the document, so
-/// malformed JSON is rejected, not just missing keys.
+/// Parsing goes through [`Json::parse`] — the whole document is tokenized,
+/// so malformed JSON is rejected, not just missing keys.
 pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
-    let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
-    let doc = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.pos));
-    }
-    let Json::Object(fields) = doc else {
+    let doc = Json::parse(json)?;
+    if !matches!(doc, Json::Object(_)) {
         return Err("top level is not an object".into());
-    };
-    let Some(Json::Array(events)) = fields.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
-    else {
+    }
+    let Some(Json::Array(events)) = doc.get("traceEvents") else {
         return Err("missing traceEvents array".into());
     };
     for (i, ev) in events.iter().enumerate() {
-        let Json::Object(f) = ev else {
+        if !matches!(ev, Json::Object(_)) {
             return Err(format!("event {i} is not an object"));
-        };
-        let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
-        let Some(Json::String(ph)) = get("ph") else {
+        }
+        let Some(Json::String(ph)) = ev.get("ph") else {
             return Err(format!("event {i}: missing string ph"));
         };
-        if !matches!(get("name"), Some(Json::String(_))) {
+        if !matches!(ev.get("name"), Some(Json::String(_))) {
             return Err(format!("event {i}: missing string name"));
         }
         for key in ["pid", "tid"] {
-            if !matches!(get(key), Some(Json::Number(_))) {
+            if !matches!(ev.get(key), Some(Json::Number(_))) {
                 return Err(format!("event {i}: missing numeric {key}"));
             }
         }
-        if ph != "M" && !matches!(get("ts"), Some(Json::Number(_))) {
+        if ph != "M" && !matches!(ev.get("ts"), Some(Json::Number(_))) {
             return Err(format!("event {i}: missing numeric ts"));
         }
-        if ph == "X" && !matches!(get("dur"), Some(Json::Number(_))) {
+        if ph == "X" && !matches!(ev.get("dur"), Some(Json::Number(_))) {
             return Err(format!("event {i}: complete event missing dur"));
+        }
+        if ph == "C"
+            && !matches!(ev.get("args").and_then(|a| a.get("value")), Some(Json::Number(_)))
+        {
+            return Err(format!("event {i}: counter event missing args.value"));
         }
     }
     Ok(events.len())
-}
-
-enum Json {
-    Null,
-    Bool(#[allow(dead_code)] bool),
-    Number(#[allow(dead_code)] f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_whitespace() {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at offset {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::String(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            c => Err(format!("unexpected '{}' at offset {}", c as char, self.pos)),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Json::Number)
-            .ok_or_else(|| format!("bad number at offset {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.bytes.get(self.pos).copied() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos).copied() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| format!("bad \\u escape at {}", self.pos))?;
-                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at offset {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(b) => {
-                    // Consume one UTF-8 scalar (input is &str, so this is safe
-                    // to slice on char boundaries).
-                    let len = match b {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
-                        .map_err(|_| format!("bad utf8 at offset {}", self.pos))?;
-                    s.push_str(chunk);
-                    self.pos += len;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                c => {
-                    return Err(format!("expected ',' or ']' got '{}' at {}", c as char, self.pos))
-                }
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.eat(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                c => {
-                    return Err(format!("expected ',' or '}}' got '{}' at {}", c as char, self.pos))
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -514,6 +373,19 @@ mod tests {
         s.instant("core", "reconfig", 0, Time::from_ns(20));
         let json = s.render_json("cell hbm/ndpx/mv");
         assert_eq!(validate_chrome_trace(&json), Ok(3));
+    }
+
+    #[test]
+    fn counter_events_render_and_validate() {
+        let mut s = sink(16);
+        s.counter("slo", "slo.p99_ns", 0, Time::from_ns(10), 420.0);
+        s.counter("slo", "slo.p99_ns", 0, Time::from_ns(20), 560.0);
+        let json = s.render_json("t");
+        assert!(json.contains("\"args\": {\"value\": 420}"));
+        assert_eq!(validate_chrome_trace(&json), Ok(3));
+        let no_value =
+            "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"a\", \"pid\": 1, \"tid\": 0, \"ts\": 1}]}";
+        assert!(validate_chrome_trace(no_value).is_err());
     }
 
     #[test]

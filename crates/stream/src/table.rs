@@ -68,6 +68,13 @@ pub struct StreamTable {
     /// untrusted: the runtime aborts the cached copy and refetches from the
     /// backing store.
     poisoned: Vec<bool>,
+    /// Count of `true` entries in `poisoned`, kept incrementally so the
+    /// per-window SLO readout is O(1) instead of a scan.
+    poisoned_count: u64,
+    /// Total poison events observed (every [`mark_poisoned`]
+    /// (Self::mark_poisoned) call, first or repeat) — each one is a
+    /// cached-copy abort followed by a refetch from the backing store.
+    poison_events: u64,
 }
 
 impl StreamTable {
@@ -178,8 +185,12 @@ impl StreamTable {
     ///
     /// Panics if `sid` was not issued by this table.
     pub fn mark_poisoned(&mut self, sid: StreamId) -> bool {
+        self.poison_events += 1;
         let first = !self.poisoned[sid.index()];
-        self.poisoned[sid.index()] = true;
+        if first {
+            self.poisoned[sid.index()] = true;
+            self.poisoned_count += 1;
+        }
         first
     }
 
@@ -192,9 +203,16 @@ impl StreamTable {
         self.poisoned[sid.index()]
     }
 
-    /// Number of streams that have seen at least one poison event.
+    /// Number of streams that have seen at least one poison event. O(1):
+    /// timeline sampling reads this once per window.
     pub fn poisoned_streams(&self) -> u64 {
-        self.poisoned.iter().filter(|&&p| p).count() as u64
+        self.poisoned_count
+    }
+
+    /// Total poison events observed (cached-copy aborts + refetches),
+    /// counting repeats on an already-poisoned stream.
+    pub fn poison_events(&self) -> u64 {
+        self.poison_events
     }
 }
 
@@ -265,7 +283,8 @@ mod tests {
         assert!(!t.mark_poisoned(a), "only the first poison event fires");
         assert!(t.is_poisoned(a));
         assert!(!t.is_poisoned(b));
-        assert_eq!(t.poisoned_streams(), 1);
+        assert_eq!(t.poisoned_streams(), 1, "incremental count matches distinct streams");
+        assert_eq!(t.poison_events(), 2, "every event counts, repeats included");
 
         let mut reg = ndpx_sim::telemetry::StatRegistry::new();
         t.register_stats(&mut reg.scope("streams"));
