@@ -54,12 +54,16 @@ fn injected(r: &RunReport) -> u64 {
 fn main() {
     let fcfg = FaultConfig::from_env();
     if fcfg.seed.is_none() {
-        eprintln!("fault_smoke: NDPX_FAULT_SEED is unset; nothing to smoke-test");
+        eprintln!(
+            "fault_smoke: {} is unset; nothing to smoke-test",
+            ndpx_sim::knobs::FAULT_SEED.name
+        );
         std::process::exit(2);
     }
     if fcfg.cxl_ber <= 0.0 && fcfg.mem_ce <= 0.0 && fcfg.mem_ue <= 0.0 && fcfg.noc_fer <= 0.0 {
         eprintln!(
-            "fault_smoke: all NDPX_FAULT_* rates are zero; set at least one (e.g. NDPX_FAULT_MEM_CE=1e-2)"
+            "fault_smoke: all fault rates are zero; set at least one (e.g. {}=1e-2)",
+            ndpx_sim::knobs::FAULT_MEM_CE.name
         );
         std::process::exit(2);
     }
@@ -96,7 +100,7 @@ fn main() {
     assert!(total_rolls > 0, "fault plans drew no decisions; injectors look disabled");
     assert!(
         total_injected > 0,
-        "no faults injected across the matrix; raise the NDPX_FAULT_* rates"
+        "no faults injected across the matrix; raise the configured fault rates"
     );
     println!("fault_smoke: {total_injected} faults injected over {total_rolls} decisions");
 

@@ -41,9 +41,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut out_path = "ndpx_report.md".to_string();
-    let mut threshold_pct: f64 =
-        std::env::var("NDPX_REPORT_THRESHOLD").ok().and_then(|v| v.parse().ok()).unwrap_or(10.0);
-    let mut strict = std::env::var("NDPX_REPORT_STRICT").map(|v| v == "1").unwrap_or(false);
+    let mut threshold_pct: f64 = ndpx_sim::knobs::REPORT_THRESHOLD.f64_opt().unwrap_or(10.0);
+    let mut strict = ndpx_sim::knobs::REPORT_STRICT.bool_or(false);
     let mut timeline_pair: Option<(String, String)> = None;
     let mut registry_pair: Option<(String, String)> = None;
 

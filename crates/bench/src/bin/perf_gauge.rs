@@ -280,7 +280,7 @@ fn main() {
     // Optional sweep: extra cached passes at other widths, reusing the now
     // warm cache so the entries compare pure simulation scaling.
     let mut phases = vec![serial, parallel];
-    if let Ok(sweep) = std::env::var("NDPX_THREAD_SWEEP") {
+    if let Some(sweep) = ndpx_sim::knobs::THREAD_SWEEP.raw() {
         for n in sweep.split(',').filter_map(|s| s.trim().parse::<usize>().ok()) {
             let (p, _) = run_matrix(&specs, CellPool::with_threads(n), &cache, None);
             eprintln!("sweep threads={n}: {:.3}s ({:.0} ops/s)", p.wall_s, p.rate());
@@ -330,7 +330,7 @@ fn main() {
         );
     }
 
-    let out_path = std::env::var("NDPX_PERF_OUT").unwrap_or_else(|_| "BENCH_PERF.json".to_string());
+    let out_path = ndpx_sim::knobs::PERF_OUT.raw().unwrap_or_else(|| "BENCH_PERF.json".to_string());
     let json = render_json(
         scale,
         &phases,
@@ -509,12 +509,12 @@ fn parse_digests(json: &str) -> Vec<(String, u64)> {
 
 /// True when `NDPX_TIMELINE` pointed the run at a timeline output path.
 fn timeline_active() -> bool {
-    std::env::var("NDPX_TIMELINE").map(|v| !v.is_empty()).unwrap_or(false)
+    ndpx_sim::knobs::TIMELINE.path().is_some()
 }
 
 /// True when `NDPX_PROFILE` enabled the sim-phase profiler.
 fn profile_active() -> bool {
-    std::env::var("NDPX_PROFILE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    ndpx_sim::knobs::PROFILE.bool_or(false)
 }
 
 fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {

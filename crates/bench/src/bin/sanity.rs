@@ -12,9 +12,8 @@ use ndpx_core::stats::RunReport;
 fn main() {
     let scale = BenchScale::from_env();
     let workload: &'static str = std::env::args().nth(1).map(|s| &*s.leak()).unwrap_or("pr");
-    let ops =
-        std::env::var("NDPX_OPS").ok().and_then(|s| s.parse().ok()).unwrap_or(scale.ops_per_core());
-    let filter = std::env::var("NDPX_POLICY").ok();
+    let ops = ndpx_sim::knobs::OPS.u64_opt().unwrap_or(scale.ops_per_core());
+    let filter = ndpx_sim::knobs::POLICY.raw();
     let policies: Vec<PolicyKind> = PolicyKind::ALL
         .into_iter()
         .filter(|p| filter.as_deref().is_none_or(|f| p.label() == f))
@@ -54,7 +53,7 @@ fn main() {
         host.ops_per_us()
     );
     for (policy, r) in policies.iter().zip(&rest) {
-        if std::env::var("NDPX_DEBUG").is_ok() {
+        if ndpx_sim::knobs::DEBUG.bool_or(false) {
             use ndpx_core::stats::LatComponent;
             let parts: Vec<String> = LatComponent::ALL
                 .iter()

@@ -281,10 +281,7 @@ fn escape(s: &str) -> String {
 
 /// The sidecar output directory: `NDPX_METRICS` when set and non-empty.
 pub fn metrics_dir() -> Option<PathBuf> {
-    match std::env::var("NDPX_METRICS") {
-        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
-        _ => None,
-    }
+    ndpx_sim::knobs::METRICS.path().map(PathBuf::from)
 }
 
 /// A run label safe to embed in a file name: every byte outside

@@ -43,9 +43,10 @@ impl MicroResult {
     }
 }
 
-/// True when the environment requests the micro-bench pass.
+/// True when the environment requests the micro-bench pass (unified
+/// boolean grammar; off by default).
 pub fn enabled_from_env() -> bool {
-    std::env::var("NDPX_GAUGE_MICRO").is_ok_and(|v| v.trim() == "1")
+    ndpx_sim::knobs::GAUGE_MICRO.bool_or(false)
 }
 
 fn timed(name: &'static str, iters: u64, f: impl FnOnce()) -> MicroResult {
@@ -217,7 +218,7 @@ mod tests {
     #[test]
     fn env_gate_defaults_off() {
         // The gauge only runs micros when explicitly asked.
-        if std::env::var("NDPX_GAUGE_MICRO").is_err() {
+        if ndpx_sim::knobs::GAUGE_MICRO.raw().is_none() {
             assert!(!enabled_from_env());
         }
     }

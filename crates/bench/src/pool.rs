@@ -131,7 +131,7 @@ impl RetryPolicy {
 
     /// Reads `NDPX_CELL_RETRIES` (default: no retries).
     pub fn from_env() -> Self {
-        Self::with_retries(Self::parse(std::env::var("NDPX_CELL_RETRIES").ok().as_deref()))
+        Self::with_retries(Self::parse(ndpx_sim::knobs::CELL_RETRIES.raw().as_deref()))
     }
 
     /// Parses a retry-count override; `None` and unparsable values map to
@@ -230,7 +230,7 @@ pub struct ThreadPlan {
 impl ThreadPlan {
     /// Resolves the plan from `NDPX_THREADS`.
     pub fn from_env() -> Self {
-        Self::parse(std::env::var("NDPX_THREADS").ok().as_deref())
+        Self::parse(ndpx_sim::knobs::THREADS.raw().as_deref())
     }
 
     /// Pure resolution for tests: explicit `n >= 1` is honored, anything
@@ -515,18 +515,20 @@ impl MonitorConfig {
     /// Reads `NDPX_HEARTBEAT_SECS` and `NDPX_SLOW_MULT` overrides.
     pub fn from_env(label: impl Into<String>, names: Vec<String>) -> Self {
         let mut m = Self::new(label, names);
-        if let Some(secs) = parse_env("NDPX_HEARTBEAT_SECS") {
+        if let Some(secs) = monitor_knob(&ndpx_sim::knobs::HEARTBEAT_SECS) {
             m.heartbeat_secs = secs as u64;
         }
-        if let Some(mult) = parse_env("NDPX_SLOW_MULT") {
+        if let Some(mult) = monitor_knob(&ndpx_sim::knobs::SLOW_MULT) {
             m.slow_mult = mult;
         }
         m
     }
 }
 
-fn parse_env(key: &str) -> Option<f64> {
-    std::env::var(key).ok()?.trim().parse::<f64>().ok().filter(|v| v.is_finite() && *v >= 0.0)
+/// Monitor overrides must be finite and non-negative; anything else keeps
+/// the default.
+fn monitor_knob(knob: &ndpx_sim::knobs::Knob) -> Option<f64> {
+    knob.f64_opt().filter(|v| v.is_finite() && *v >= 0.0)
 }
 
 /// Wall clocks below this never trigger the watchdog: at test scale a cell

@@ -597,12 +597,12 @@ mod tests {
                 "{{\n  \"schema\": \"ndpx-timeline-v1\",\n  \"label\": \"t\",\n  \
                  \"window_ns\": 10000,\n  \"evicted_windows\": 0,\n  \"windows\": [\n    \
                  {{\"start_ns\": 0, \"end_ns\": 10000, \"stats\": {{\n      \
-                 \"core.mem_ops\": 50,\n      \"noc.flits\": {flits}\n    }}}}\n  ]\n}}\n"
+                 \"core.mem_ops\": 50,\n      \"noc.bytes\": {flits}\n    }}}}\n  ]\n}}\n"
             )
         };
         let md = diff_timelines(&tl(100), &tl(140), 10).unwrap();
         assert!(md.contains("1 of 2 series identical"));
-        assert!(md.contains("`noc.flits`"));
+        assert!(md.contains("`noc.bytes`"));
         assert!(!md.contains("`core.mem_ops`"), "identical series are collapsed");
         let same = diff_timelines(&tl(100), &tl(100), 10).unwrap();
         assert!(same.contains("2 of 2 series identical"));

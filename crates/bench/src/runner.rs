@@ -29,7 +29,7 @@ pub enum BenchScale {
 impl BenchScale {
     /// Reads `NDPX_SCALE` (defaults to [`BenchScale::Small`]).
     pub fn from_env() -> Self {
-        Self::parse(std::env::var("NDPX_SCALE").ok().as_deref())
+        Self::parse(ndpx_sim::knobs::SCALE.raw().as_deref())
     }
 
     /// Parses a scale name; `None` and unknown names map to the default

@@ -105,7 +105,8 @@ fn seed_unset_reproduces_committed_perf_digests() {
         assert_eq!(
             report_digest(report),
             baseline,
-            "{key}: with NDPX_FAULT_SEED unset the fault-off path must be bit-identical to main"
+            "{key}: with {} unset the fault-off path must be bit-identical to main",
+            ndpx_sim::knobs::FAULT_SEED.name
         );
         assert!(
             report.registry.get("fault.mem.rolls").is_none(),

@@ -392,6 +392,7 @@ impl NdpSystem {
         }
         // Warmup configuration: every policy starts from the equal static
         // allocation and (if it reconfigures) adapts at the first epoch.
+        // ndpx-lint: allow(det-wallclock): profiler wall span; dumps carry sim time only
         let warmup_start = std::time::Instant::now();
         let demands = sys.collect_demands(true);
         let alloc = allocate_baseline(
@@ -517,6 +518,7 @@ impl NdpSystem {
         // `reconfigure` can time its sub-phases while the rest of the system
         // is mutably borrowed.
         let mut profile = self.profile.take();
+        // ndpx-lint: allow(det-wallclock): profiler wall span; dumps carry sim time only
         let run_start = std::time::Instant::now();
 
         let mut next = queue.pop();

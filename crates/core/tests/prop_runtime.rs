@@ -80,7 +80,7 @@ fn maxflow_coverage_is_bounded() {
         let samplers = 1 + rng.below(4) as usize;
         let accessed: Vec<Vec<usize>> =
             (0..units).map(|_| (0..12).filter(|_| rng.chance(0.5)).collect()).collect();
-        let touched: std::collections::HashSet<usize> =
+        let touched: std::collections::BTreeSet<usize> =
             accessed.iter().flatten().copied().collect();
         let a = assign_samplers(&accessed, 12, samplers);
         assert!(a.covered <= touched.len());

@@ -1,0 +1,307 @@
+//! A minimal hand-rolled Rust token scanner.
+//!
+//! The linter needs four things from a source file: identifiers, string
+//! literal contents, single-character punctuation, and line comments (for
+//! suppression pragmas) — each tagged with its 1-based line. Everything
+//! else (numbers, char literals, lifetimes, block comments) must merely be
+//! skipped *correctly*, so that a `"` inside a comment or a `//` inside a
+//! string never desynchronizes the scan. That is the entire job of this
+//! module; it is not a general-purpose lexer.
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// The raw contents of a string literal (escapes left as written).
+    Str(String),
+    /// A `//` line comment, without the leading slashes.
+    LineComment(String),
+    /// Any other single significant character (`:`, `!`, `(`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was scanned.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Scans `src` into a token stream. Never fails: unterminated literals
+/// simply consume to end of input, which is good enough for linting code
+/// that `rustc` already accepts.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_string(line),
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    self.out.push(Token { tok: Tok::Punct(c), line });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.pos += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.out.push(Token { tok: Tok::LineComment(text), line });
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// A cooked string starting at the opening `"` (already peeked).
+    fn string(&mut self, line: u32) {
+        self.pos += 1;
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    content.push('\\');
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
+                }
+                c => content.push(c),
+            }
+        }
+        self.out.push(Token { tok: Tok::Str(content), line });
+    }
+
+    /// A raw string starting at the `#`/`"` after the `r`/`br`/`cr` prefix.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some('"') {
+            return; // not actually a raw string (e.g. `r#ident`); drop it
+        }
+        self.pos += 1;
+        let mut content = String::new();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        content.push('"');
+                        for _ in 0..k {
+                            content.push('#');
+                        }
+                        self.pos += k;
+                        continue 'scan;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+            content.push(c);
+        }
+        self.out.push(Token { tok: Tok::Str(content), line });
+    }
+
+    /// Either a char literal (`'a'`, `'\n'`) or a lifetime (`'static`).
+    fn char_or_lifetime(&mut self) {
+        self.pos += 1;
+        match (self.peek(0), self.peek(1)) {
+            (Some('\\'), _) => {
+                // Escaped char literal: skip to the closing quote.
+                self.pos += 1;
+                self.bump(); // the escaped char itself
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            (Some(_), Some('\'')) => self.pos += 2, // 'x'
+            _ => {
+                // Lifetime: consume the identifier, no closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        match (ident.as_str(), self.peek(0)) {
+            // Raw string prefixes: r"..."  r#"..."#  br"..."  cr#"..."#
+            ("r" | "br" | "cr", Some('"' | '#')) => self.raw_string(line),
+            // Cooked byte/C strings: b"..."  c"..."
+            ("b" | "c", Some('"')) => self.string(line),
+            // Byte char literal: b'x'
+            ("b", Some('\'')) => self.char_or_lifetime(),
+            _ => self.out.push(Token { tok: Tok::Ident(ident), line }),
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits plus any alphanumeric suffix (0x1f, 1_000u64). A `.` is
+        // left as punctuation; `1.5` scans as two numbers — irrelevant here.
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strings(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_tokens() {
+        assert_eq!(idents("// HashMap\nfoo /* HashSet */ bar"), ["foo", "bar"]);
+        assert!(strings("// \"NDPX_X\"\n/* \"NDPX_Y\" */").is_empty());
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_escapes() {
+        let s = strings(r#"let x = "a // not a comment \" still";"#);
+        assert_eq!(s, [r#"a // not a comment \" still"#]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(strings(r###"r#"has "quotes" inside"#"###), ["has \"quotes\" inside"]);
+        assert_eq!(strings(r#"b"bytes" r"raw""#), ["bytes", "raw"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_do_not_eat_the_file() {
+        // Lifetimes and char literals are consumed without emitting tokens;
+        // the scan must stay aligned so `tail` still comes through.
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; } tail"),
+            ["fn", "f", "x", "str", "let", "c", "let", "n", "tail"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* outer /* inner */ still */ after"), ["after"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_strings() {
+        let toks = lex("\"a\nb\"\nfoo");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1], Token { tok: Tok::Ident("foo".into()), line: 3 });
+    }
+
+    #[test]
+    fn pragma_comments_are_captured() {
+        let toks = lex("// ndpx-lint: allow(det-wallclock): reason\nlet t = 1;");
+        assert_eq!(
+            toks[0],
+            Token {
+                tok: Tok::LineComment(" ndpx-lint: allow(det-wallclock): reason".into()),
+                line: 1
+            }
+        );
+    }
+}

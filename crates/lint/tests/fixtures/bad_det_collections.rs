@@ -1,0 +1,11 @@
+// Fixture: HashMap/HashSet in a digest-affecting crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    let mut s = HashSet::new();
+    s.insert(3u64);
+    m
+}

@@ -1,0 +1,4 @@
+// Fixture: thread identity influencing behavior in a digest crate.
+fn who() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

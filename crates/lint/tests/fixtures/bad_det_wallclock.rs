@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads in a digest-affecting crate.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,5 @@
+// Fixture: a knob name spelled as a string literal outside the registry.
+fn gate() -> bool {
+    let name = "NDPX_THREADS";
+    !name.is_empty()
+}

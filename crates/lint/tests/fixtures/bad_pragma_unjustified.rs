@@ -1,0 +1,6 @@
+// Fixture: a pragma without the mandatory justification. It neither
+// suppresses the violation below nor passes pragma hygiene.
+fn measure() -> std::time::Instant {
+    // ndpx-lint: allow(det-wallclock)
+    std::time::Instant::now()
+}

@@ -1,0 +1,8 @@
+// Fixture: a justified pragma that suppresses nothing, plus one naming
+// an unknown rule. Both are rot and must be reported.
+fn quiet() -> u32 {
+    // ndpx-lint: allow(det-wallclock): nothing below reads the clock
+    let x = 1;
+    // ndpx-lint: allow(no-such-rule): not a rule at all
+    x + 1
+}

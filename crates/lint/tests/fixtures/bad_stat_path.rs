@@ -1,0 +1,4 @@
+// Fixture: stale registry-path literals (the PR 8 bug class).
+fn stale(json: &str) -> bool {
+    json.contains("noc.stack00.link[e]") || json.contains("slo.p99_ns")
+}

@@ -1,0 +1,11 @@
+// Fixture: deterministic idioms the rules must accept untouched.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn build() -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    let mut s = BTreeSet::new();
+    s.insert(3u64);
+    let _paths = ["core.mem_ops", "noc.link.s00-s01.flits", "unit007.slb.hit_rate"];
+    m
+}

@@ -1,0 +1,22 @@
+// Fixture: correctly suppressed hazards — justified pragmas on the line
+// above and on the same line — plus benign look-alikes that must not fire:
+// hazard names in comments and strings, env! macro reads, and dotted
+// strings outside the grammar's roots.
+fn timed_fill() -> u128 {
+    // ndpx-lint: allow(det-wallclock): cache-fill timing; never reaches a digest
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() // Instant::now in a comment is fine
+}
+
+fn benign() -> &'static str {
+    let _manifest = env!("CARGO_MANIFEST_DIR");
+    let _args = std::env::args().count();
+    let _not_a_path = "stack00.mesh.flits";
+    let _valid_path = "engine.batch.fast_hits";
+    "HashMap in a string is fine"
+}
+
+fn same_line() -> bool {
+    let t = std::time::SystemTime::now(); // ndpx-lint: allow(det-wallclock): same-line form
+    format!("{t:?}").is_empty()
+}

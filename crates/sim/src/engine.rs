@@ -67,7 +67,7 @@ impl QueueImpl {
     /// wheel). The choice is read once per process.
     pub fn from_env() -> Self {
         static CHOICE: OnceLock<QueueImpl> = OnceLock::new();
-        *CHOICE.get_or_init(|| Self::parse(std::env::var("NDPX_QUEUE").ok().as_deref()))
+        *CHOICE.get_or_init(|| Self::parse(crate::knobs::QUEUE.raw().as_deref()))
     }
 
     /// Pure form of the `NDPX_QUEUE` parse for tests.
@@ -89,17 +89,19 @@ impl QueueImpl {
 
 /// Whether the system run loops may run ahead — executing several of a
 /// core's ops per queue event while completions stay inside the safe
-/// window (see the run-loop docs). `NDPX_BATCH=0` restores the historical
-/// per-op loop; anything else (including unset) enables batching. The
-/// choice is read once per process.
+/// window (see the run-loop docs). `NDPX_BATCH=0` (or any other off token
+/// of [`crate::knobs::parse_bool`]) restores the historical per-op loop;
+/// anything else (including unset) enables batching. The choice is read
+/// once per process.
 pub fn batching_from_env() -> bool {
     static CHOICE: OnceLock<bool> = OnceLock::new();
-    *CHOICE.get_or_init(|| parse_batching(std::env::var("NDPX_BATCH").ok().as_deref()))
+    *CHOICE.get_or_init(|| parse_batching(crate::knobs::BATCH.raw().as_deref()))
 }
 
-/// Pure form of the `NDPX_BATCH` parse for tests.
+/// Pure form of the `NDPX_BATCH` parse for tests: the unified boolean
+/// grammar with batching on by default.
 pub fn parse_batching(v: Option<&str>) -> bool {
-    !matches!(v.map(str::trim), Some("0"))
+    crate::knobs::parse_bool(v, true)
 }
 
 /// Maximum ops a run loop may execute per run-ahead batch before it
@@ -846,7 +848,7 @@ impl ProgressWatchdog {
     /// Creates a watchdog from `NDPX_STALL_ITERS` (`0` disables; unset or
     /// unparsable uses [`DEFAULT_LIMIT`](Self::DEFAULT_LIMIT)).
     pub fn from_env() -> Self {
-        Self::new(Self::parse_limit(std::env::var("NDPX_STALL_ITERS").ok().as_deref()))
+        Self::new(Self::parse_limit(crate::knobs::STALL_ITERS.raw().as_deref()))
     }
 
     /// Pure form of the `NDPX_STALL_ITERS` parse for tests.

@@ -95,13 +95,13 @@ impl FaultConfig {
     /// Reads `NDPX_FAULT_SEED`, `NDPX_FAULT_CXL_BER`, `NDPX_FAULT_MEM_CE`,
     /// `NDPX_FAULT_MEM_UE`, and `NDPX_FAULT_NOC_FER` from the environment.
     pub fn from_env() -> Self {
-        let var = |k: &str| std::env::var(k).ok();
+        use crate::knobs;
         Self::parse(
-            var("NDPX_FAULT_SEED").as_deref(),
-            var("NDPX_FAULT_CXL_BER").as_deref(),
-            var("NDPX_FAULT_MEM_CE").as_deref(),
-            var("NDPX_FAULT_MEM_UE").as_deref(),
-            var("NDPX_FAULT_NOC_FER").as_deref(),
+            knobs::FAULT_SEED.raw().as_deref(),
+            knobs::FAULT_CXL_BER.raw().as_deref(),
+            knobs::FAULT_MEM_CE.raw().as_deref(),
+            knobs::FAULT_MEM_UE.raw().as_deref(),
+            knobs::FAULT_NOC_FER.raw().as_deref(),
         )
     }
 

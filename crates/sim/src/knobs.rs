@@ -1,0 +1,458 @@
+//! Central registry of every `NDPX_*` environment knob.
+//!
+//! Every configuration knob the workspace reads from the environment is
+//! declared here — name, value kind, default, and a one-line description —
+//! and every read goes through a [`Knob`] accessor. The registry is the
+//! single source of truth: `ndpx-lint` rejects `"NDPX_*"` string literals
+//! and `std::env::var` calls anywhere else, so a knob cannot be typo'd,
+//! shadowed, or half-documented. `ndpx-lint --knobs-md` renders [`ALL`]
+//! into `docs/knobs.md`; CI fails when the committed table drifts.
+//!
+//! Boolean knobs share one parse ([`parse_bool`]): an *unset* variable
+//! takes the knob's default, while a set value counts as false exactly when
+//! it trims to one of `""`, `0`, `false`, `off`, or `no`
+//! (case-insensitive) and true otherwise. `NDPX_BATCH=0`, `NDPX_BATCH=off`
+//! and `NDPX_BATCH=false` therefore all disable batching, and the same
+//! tokens disable every other boolean knob — there are no per-knob
+//! spellings.
+
+/// The value shape a knob accepts, for documentation and lint checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobKind {
+    /// Unified boolean (see [`parse_bool`]).
+    Bool,
+    /// Unsigned integer.
+    U64,
+    /// Floating-point number.
+    F64,
+    /// Filesystem path; empty behaves as unset.
+    Path,
+    /// Free-form string.
+    Str,
+    /// One of a closed set of names.
+    Enum(&'static [&'static str]),
+}
+
+impl KnobKind {
+    /// Stable lower-case label for reports and the generated knob table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KnobKind::Bool => "bool",
+            KnobKind::U64 => "integer",
+            KnobKind::F64 => "float",
+            KnobKind::Path => "path",
+            KnobKind::Str => "string",
+            KnobKind::Enum(_) => "enum",
+        }
+    }
+}
+
+/// One declared environment knob.
+#[derive(Debug, Clone, Copy)]
+pub struct Knob {
+    /// The environment variable, always `NDPX_*`.
+    pub name: &'static str,
+    /// Accepted value shape.
+    pub kind: KnobKind,
+    /// Human-readable default (what an unset variable behaves as).
+    pub default: &'static str,
+    /// One-line effect description for the generated `docs/knobs.md`.
+    pub doc: &'static str,
+}
+
+impl Knob {
+    /// The raw environment value, if the variable is set to valid UTF-8.
+    pub fn raw(&self) -> Option<String> {
+        std::env::var(self.name).ok()
+    }
+
+    /// Unified boolean read: unset takes `default`, otherwise
+    /// [`parse_bool`] decides.
+    pub fn bool_or(&self, default: bool) -> bool {
+        parse_bool(self.raw().as_deref(), default)
+    }
+
+    /// Parses the value as `u64`; unset or unparsable is `None`.
+    pub fn u64_opt(&self) -> Option<u64> {
+        self.raw()?.trim().parse().ok()
+    }
+
+    /// Parses the value as `f64`; unset or unparsable is `None`.
+    pub fn f64_opt(&self) -> Option<f64> {
+        self.raw()?.trim().parse().ok()
+    }
+
+    /// The value as an output path; set-but-empty behaves as unset.
+    pub fn path(&self) -> Option<String> {
+        self.raw().filter(|p| !p.is_empty())
+    }
+}
+
+/// The one boolean-knob grammar (see the module docs): `None` takes
+/// `default`; a set value is false iff it trims to an explicit off token.
+pub fn parse_bool(value: Option<&str>, default: bool) -> bool {
+    match value {
+        None => default,
+        Some(s) => {
+            !matches!(s.trim().to_ascii_lowercase().as_str(), "" | "0" | "false" | "off" | "no")
+        }
+    }
+}
+
+macro_rules! knob {
+    ($const_name:ident, $env:literal, $kind:expr, $default:literal, $doc:literal) => {
+        #[doc = concat!("`", $env, "` — ", $doc)]
+        pub const $const_name: Knob =
+            Knob { name: $env, kind: $kind, default: $default, doc: $doc };
+    };
+}
+
+// Orchestration --------------------------------------------------------------
+knob!(
+    THREADS,
+    "NDPX_THREADS",
+    KnobKind::U64,
+    "host CPUs",
+    "Worker threads for pooled figure/bench matrices; explicit values past the host width are \
+     honored but flagged `oversubscribed`. Results are thread-count-invariant."
+);
+knob!(
+    SCALE,
+    "NDPX_SCALE",
+    KnobKind::Enum(&["test", "small", "paper"]),
+    "small",
+    "Benchmark scale: `test` (CI geometry), `small`, or `paper` (full Table II geometry)."
+);
+knob!(
+    CELL_RETRIES,
+    "NDPX_CELL_RETRIES",
+    KnobKind::U64,
+    "0",
+    "Re-executions of a panicked bench cell before it is reported failed (doubling backoff)."
+);
+knob!(
+    HEARTBEAT_SECS,
+    "NDPX_HEARTBEAT_SECS",
+    KnobKind::F64,
+    "5",
+    "Minimum seconds between pool progress heartbeat lines (info level); `0` disables throttling."
+);
+knob!(
+    SLOW_MULT,
+    "NDPX_SLOW_MULT",
+    KnobKind::F64,
+    "4.0",
+    "Slow-cell watchdog threshold as a multiple of the median cell wall clock; `0` disables."
+);
+
+// Engine ---------------------------------------------------------------------
+knob!(
+    QUEUE,
+    "NDPX_QUEUE",
+    KnobKind::Enum(&["wheel", "heap"]),
+    "wheel",
+    "Event-queue backend: the hierarchical time-wheel or the reference binary heap. Digests are \
+     byte-identical either way."
+);
+knob!(
+    BATCH,
+    "NDPX_BATCH",
+    KnobKind::Bool,
+    "1",
+    "Run-ahead batching in the system run loops; disabling restores the historical per-op loop \
+     with byte-identical results."
+);
+knob!(
+    STALL_ITERS,
+    "NDPX_STALL_ITERS",
+    KnobKind::U64,
+    "4000000",
+    "Progress-watchdog limit: frozen same-time loop iterations before a stall is flagged; `0` \
+     disables."
+);
+
+// Telemetry ------------------------------------------------------------------
+knob!(
+    LOG,
+    "NDPX_LOG",
+    KnobKind::Enum(&["off", "error", "warn", "info", "debug", "trace"]),
+    "warn",
+    "Maximum stderr log level of the `ndpx_*!` facade (numeric forms `0`–`5` also accepted)."
+);
+knob!(
+    TRACE,
+    "NDPX_TRACE",
+    KnobKind::Path,
+    "unset",
+    "Chrome/Perfetto trace-event output path; unset (or empty) disables tracing."
+);
+knob!(
+    TRACE_START,
+    "NDPX_TRACE_START",
+    KnobKind::F64,
+    "0",
+    "Simulated-time start of the trace window, in microseconds."
+);
+knob!(
+    TRACE_STOP,
+    "NDPX_TRACE_STOP",
+    KnobKind::F64,
+    "unbounded",
+    "Simulated-time end of the trace window, in microseconds."
+);
+knob!(
+    TRACE_CAP,
+    "NDPX_TRACE_CAP",
+    KnobKind::U64,
+    "65536",
+    "Trace ring capacity in events; older events are evicted once the ring is full."
+);
+knob!(
+    TIMELINE,
+    "NDPX_TIMELINE",
+    KnobKind::Path,
+    "unset",
+    "Windowed timeline (`ndpx-timeline-v1`) output path; unset (or empty) disables sampling."
+);
+knob!(
+    TIMELINE_WINDOW_NS,
+    "NDPX_TIMELINE_WINDOW_NS",
+    KnobKind::U64,
+    "10000",
+    "Timeline window width in simulated nanoseconds."
+);
+knob!(
+    TIMELINE_CAP,
+    "NDPX_TIMELINE_CAP",
+    KnobKind::U64,
+    "4096",
+    "Timeline ring capacity in windows; on overflow the ring folds by dropping odd windows."
+);
+knob!(
+    PROFILE,
+    "NDPX_PROFILE",
+    KnobKind::Bool,
+    "0",
+    "Sim-phase profiler: attributes trace-gen/warmup/run/solver/rehash/reconfig spans under \
+     `profile.*` (sim time only in dumps)."
+);
+knob!(
+    METRICS,
+    "NDPX_METRICS",
+    KnobKind::Path,
+    "unset",
+    "Directory for `metrics.json`/registry-dump/failure-manifest sidecars; unset disables them."
+);
+
+// Caches ---------------------------------------------------------------------
+knob!(
+    TRACE_CACHE,
+    "NDPX_TRACE_CACHE",
+    KnobKind::Bool,
+    "1",
+    "Shared immutable workload trace cache; disabling regenerates every trace live (identical \
+     results, more wall clock)."
+);
+knob!(
+    TRACE_CACHE_BYTES,
+    "NDPX_TRACE_CACHE_BYTES",
+    KnobKind::U64,
+    "8589934592",
+    "Trace-cache byte budget (default 8 GiB); keys past the budget fall back to live generation."
+);
+knob!(
+    GRAPH_CACHE,
+    "NDPX_GRAPH_CACHE",
+    KnobKind::Bool,
+    "1",
+    "Process-wide power-law graph cache shared across workload constructions."
+);
+
+// Fault injection ------------------------------------------------------------
+knob!(
+    FAULT_SEED,
+    "NDPX_FAULT_SEED",
+    KnobKind::U64,
+    "unset (faults disabled)",
+    "Master seed for deterministic fault injection; unset disables every injector."
+);
+knob!(
+    FAULT_CXL_BER,
+    "NDPX_FAULT_CXL_BER",
+    KnobKind::F64,
+    "1e-7",
+    "CXL link bit-error rate driving CRC errors, replay retries, and retraining stalls."
+);
+knob!(
+    FAULT_MEM_CE,
+    "NDPX_FAULT_MEM_CE",
+    KnobKind::F64,
+    "1e-4",
+    "DRAM correctable-error rate per access (SEC-DED scrub latency)."
+);
+knob!(
+    FAULT_MEM_UE,
+    "NDPX_FAULT_MEM_UE",
+    KnobKind::F64,
+    "2e-6",
+    "DRAM uncorrectable-error rate per access (stream poison, abort, and re-fetch)."
+);
+knob!(
+    FAULT_NOC_FER,
+    "NDPX_FAULT_NOC_FER",
+    KnobKind::F64,
+    "1e-5",
+    "NoC flit-error rate driving per-link retransmits."
+);
+
+// Bench binaries -------------------------------------------------------------
+knob!(
+    GAUGE_MICRO,
+    "NDPX_GAUGE_MICRO",
+    KnobKind::Bool,
+    "0",
+    "Adds the component micro-benchmark pass (queue ops, sampler, rehash, edge gen) to \
+     `perf_gauge` reports."
+);
+knob!(
+    THREAD_SWEEP,
+    "NDPX_THREAD_SWEEP",
+    KnobKind::Str,
+    "unset",
+    "Comma-separated extra thread widths for additional cached `perf_gauge` passes."
+);
+knob!(
+    PERF_OUT,
+    "NDPX_PERF_OUT",
+    KnobKind::Path,
+    "BENCH_PERF.json",
+    "Output path for the `perf_gauge` report."
+);
+knob!(
+    REPORT_THRESHOLD,
+    "NDPX_REPORT_THRESHOLD",
+    KnobKind::F64,
+    "10.0",
+    "`ndpx_report` throughput-regression warning threshold, in percent."
+);
+knob!(
+    REPORT_STRICT,
+    "NDPX_REPORT_STRICT",
+    KnobKind::Bool,
+    "0",
+    "Makes `ndpx_report` exit non-zero on throughput regressions beyond the threshold (digest \
+     mismatches always fail)."
+);
+knob!(
+    OPS,
+    "NDPX_OPS",
+    KnobKind::U64,
+    "scale default",
+    "Per-core op budget override for the `sanity` binary."
+);
+knob!(
+    POLICY,
+    "NDPX_POLICY",
+    KnobKind::Str,
+    "all policies",
+    "Restricts the `sanity` binary to one placement policy label."
+);
+knob!(
+    DEBUG,
+    "NDPX_DEBUG",
+    KnobKind::Bool,
+    "0",
+    "Adds per-policy latency-breakdown lines to the `sanity` binary's output."
+);
+
+/// Every declared knob, in documentation order. `ndpx-lint --knobs-md`
+/// renders this table; the lint's workspace scan guarantees no knob exists
+/// outside it.
+pub const ALL: &[&Knob] = &[
+    &THREADS,
+    &SCALE,
+    &CELL_RETRIES,
+    &HEARTBEAT_SECS,
+    &SLOW_MULT,
+    &QUEUE,
+    &BATCH,
+    &STALL_ITERS,
+    &LOG,
+    &TRACE,
+    &TRACE_START,
+    &TRACE_STOP,
+    &TRACE_CAP,
+    &TIMELINE,
+    &TIMELINE_WINDOW_NS,
+    &TIMELINE_CAP,
+    &PROFILE,
+    &METRICS,
+    &TRACE_CACHE,
+    &TRACE_CACHE_BYTES,
+    &GRAPH_CACHE,
+    &FAULT_SEED,
+    &FAULT_CXL_BER,
+    &FAULT_MEM_CE,
+    &FAULT_MEM_UE,
+    &FAULT_NOC_FER,
+    &GAUGE_MICRO,
+    &THREAD_SWEEP,
+    &PERF_OUT,
+    &REPORT_THRESHOLD,
+    &REPORT_STRICT,
+    &OPS,
+    &POLICY,
+    &DEBUG,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_prefixed() {
+        let mut names: Vec<&str> = ALL.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        for w in names.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate knob {}", w[0]);
+        }
+        for k in ALL {
+            assert!(k.name.starts_with("NDPX_"), "{} must carry the NDPX_ prefix", k.name);
+            assert!(!k.doc.is_empty(), "{} needs a doc line", k.name);
+            assert!(!k.default.is_empty(), "{} needs a documented default", k.name);
+        }
+    }
+
+    #[test]
+    fn the_registry_holds_all_knobs() {
+        // The count is asserted so adding a knob without registering it in
+        // `ALL` (or removing one without pruning) cannot go unnoticed.
+        assert_eq!(ALL.len(), 34);
+    }
+
+    #[test]
+    fn bool_grammar_is_uniform() {
+        // Unset takes the knob default.
+        assert!(parse_bool(None, true));
+        assert!(!parse_bool(None, false));
+        // Every off token, in any case, with surrounding space.
+        for off in ["", "0", "false", "FALSE", "off", "Off", "no", " 0 ", "\tfalse\n"] {
+            assert!(!parse_bool(Some(off), true), "{off:?} must read as false");
+        }
+        // Anything else — including the historical `1` — is true.
+        for on in ["1", "true", "on", "yes", "2", "enabled"] {
+            assert!(parse_bool(Some(on), false), "{on:?} must read as true");
+        }
+    }
+
+    #[test]
+    fn accessors_parse_and_filter() {
+        // Pure-value checks through the parse helpers: the environment is
+        // process-global and racy under the parallel test harness, so
+        // these tests never set variables.
+        assert_eq!("42".trim().parse::<u64>().ok(), Some(42));
+        let unset: Option<String> = None;
+        assert_eq!(unset.filter(|p: &String| !p.is_empty()), None);
+        assert_eq!(Some(String::new()).filter(|p| !p.is_empty()), None);
+    }
+}

@@ -12,7 +12,8 @@
 //! * [`telemetry`] — hierarchical stat registry, Chrome-trace event export,
 //!   and a levelled logging facade;
 //! * [`rng`] — seeded pseudo-random generation and placement hashing;
-//! * [`fault`] — deterministic, seeded fault-injection plans.
+//! * [`fault`] — deterministic, seeded fault-injection plans;
+//! * [`knobs`] — the central registry of every `NDPX_*` environment knob.
 //!
 //! Everything is single-threaded and allocation-light: a simulation run is a
 //! pure function of its configuration and seed.
@@ -40,6 +41,7 @@ pub mod energy;
 pub mod engine;
 pub mod fastdiv;
 pub mod fault;
+pub mod knobs;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;

@@ -61,8 +61,7 @@ pub fn parse_level(s: &str) -> Option<u8> {
 }
 
 fn init_from_env() -> u8 {
-    let level =
-        std::env::var("NDPX_LOG").ok().and_then(|v| parse_level(&v)).unwrap_or(Level::Warn as u8);
+    let level = crate::knobs::LOG.raw().and_then(|v| parse_level(&v)).unwrap_or(Level::Warn as u8);
     MAX_LEVEL.store(level, Ordering::Relaxed);
     level
 }

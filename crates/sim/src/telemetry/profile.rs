@@ -97,13 +97,10 @@ impl PhaseProfiler {
         Self::default()
     }
 
-    /// Creates a profiler if `NDPX_PROFILE` is set to anything but `0`.
+    /// Creates a profiler if `NDPX_PROFILE` reads as true (unified boolean
+    /// grammar; off by default).
     pub fn from_env() -> Option<Self> {
-        let v = std::env::var("NDPX_PROFILE").ok()?;
-        if v.is_empty() || v == "0" {
-            return None;
-        }
-        Some(Self::new())
+        crate::knobs::PROFILE.bool_or(false).then(Self::new)
     }
 
     /// Attributes one completed span to `phase`.

@@ -53,20 +53,17 @@ impl TimelineConfig {
     /// `NDPX_TIMELINE_WINDOW_NS` (window width in simulated nanoseconds) and
     /// `NDPX_TIMELINE_CAP` (ring capacity in windows).
     pub fn from_env() -> Option<Self> {
-        let path = std::env::var("NDPX_TIMELINE").ok().filter(|p| !p.is_empty())?;
+        use crate::knobs;
+        let path = knobs::TIMELINE.path()?;
         let mut cfg = TimelineConfig::to_path(path);
-        if let Some(ns) = env_u64("NDPX_TIMELINE_WINDOW_NS") {
+        if let Some(ns) = knobs::TIMELINE_WINDOW_NS.u64_opt() {
             cfg.window = Time::from_ns(ns.max(1));
         }
-        if let Some(cap) = env_u64("NDPX_TIMELINE_CAP") {
+        if let Some(cap) = knobs::TIMELINE_CAP.u64_opt() {
             cfg.capacity = (cap as usize).max(1);
         }
         Some(cfg)
     }
-}
-
-fn env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
 #[derive(Debug, Clone)]

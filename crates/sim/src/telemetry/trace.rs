@@ -49,23 +49,20 @@ impl TraceConfig {
     /// `NDPX_TRACE_START` / `NDPX_TRACE_STOP` (simulated-time window in
     /// microseconds), and `NDPX_TRACE_CAP` (ring capacity in events).
     pub fn from_env() -> Option<Self> {
-        let path = std::env::var("NDPX_TRACE").ok().filter(|p| !p.is_empty())?;
+        use crate::knobs;
+        let path = knobs::TRACE.path()?;
         let mut cfg = TraceConfig::to_path(path);
-        if let Some(us) = env_f64("NDPX_TRACE_START") {
+        if let Some(us) = knobs::TRACE_START.f64_opt() {
             cfg.start = Time::from_ns_f64(us * 1e3);
         }
-        if let Some(us) = env_f64("NDPX_TRACE_STOP") {
+        if let Some(us) = knobs::TRACE_STOP.f64_opt() {
             cfg.stop = Time::from_ns_f64(us * 1e3);
         }
-        if let Some(cap) = std::env::var("NDPX_TRACE_CAP").ok().and_then(|v| v.parse().ok()) {
-            cfg.capacity = cap;
+        if let Some(cap) = knobs::TRACE_CAP.u64_opt() {
+            cfg.capacity = cap as usize;
         }
         Some(cfg)
     }
-}
-
-fn env_f64(key: &str) -> Option<f64> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -378,8 +375,8 @@ mod tests {
     #[test]
     fn counter_events_render_and_validate() {
         let mut s = sink(16);
-        s.counter("slo", "slo.p99_ns", 0, Time::from_ns(10), 420.0);
-        s.counter("slo", "slo.p99_ns", 0, Time::from_ns(20), 560.0);
+        s.counter("slo", "slo.epoch_p99_ns", 0, Time::from_ns(10), 420.0);
+        s.counter("slo", "slo.epoch_p99_ns", 0, Time::from_ns(20), 560.0);
         let json = s.render_json("t");
         assert!(json.contains("\"args\": {\"value\": 420}"));
         assert_eq!(validate_chrome_trace(&json), Ok(3));

@@ -511,7 +511,7 @@ mod tests {
             read_only: true,
         };
         s.validate().unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for k in 0..60 {
             let a = s.addr_of(k);
             assert!(seen.insert(a), "duplicate address {a:#x}");

@@ -40,7 +40,7 @@ fn affine_round_trips_every_element() {
         let cfg = random_affine(&mut rng);
         cfg.validate().expect("constructed valid");
         let n = cfg.elems();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for k in 0..n {
             let a = cfg.addr_of(k);
             assert!(cfg.contains(a), "addr outside range");

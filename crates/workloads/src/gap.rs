@@ -251,7 +251,7 @@ mod tests {
     fn pagerank_ping_pongs_ranks() {
         // Tiny graph, one core, so the op budget spans several iterations.
         let mut w = pagerank(&ScaleParams { cores: 1, footprint: 128 << 10, seed: 1 }).unwrap();
-        let mut sids = std::collections::HashSet::new();
+        let mut sids = std::collections::BTreeSet::new();
         for _ in 0..400_000 {
             if let Op::Mem(m) = w.source.next_op(0) {
                 if m.write {

@@ -33,7 +33,7 @@ const POWERLAW_CACHE_CAP: usize = 6;
 
 fn powerlaw_cache_enabled() -> bool {
     static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| std::env::var("NDPX_GRAPH_CACHE").map_or(true, |v| v.trim() != "0"))
+    *ON.get_or_init(|| ndpx_sim::knobs::GRAPH_CACHE.bool_or(true))
 }
 
 impl CsrGraph {

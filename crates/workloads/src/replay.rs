@@ -16,7 +16,7 @@
 //! (no duplicate work) while requests for different keys proceed in
 //! parallel.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -27,7 +27,7 @@ use crate::registry;
 use crate::trace::{Op, OpSource, ScaleParams, Workload};
 
 /// Everything the trace of one workload instance depends on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceKey {
     /// Workload name (from [`crate::ALL_WORKLOADS`]).
     pub workload: &'static str,
@@ -86,6 +86,7 @@ impl CachedTrace {
     /// Panics on unknown workload names or construction errors — trace
     /// requests come from static benchmark matrices.
     pub fn materialize(key: &TraceKey) -> Self {
+        // ndpx-lint: allow(det-wallclock): gen_wall is cache-saving telemetry; it never reaches a digest or registry dump
         let t0 = Instant::now();
         let params = key.params();
         let mut wl = registry::build(key.workload, &params)
@@ -175,7 +176,7 @@ type TraceSlot = Arc<OnceLock<Arc<CachedTrace>>>;
 /// A shared, thread-safe cache of materialized workload traces.
 pub struct TraceCache {
     /// `None` disables caching entirely (`NDPX_TRACE_CACHE=0`).
-    slots: Option<Mutex<HashMap<TraceKey, TraceSlot>>>,
+    slots: Option<Mutex<BTreeMap<TraceKey, TraceSlot>>>,
     budget_bytes: u64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -211,7 +212,7 @@ impl TraceCache {
     /// live generation — identical results, no caching).
     pub fn with_budget(budget_bytes: u64) -> Self {
         TraceCache {
-            slots: Some(Mutex::new(HashMap::new())),
+            slots: Some(Mutex::new(BTreeMap::new())),
             budget_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -227,19 +228,14 @@ impl TraceCache {
         TraceCache { slots: None, ..Self::with_budget(0) }
     }
 
-    /// Reads `NDPX_TRACE_CACHE` (`0`/`off` disables) and
-    /// `NDPX_TRACE_CACHE_BYTES` (budget override).
+    /// Reads `NDPX_TRACE_CACHE` (unified boolean grammar, on by default)
+    /// and `NDPX_TRACE_CACHE_BYTES` (budget override).
     pub fn from_env() -> Self {
-        match std::env::var("NDPX_TRACE_CACHE").ok().as_deref() {
-            Some("0") | Some("off") => Self::disabled(),
-            _ => {
-                let budget = std::env::var("NDPX_TRACE_CACHE_BYTES")
-                    .ok()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(DEFAULT_CACHE_BYTES);
-                Self::with_budget(budget)
-            }
+        use ndpx_sim::knobs;
+        if !knobs::TRACE_CACHE.bool_or(true) {
+            return Self::disabled();
         }
+        Self::with_budget(knobs::TRACE_CACHE_BYTES.u64_opt().unwrap_or(DEFAULT_CACHE_BYTES))
     }
 
     /// True when requests may be served from materialized traces.

@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn pathfinder_scans_wall_by_iteration() {
         let mut w = pathfinder(&small()).unwrap();
-        let mut wall_elems = std::collections::HashSet::new();
+        let mut wall_elems = std::collections::BTreeSet::new();
         for _ in 0..100_000 {
             if let Op::Mem(m) = w.source.next_op(0) {
                 if m.sid.index() == 0 {
