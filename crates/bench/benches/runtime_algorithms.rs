@@ -80,6 +80,7 @@ fn synthetic_demands(streams: usize, units: usize) -> (Vec<StreamDemand>, Config
         attenuation,
         dram_lat_ps: 45_000.0,
         miss_extra_ps: 466_000.0,
+        dead: vec![false; units],
     };
     (demands, ctx)
 }

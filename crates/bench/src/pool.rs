@@ -169,40 +169,58 @@ fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
-/// Runs one task to completion under `retry`, catching panics per attempt.
-fn execute<T>(task: &(dyn Fn() -> T + Send + '_), retry: RetryPolicy) -> (CellOutcome<T>, f64) {
-    let t0 = Instant::now();
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        match catch_unwind(AssertUnwindSafe(task)) {
-            Ok(value) => {
-                let outcome = if attempts == 1 {
-                    CellOutcome::Ok(value)
-                } else {
-                    CellOutcome::Retried { value, attempts }
-                };
-                return (outcome, t0.elapsed().as_secs_f64());
-            }
-            Err(payload) => {
-                let message = panic_message(payload.as_ref());
-                if attempts > retry.retries {
-                    return (
-                        CellOutcome::Panicked { attempts, message },
-                        t0.elapsed().as_secs_f64(),
-                    );
-                }
-                ndpx_warn!(
-                    "cell attempt {attempts}/{} panicked ({message}); retrying",
-                    retry.retries + 1
-                );
-                let backoff = retry.backoff_before(attempts);
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
-                }
-            }
-        }
+/// One attempt of a cell body under `catch_unwind`.
+fn attempt_cell<T>(task: &(dyn Fn() -> T + Send + '_)) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(task)).map_err(|p| panic_message(p.as_ref()))
+}
+
+/// A panicked cell parked until its backoff deadline. The task rides along
+/// so any worker can re-execute it once due; parking (instead of sleeping
+/// in place) keeps the worker free to run sibling cells through the
+/// backoff window.
+struct PendingRetry<'env, T> {
+    /// Submission index of the cell.
+    idx: usize,
+    task: CellTask<'env, T>,
+    /// Panicked attempts so far.
+    attempts: u32,
+    /// Earliest instant the next attempt may start.
+    due: Instant,
+    /// First-attempt start: `wall_s` spans every attempt, backoff included.
+    t0: Instant,
+}
+
+/// Decides what a failed attempt becomes: a final [`CellOutcome::Panicked`]
+/// once the budget is spent, or a parked retry stamped with its backoff
+/// deadline.
+fn park_or_fail<'env, T>(
+    retry: RetryPolicy,
+    idx: usize,
+    task: CellTask<'env, T>,
+    failed_attempts: u32,
+    t0: Instant,
+    message: String,
+) -> Result<PendingRetry<'env, T>, CellOutcome<T>> {
+    if failed_attempts > retry.retries {
+        return Err(CellOutcome::Panicked { attempts: failed_attempts, message });
     }
+    let backoff = retry.backoff_before(failed_attempts);
+    ndpx_warn!(
+        "cell {idx} attempt {failed_attempts}/{} panicked ({message}); retry due in {backoff:?}",
+        retry.retries + 1
+    );
+    Ok(PendingRetry { idx, task, attempts: failed_attempts, due: Instant::now() + backoff, t0 })
+}
+
+/// Index of the next parked entry to serve: earliest deadline, submission
+/// index as the tiebreak. `due_only` restricts to entries already due.
+fn next_parked<T>(parked: &[PendingRetry<'_, T>], due_only: Option<Instant>) -> Option<usize> {
+    parked
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| due_only.is_none_or(|now| e.due <= now))
+        .min_by_key(|(_, e)| (e.due, e.idx))
+        .map(|(p, _)| p)
 }
 
 /// The host's available parallelism (1 when it cannot be queried).
@@ -294,6 +312,12 @@ impl CellPool {
     /// never depends on scheduling. Each cell runs under `catch_unwind` and
     /// is re-executed per `retry`, so a panicking cell is reported as
     /// [`CellOutcome::Panicked`] while every sibling still completes.
+    ///
+    /// Retry backoff never blocks execution: a panicked cell is *parked*
+    /// with a deadline instead of sleeping on its worker, fresh cells keep
+    /// flowing through the backoff window, and due retries are served in
+    /// deadline order (submission index as the tiebreak). A thread only
+    /// sleeps when it has literally nothing else runnable.
     pub fn run_cells<'env, T: Send>(
         self,
         retry: RetryPolicy,
@@ -301,37 +325,94 @@ impl CellPool {
     ) -> Vec<CellCompletion<T>> {
         let n = tasks.len();
         if self.threads == 1 || n <= 1 {
-            return tasks
-                .into_iter()
-                .map(|task| {
-                    let (outcome, wall_s) = execute(task.as_ref(), retry);
-                    CellCompletion { outcome, worker: 0, wall_s }
-                })
-                .collect();
+            return Self::run_cells_serial(retry, tasks);
         }
         let slots: Vec<Mutex<Option<CellTask<'env, T>>>> =
             tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<CellCompletion<T>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let outstanding = AtomicUsize::new(n);
+        let parked: Mutex<Vec<PendingRetry<'env, T>>> = Mutex::new(Vec::new());
+        let wakeup = std::sync::Condvar::new();
         std::thread::scope(|scope| {
             for worker in 0..self.threads.min(n) {
-                let slots = &slots;
-                let results = &results;
-                let next = &next;
+                let (slots, results) = (&slots, &results);
+                let (next, outstanding) = (&next, &outstanding);
+                let (parked, wakeup) = (&parked, &wakeup);
+                let complete = move |idx: usize, outcome: CellOutcome<T>, t0: Instant| {
+                    *lock_or_recover(&results[idx]) = Some(CellCompletion {
+                        outcome,
+                        worker,
+                        wall_s: t0.elapsed().as_secs_f64(),
+                    });
+                    if outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        wakeup.notify_all();
+                    }
+                };
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    // 1. A due retry beats everything (it has waited).
+                    let due = {
+                        let mut queue = lock_or_recover(parked);
+                        next_parked(&queue, Some(Instant::now())).map(|p| queue.remove(p))
+                    };
+                    if let Some(entry) = due {
+                        let attempts = entry.attempts + 1;
+                        match attempt_cell(entry.task.as_ref()) {
+                            Ok(value) => complete(
+                                entry.idx,
+                                CellOutcome::Retried { value, attempts },
+                                entry.t0,
+                            ),
+                            Err(msg) => match park_or_fail(
+                                retry, entry.idx, entry.task, attempts, entry.t0, msg,
+                            ) {
+                                Ok(again) => {
+                                    lock_or_recover(parked).push(again);
+                                    wakeup.notify_all();
+                                }
+                                Err(outcome) => complete(entry.idx, outcome, entry.t0),
+                            },
+                        }
+                        continue;
+                    }
+                    // 2. Claim a fresh cell.
+                    if next.load(Ordering::Relaxed) < n {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i < n {
+                            let Some(task) = lock_or_recover(&slots[i]).take() else {
+                                // Each index is handed out exactly once by
+                                // the counter; an empty slot is unreachable.
+                                continue;
+                            };
+                            let t0 = Instant::now();
+                            match attempt_cell(task.as_ref()) {
+                                Ok(value) => complete(i, CellOutcome::Ok(value), t0),
+                                Err(msg) => match park_or_fail(retry, i, task, 1, t0, msg) {
+                                    Ok(entry) => {
+                                        lock_or_recover(parked).push(entry);
+                                        wakeup.notify_all();
+                                    }
+                                    Err(outcome) => complete(i, outcome, t0),
+                                },
+                            }
+                            continue;
+                        }
+                    }
+                    // 3. Nothing runnable. Exit when the matrix is done;
+                    // otherwise park until the earliest retry deadline or a
+                    // notification (bounded, so a missed notify can only
+                    // delay a poll, never deadlock).
+                    if outstanding.load(Ordering::Acquire) == 0 {
                         break;
                     }
-                    let Some(task) = lock_or_recover(&slots[i]).take() else {
-                        // Each index is handed out exactly once by the
-                        // atomic counter; an empty slot is unreachable.
-                        continue;
-                    };
-                    let (outcome, wall_s) = execute(task.as_ref(), retry);
-                    *lock_or_recover(&results[i]) =
-                        Some(CellCompletion { outcome, worker, wall_s });
+                    let queue = lock_or_recover(parked);
+                    let wait = next_parked(&queue, None)
+                        .map(|p| queue[p].due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(std::time::Duration::from_millis(5));
+                    if !wait.is_zero() {
+                        let _unused = wakeup.wait_timeout(queue, wait);
+                    }
                 });
             }
         });
@@ -343,6 +424,72 @@ impl CellPool {
                     Err(poisoned) => poisoned.into_inner(),
                 };
                 inner.unwrap_or(CellCompletion {
+                    outcome: CellOutcome::Panicked {
+                        attempts: 0,
+                        message: "cell was never executed".to_string(),
+                    },
+                    worker: 0,
+                    wall_s: 0.0,
+                })
+            })
+            .collect()
+    }
+
+    /// Serial `run_cells`: fresh cells run inline in submission order, then
+    /// parked retries in deadline order. The thread sleeps only once every
+    /// fresh cell has finished and the earliest retry is not yet due, so a
+    /// backoff can never starve a sibling cell.
+    fn run_cells_serial<'env, T: Send>(
+        retry: RetryPolicy,
+        tasks: Vec<CellTask<'env, T>>,
+    ) -> Vec<CellCompletion<T>> {
+        let n = tasks.len();
+        let mut out: Vec<Option<CellCompletion<T>>> = (0..n).map(|_| None).collect();
+        let mut parked: Vec<PendingRetry<'env, T>> = Vec::new();
+        let complete = |out: &mut Vec<Option<CellCompletion<T>>>,
+                        idx: usize,
+                        outcome: CellOutcome<T>,
+                        t0: Instant| {
+            out[idx] =
+                Some(CellCompletion { outcome, worker: 0, wall_s: t0.elapsed().as_secs_f64() });
+        };
+        for (idx, task) in tasks.into_iter().enumerate() {
+            let t0 = Instant::now();
+            match attempt_cell(task.as_ref()) {
+                Ok(value) => complete(&mut out, idx, CellOutcome::Ok(value), t0),
+                Err(msg) => match park_or_fail(retry, idx, task, 1, t0, msg) {
+                    Ok(entry) => parked.push(entry),
+                    Err(outcome) => complete(&mut out, idx, outcome, t0),
+                },
+            }
+        }
+        while let Some(pos) = next_parked(&parked, None) {
+            let entry = parked.remove(pos);
+            let now = Instant::now();
+            if entry.due > now {
+                std::thread::sleep(entry.due - now);
+            }
+            let attempts = entry.attempts + 1;
+            match attempt_cell(entry.task.as_ref()) {
+                Ok(value) => {
+                    complete(
+                        &mut out,
+                        entry.idx,
+                        CellOutcome::Retried { value, attempts },
+                        entry.t0,
+                    );
+                }
+                Err(msg) => {
+                    match park_or_fail(retry, entry.idx, entry.task, attempts, entry.t0, msg) {
+                        Ok(again) => parked.push(again),
+                        Err(outcome) => complete(&mut out, entry.idx, outcome, entry.t0),
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| {
+                slot.unwrap_or(CellCompletion {
                     outcome: CellOutcome::Panicked {
                         attempts: 0,
                         message: "cell was never executed".to_string(),
@@ -714,6 +861,75 @@ mod tests {
         assert!(message.contains("1 of 4 cells failed"), "{message}");
         assert!(message.contains("cell 1"), "{message}");
         assert!(message.contains("boom in cell one"), "{message}");
+    }
+
+    #[test]
+    fn backoff_never_starves_sibling_cells() {
+        // A flaky cell with a real backoff must not block the rest of the
+        // matrix: by the time its retry runs, every sibling has finished.
+        // Holds for the serial inline path and the pooled path alike.
+        for threads in [1, 2] {
+            let n = 6usize;
+            let done = AtomicUsize::new(0);
+            let done = &done;
+            let tasks: Vec<CellTask<'_, usize>> = (0..n)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 0 {
+                            let seen = done.load(Ordering::SeqCst);
+                            assert!(seen >= n - 1, "retried before siblings finished");
+                            done.fetch_add(1, Ordering::SeqCst);
+                            return 100 + seen;
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                        i
+                    }) as CellTask<'_, usize>
+                })
+                .collect();
+            let retry = RetryPolicy { retries: 10, backoff_ms: 20 };
+            let out = CellPool::with_threads(threads).run_cells(retry, tasks);
+            assert_eq!(out.len(), n, "threads={threads}");
+            match &out[0].outcome {
+                CellOutcome::Retried { value, attempts } => {
+                    assert_eq!(*value, 100 + (n - 1), "threads={threads}");
+                    assert!(*attempts >= 2, "threads={threads}");
+                }
+                other => panic!("threads={threads}: cell 0 must recover via retry: {other:?}"),
+            }
+            // wall_s spans every attempt, so it covers at least one backoff.
+            assert!(out[0].wall_s >= 0.02, "threads={threads}: wall {}", out[0].wall_s);
+            for (i, c) in out.iter().enumerate().skip(1) {
+                assert_eq!(c.outcome.value(), Some(&i), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parked_retries_run_in_deadline_order() {
+        // Two flaky cells park with different deadlines; the one with the
+        // shorter backoff must be retried first even though it was
+        // submitted later.
+        let order = Mutex::new(Vec::new());
+        let order = &order;
+        let fails = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let fails = &fails;
+        let tasks: Vec<CellTask<'_, usize>> = (0..2)
+            .map(|i| {
+                Box::new(move || {
+                    if fails[i].fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("first attempt fails");
+                    }
+                    lock_or_recover(order).push(i);
+                    i
+                }) as CellTask<'_, usize>
+            })
+            .collect();
+        // Same backoff, so deadlines follow first-attempt order; the
+        // submission-index tiebreak keeps equal deadlines deterministic.
+        let retry = RetryPolicy { retries: 1, backoff_ms: 10 };
+        let out = CellPool::with_threads(1).run_cells(retry, tasks);
+        assert!(out.iter().all(|c| matches!(c.outcome, CellOutcome::Retried { .. })));
+        assert_eq!(*lock_or_recover(order), vec![0, 1]);
     }
 
     #[test]

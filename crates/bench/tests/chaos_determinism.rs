@@ -1,0 +1,142 @@
+//! Determinism and recovery gates for the chaos schedule layer (ISSUE 10).
+//!
+//! Two properties are pinned at the bench level, above the core unit tests:
+//!
+//! 1. **Chaos-off fidelity** — with an explicitly disabled
+//!    [`ChaosConfig`], the committed `BENCH_PERF.json` digests reproduce
+//!    exactly and the registry carries no `chaos.` scope: the layer is
+//!    free when unused.
+//! 2. **Recovery under escalation** — a mid-run stack loss across every
+//!    policy completes without deadlock, leaves zero streams resident on
+//!    the dead stack, publishes per-event recovery records, and replays
+//!    byte-identically at one and at four worker threads.
+
+use ndpx_bench::digest::report_digest;
+use ndpx_bench::gauge::{cell_key, gauge_ops};
+use ndpx_bench::pool::CellPool;
+use ndpx_bench::runner::{run_many_with, BenchScale, RunSpec};
+use ndpx_bench::TraceCache;
+use ndpx_core::config::{MemKind, PolicyKind};
+use ndpx_core::stats::RunReport;
+use ndpx_sim::chaos::ChaosConfig;
+use ndpx_sim::telemetry::StatValue;
+
+fn count(r: &RunReport, path: &str) -> u64 {
+    r.registry.get(path).and_then(StatValue::as_count).unwrap_or(0)
+}
+
+#[test]
+fn chaos_off_reproduces_committed_perf_digests() {
+    let committed = committed_digests();
+    assert!(!committed.is_empty(), "BENCH_PERF.json must hold cell digests");
+    // One workload row covers every policy without re-running the full
+    // 36-cell matrix in a debug build. The disabled config is forced
+    // explicitly so a stray NDPX_CHAOS in the test environment cannot
+    // reach the cells.
+    let ops = gauge_ops(BenchScale::Test);
+    let specs: Vec<RunSpec> = PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            RunSpec {
+                ops_per_core: ops,
+                ..RunSpec::new(MemKind::Hbm, policy, "pr", BenchScale::Test)
+            }
+            .with_tweak(|cfg| cfg.chaos = ChaosConfig::disabled())
+        })
+        .collect();
+    let reports = run_many_with(CellPool::with_threads(4), &TraceCache::new(), &specs);
+    for (spec, report) in specs.iter().zip(&reports) {
+        let key = cell_key(spec);
+        let baseline = committed
+            .iter()
+            .find(|(k, _)| *k == key)
+            .unwrap_or_else(|| panic!("BENCH_PERF.json has no cell {key}"))
+            .1;
+        assert_eq!(
+            report_digest(report),
+            baseline,
+            "{key}: with {} unset the chaos-off path must be bit-identical to main",
+            ndpx_sim::knobs::CHAOS.name
+        );
+        assert!(
+            !report.registry.iter().any(|(path, _)| path.starts_with("chaos.")),
+            "{key}: chaos-off registries must omit the chaos scope"
+        );
+        assert!(
+            !report.registry.iter().any(|(path, _)| path.starts_with("fault.recovery.")),
+            "{key}: chaos-off registries must omit recovery records"
+        );
+    }
+}
+
+#[test]
+fn stack_loss_recovers_and_is_thread_invariant() {
+    // Stack 1 dies permanently at 20us, mid-run for a 20k-op cell at test
+    // scale. Every policy must drain its dead-stack streams and finish.
+    let specs: Vec<RunSpec> = PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            RunSpec {
+                ops_per_core: 20_000,
+                ..RunSpec::new(MemKind::Hbm, policy, "pr", BenchScale::Test)
+            }
+            .with_tweak(|cfg| {
+                cfg.chaos =
+                    ChaosConfig::parse(Some("stack-down@20us:1"), None).expect("valid chaos spec")
+            })
+        })
+        .collect();
+    let serial = run_many_with(CellPool::with_threads(1), &TraceCache::disabled(), &specs);
+    let pooled = run_many_with(CellPool::with_threads(4), &TraceCache::new(), &specs);
+    for ((spec, a), b) in specs.iter().zip(&serial).zip(&pooled) {
+        let key = cell_key(spec);
+        assert!(a.sim_time.as_ps() > 0, "{key}: run must complete under stack loss");
+        assert_eq!(count(a, "chaos.applied"), 1, "{key}: the scheduled loss must fire");
+        assert!(
+            count(a, "chaos.forced_reconfigs") >= 1,
+            "{key}: the loss must force a re-placement"
+        );
+        assert_eq!(
+            count(a, "chaos.dead_resident_streams"),
+            0,
+            "{key}: no stream may end the run resident on the dead stack"
+        );
+        assert!(
+            a.registry.get("fault.recovery.e00.ttr_ps").is_some(),
+            "{key}: the applied event must publish a recovery record"
+        );
+        assert_eq!(
+            a.registry.to_json(),
+            b.registry.to_json(),
+            "{key}: the chaos run must replay identically at 4 threads"
+        );
+        assert_eq!(
+            report_digest(a),
+            report_digest(b),
+            "{key}: chaos digests must be thread-count invariant"
+        );
+    }
+}
+
+/// Reads the `("cell", digest)` pairs out of the committed perf report
+/// (same line-oriented scan `perf_gauge --check` uses).
+fn committed_digests() -> Vec<(String, u64)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PERF.json");
+    let json = std::fs::read_to_string(path).expect("committed BENCH_PERF.json");
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(cell) = extract_str(line, "\"cell\": \"") else { continue };
+        let Some(digest) = extract_str(line, "\"digest\": \"") else { continue };
+        if let Ok(d) = u64::from_str_radix(digest, 16) {
+            out.push((cell.to_string(), d));
+        }
+    }
+    out
+}
+
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}

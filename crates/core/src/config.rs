@@ -4,6 +4,7 @@ use ndpx_cxl::CxlParams;
 use ndpx_mem::device::DramConfig;
 use ndpx_noc::network::LinkParams;
 use ndpx_noc::topology::{IntraKind, Topology};
+use ndpx_sim::chaos::{ChaosConfig, ChaosKind};
 use ndpx_sim::fault::FaultConfig;
 use ndpx_sim::time::{Freq, Time};
 
@@ -149,6 +150,11 @@ pub struct SystemConfig {
     /// field directly. Disabled by default, in which case every device keeps
     /// the ideal fault-free path.
     pub fault: FaultConfig,
+    /// Hard-failure schedule (device and link loss). Profiles read it from
+    /// `NDPX_CHAOS` / `NDPX_CHAOS_RETRY_NS`; tests set the field directly.
+    /// Disabled (no events) by default, in which case no escalation machinery
+    /// engages and runs are byte-identical to the ideal path.
+    pub chaos: ChaosConfig,
 }
 
 impl SystemConfig {
@@ -189,6 +195,7 @@ impl SystemConfig {
             metadata_block: 512,
             seed: 0x5EED_0D9C,
             fault: FaultConfig::from_env(),
+            chaos: ChaosConfig::from_env(),
         }
     }
 
@@ -273,6 +280,36 @@ impl SystemConfig {
             return Err("need at least two sampler capacity points".into());
         }
         self.fault.validate().map_err(str::to_string)?;
+        self.chaos.validate()?;
+        let stacks = self.topology.stacks();
+        for e in &self.chaos.events {
+            match e.kind {
+                ChaosKind::CxlDown => {}
+                ChaosKind::StackDown { stack } => {
+                    if stack >= stacks {
+                        return Err(format!(
+                            "chaos stack-down target {stack} out of range (stacks: {stacks})"
+                        ));
+                    }
+                }
+                ChaosKind::NocLinkDown { src, dst } => {
+                    if src >= stacks || dst >= stacks {
+                        return Err(format!(
+                            "chaos noc-down target {src}-{dst} out of range (stacks: {stacks})"
+                        ));
+                    }
+                    let sx = self.topology.stacks_x;
+                    let (ax, ay) = (src % sx, src / sx);
+                    let (bx, by) = (dst % sx, dst / sx);
+                    if ax.abs_diff(bx) + ay.abs_diff(by) != 1 {
+                        return Err(format!(
+                            "chaos noc-down target {src}-{dst} is not a grid-adjacent \
+                             stack pair"
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -333,6 +370,23 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.fault.mem_ce = 0.5;
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn chaos_targets_are_validated_against_the_topology() {
+        // Test profile: 2×2 stacks.
+        let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
+        cfg.chaos = ChaosConfig::parse(Some("stack-down@10us:1"), None).unwrap();
+        cfg.validate().unwrap();
+        cfg.chaos = ChaosConfig::parse(Some("stack-down@10us:4"), None).unwrap();
+        assert!(cfg.validate().is_err(), "stack index past the grid must be rejected");
+        cfg.chaos = ChaosConfig::parse(Some("noc-down@10us:0-1"), None).unwrap();
+        cfg.validate().unwrap();
+        // Stacks 0 and 3 are diagonal on the 2×2 grid: no direct link.
+        cfg.chaos = ChaosConfig::parse(Some("noc-down@10us:0-3"), None).unwrap();
+        assert!(cfg.validate().is_err(), "non-adjacent link must be rejected");
+        cfg.chaos = ChaosConfig::parse(Some("cxl-down@10us"), None).unwrap();
+        assert!(cfg.validate().is_err(), "permanent CXL outage must be rejected");
     }
 
     #[test]

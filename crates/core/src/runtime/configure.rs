@@ -97,9 +97,28 @@ pub struct ConfigCtx {
     /// Extra latency of a miss to extended memory (beyond a local hit),
     /// picoseconds.
     pub miss_extra_ps: f64,
+    /// Per-unit death mask (chaos stack loss): dead units contribute zero
+    /// cache capacity and are excluded from every spread. All-false on a
+    /// healthy system.
+    pub dead: Vec<bool>,
 }
 
 impl ConfigCtx {
+    /// Whether unit `u` is alive (can hold cache capacity).
+    pub fn alive(&self, u: usize) -> bool {
+        !self.dead.get(u).copied().unwrap_or(false)
+    }
+
+    /// DRAM cache bytes unit `u` can offer: `unit_capacity`, or zero when the
+    /// unit is dead.
+    pub fn capacity_of(&self, u: usize) -> u64 {
+        if self.alive(u) {
+            self.unit_capacity
+        } else {
+            0
+        }
+    }
+
     /// Interconnect latency between `u` and `v`, picoseconds (derived from
     /// the attenuation factor).
     fn noc_ps(&self, u: usize, v: usize) -> f64 {
@@ -198,8 +217,8 @@ fn slope_bits(slope: f64) -> u64 {
 /// already rounded to each stream's grain.
 pub fn allocate_ndpext(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
     let mut budget = Budget {
-        free: vec![ctx.unit_capacity; ctx.units],
-        affine_free: vec![ctx.affine_cap.min(ctx.unit_capacity); ctx.units],
+        free: (0..ctx.units).map(|u| ctx.capacity_of(u)).collect(),
+        affine_free: (0..ctx.units).map(|u| ctx.affine_cap.min(ctx.capacity_of(u))).collect(),
     };
 
     // Initial groups: maximal replication for read-only streams, a single
@@ -614,7 +633,12 @@ fn allocate_equal(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
             if per_unit == 0 {
                 return Vec::new();
             }
-            vec![AllocGroup { unit_bytes: (0..ctx.units).map(|u| (u, per_unit)).collect() }]
+            vec![AllocGroup {
+                unit_bytes: (0..ctx.units)
+                    .filter(|&u| ctx.alive(u))
+                    .map(|u| (u, per_unit))
+                    .collect(),
+            }]
         })
         .collect();
     Allocation { streams }
@@ -622,10 +646,11 @@ fn allocate_equal(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
 
 /// Static interleaving: one shared, unmanaged cache. Capacity divides
 /// between streams proportional to access intensity (how an unpartitioned
-/// direct-mapped cache settles), spread uniformly over all units.
+/// direct-mapped cache settles), spread uniformly over all surviving units.
 fn allocate_interleave(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation {
     let total_acc: u64 = demands.iter().map(|d| d.total_accesses).sum();
-    if total_acc == 0 {
+    let alive: Vec<usize> = (0..ctx.units).filter(|&u| ctx.alive(u)).collect();
+    if total_acc == 0 || alive.is_empty() {
         return Allocation { streams: demands.iter().map(|_| Vec::new()).collect() };
     }
     let streams = demands
@@ -635,13 +660,13 @@ fn allocate_interleave(demands: &[StreamDemand], ctx: &ConfigCtx) -> Allocation 
                 return Vec::new();
             }
             let stream_bytes =
-                (ctx.unit_capacity as f64 * ctx.units as f64 * d.total_accesses as f64
+                (ctx.unit_capacity as f64 * alive.len() as f64 * d.total_accesses as f64
                     / total_acc as f64) as u64;
-            let per_unit = ((stream_bytes / ctx.units as u64) / d.grain.max(1)) * d.grain.max(1);
+            let per_unit = ((stream_bytes / alive.len() as u64) / d.grain.max(1)) * d.grain.max(1);
             if per_unit == 0 {
                 return Vec::new();
             }
-            vec![AllocGroup { unit_bytes: (0..ctx.units).map(|u| (u, per_unit)).collect() }]
+            vec![AllocGroup { unit_bytes: alive.iter().map(|&u| (u, per_unit)).collect() }]
         })
         .collect();
     Allocation { streams }
@@ -655,7 +680,7 @@ fn allocate_lookahead(
     ctx: &ConfigCtx,
     nexus_degree: usize,
 ) -> Allocation {
-    let mut free = vec![ctx.unit_capacity; ctx.units];
+    let mut free: Vec<u64> = (0..ctx.units).map(|u| ctx.capacity_of(u)).collect();
 
     // Per stream: the ordered unit preference list. Jigsaw gathers each
     // partition at its centre of mass; Whirlpool and Nexus place capacity at
@@ -895,6 +920,7 @@ mod tests {
             attenuation,
             dram_lat_ps: 45_000.0,
             miss_extra_ps: 500_000.0,
+            dead: vec![false; units],
         }
     }
 
@@ -1057,6 +1083,70 @@ mod tests {
             for (u, &used) in per_unit.iter().enumerate() {
                 assert!(used <= cap as u64, "{policy:?} overflows unit {u}: {used} > {cap}");
             }
+        }
+    }
+
+    #[test]
+    fn dead_units_receive_no_capacity_under_any_policy() {
+        let units = 4;
+        let cap = 64 * 64;
+        let demands: Vec<StreamDemand> = (0..6)
+            .map(|i| {
+                demand(
+                    vec![(64 * 128, 10.0)],
+                    10_000.0,
+                    vec![(i % units, 500), ((i + 1) % units, 300)],
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        let mut c = ctx(units, cap as u64);
+        c.dead[1] = true;
+        for policy in PolicyKind::ALL {
+            let a = if policy == PolicyKind::NdpExt {
+                allocate_ndpext(&demands, &c)
+            } else {
+                allocate_baseline(policy, &demands, &c, 2)
+            };
+            let mut placed_anywhere = 0u64;
+            for gs in &a.streams {
+                for g in gs {
+                    for &(u, b) in &g.unit_bytes {
+                        assert!(u != 1 || b == 0, "{policy:?} placed {b} bytes on dead unit 1");
+                        placed_anywhere += b;
+                    }
+                }
+            }
+            assert!(placed_anywhere > 0, "{policy:?} placed nothing on survivors");
+        }
+    }
+
+    #[test]
+    fn all_alive_mask_matches_the_healthy_allocation() {
+        let units = 4;
+        let cap = 64 * 64;
+        let demands: Vec<StreamDemand> = (0..6)
+            .map(|i| {
+                demand(
+                    vec![(64 * 128, 10.0)],
+                    10_000.0,
+                    vec![(i % units, 500), ((i + 1) % units, 300)],
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        let c = ctx(units, cap as u64);
+        for policy in PolicyKind::ALL {
+            let run = |ctx: &ConfigCtx| {
+                if policy == PolicyKind::NdpExt {
+                    allocate_ndpext(&demands, ctx)
+                } else {
+                    allocate_baseline(policy, &demands, ctx, 2)
+                }
+            };
+            let healthy = run(&c);
+            let again = run(&c);
+            assert_eq!(healthy.streams, again.streams, "{policy:?} not deterministic");
         }
     }
 }

@@ -33,6 +33,7 @@ use ndpx_cxl::{CxlFault, ExtendedMemory};
 use ndpx_mem::device::{DramDevice, EccOutcome, MemFault};
 use ndpx_noc::network::{Network, NocFault};
 use ndpx_noc::topology::UnitId;
+use ndpx_sim::chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 use ndpx_sim::energy::Power;
 use ndpx_sim::engine::{
     batching_from_env, BatchStats, EventQueue, ProgressWatchdog, QueueStats, BATCH_CAP,
@@ -155,6 +156,89 @@ impl SloTracker {
     }
 }
 
+/// Per-event recovery record (`fault.recovery.e##.*`). `applied` guards
+/// registration: events the run never reached publish nothing.
+#[derive(Debug, Clone, Default)]
+struct RecoveryRecord {
+    applied: bool,
+    /// Simulated time the failure hit.
+    at: Time,
+    /// Time-to-recover: from the failure hitting until the escalation
+    /// completed — the forced re-placement's migration drain for permanent
+    /// losses, the full loss window plus the restore's drain for windowed
+    /// ones, the outage window for CXL link-down.
+    ttr: Time,
+    /// Streams whose cached data the event destroyed (poisoned and
+    /// re-placed on the survivors).
+    streams_migrated: u64,
+    /// Trace ops aborted on the dead cores.
+    ops_aborted: u64,
+}
+
+/// Chaos escalation state; allocated only when the configuration schedules
+/// at least one hard failure, so chaos-off runs keep every hot path's ideal
+/// shape.
+#[derive(Debug)]
+struct ChaosState {
+    plan: ChaosPlan,
+    /// Pending restores of windowed failures, sorted by (time, event id).
+    restores: Vec<(Time, usize, ChaosKind)>,
+    /// Per-unit death mask, mirrored into [`ConfigCtx::dead`] so the
+    /// placement algorithms see zero capacity on lost stacks.
+    dead_units: Vec<bool>,
+    records: Vec<RecoveryRecord>,
+    applied: u64,
+    restored: u64,
+    ops_aborted: u64,
+    streams_poisoned: u64,
+    forced_reconfigs: u64,
+    /// Integral of the dead-unit count over sim time (unit·ps), feeding the
+    /// availability gauge.
+    dead_unit_ps: u64,
+    /// When the death mask last changed (closes the integral).
+    mask_changed: Time,
+}
+
+impl ChaosState {
+    fn new(plan: ChaosPlan, units: usize) -> Self {
+        ChaosState {
+            records: vec![RecoveryRecord::default(); plan.len()],
+            plan,
+            restores: Vec::new(),
+            dead_units: vec![false; units],
+            applied: 0,
+            restored: 0,
+            ops_aborted: 0,
+            streams_poisoned: 0,
+            forced_reconfigs: 0,
+            dead_unit_ps: 0,
+            mask_changed: Time::ZERO,
+        }
+    }
+
+    fn dead_count(&self) -> u64 {
+        self.dead_units.iter().filter(|&&d| d).count() as u64
+    }
+
+    /// Closes the dead-unit integral at `now`; call before mutating the
+    /// death mask.
+    fn integrate_to(&mut self, now: Time) {
+        let span = now.saturating_sub(self.mask_changed);
+        self.dead_unit_ps += self.dead_count() * span.as_ps();
+        self.mask_changed = now;
+    }
+
+    /// Fraction of unit·time lost to dead units up to `now` (0.0 healthy).
+    fn unavailability(&self, now: Time) -> f64 {
+        let denom = (self.dead_units.len() as u64).saturating_mul(now.as_ps());
+        if denom == 0 {
+            return 0.0;
+        }
+        let open = self.dead_count() * now.saturating_sub(self.mask_changed).as_ps();
+        (self.dead_unit_ps + open) as f64 / denom as f64
+    }
+}
+
 /// The NDP system simulator.
 pub struct NdpSystem {
     cfg: SystemConfig,
@@ -252,6 +336,9 @@ pub struct NdpSystem {
     /// Epoch SLO stats; active only while a time-resolved consumer is
     /// attached (see [`SloTracker`]).
     slo: SloTracker,
+    /// Hard-failure escalation state (`NDPX_CHAOS`); `None` whenever the
+    /// schedule is empty, keeping chaos-off runs byte-identical.
+    chaos: Option<Box<ChaosState>>,
 }
 
 impl NdpSystem {
@@ -273,39 +360,6 @@ impl NdpSystem {
         let units_n = cfg.units();
         let (intra, inter) = cfg.link_params();
         let net = Network::new(cfg.topology, intra, inter);
-
-        // Distance, attenuation, and NoC-split weight matrices.
-        let dram_lat = cfg.dram_config().timing.row_empty().as_ps() as f64;
-        let (intra_l, inter_l) = cfg.link_params();
-        let mut distance = vec![0u64; units_n * units_n];
-        let mut attenuation = vec![vec![1.0; units_n]; units_n];
-        let mut noc_weights = vec![(0u64, 1u64); units_n * units_n];
-        for (u, att) in attenuation.iter_mut().enumerate() {
-            let row = u * units_n;
-            for v in 0..units_n {
-                let d = net.base_latency(UnitId(u), UnitId(v), LINE_BYTES).as_ps();
-                distance[row + v] = d;
-                let iw = cfg.topology.intra_hops(UnitId(u), UnitId(v)) as u64
-                    * intra_l.hop_latency.as_ps();
-                let xw = cfg.topology.inter_hops(UnitId(u), UnitId(v)) as u64
-                    * inter_l.hop_latency.as_ps();
-                noc_weights[row + v] = (iw, (iw + xw).max(1));
-            }
-            // Attenuation derives elementwise from the distance row:
-            // computed as a second chunked pass the compiler can lower to
-            // 4-wide vector divides (each lane independent, so the result
-            // is bit-identical to the scalar loop).
-            let mut dc = distance[row..row + units_n].chunks_exact(4);
-            let mut ac = att.chunks_exact_mut(4);
-            for (d4, a4) in dc.by_ref().zip(ac.by_ref()) {
-                for i in 0..4 {
-                    a4[i] = dram_lat / (dram_lat + d4[i] as f64);
-                }
-            }
-            for (d, a) in dc.remainder().iter().zip(ac.into_remainder()) {
-                *a = dram_lat / (dram_lat + *d as f64);
-            }
-        }
 
         let desc_params = DescParams {
             stream_grain: cfg.policy.is_stream_grain(),
@@ -336,9 +390,9 @@ impl NdpSystem {
             tags,
             layouts: Vec::new(),
             descs,
-            attenuation,
-            distance,
-            noc_weights,
+            attenuation: Vec::new(),
+            distance: Vec::new(),
+            noc_weights: Vec::new(),
             next_epoch: cfg.epoch(),
             acc_counts: vec![0; stream_count * units_n],
             acc_history: vec![0; stream_count * units_n],
@@ -374,8 +428,17 @@ impl NdpSystem {
             timeline: TimelineSampler::from_env().map(Box::new),
             profile: PhaseProfiler::from_env().map(Box::new),
             slo: SloTracker::default(),
+            chaos: None,
         };
         sys.slo.enabled = sys.timeline.is_some() || sys.profile.is_some();
+        sys.rebuild_noc_matrices();
+        // Hard-failure schedule: a sim-time cursor over the validated chaos
+        // plan. With no events scheduled the option stays `None` and every
+        // hot path keeps its ideal shape.
+        if sys.cfg.chaos.enabled() {
+            sys.ext.set_outage_retry(sys.cfg.chaos.retry);
+            sys.chaos = Some(Box::new(ChaosState::new(ChaosPlan::new(&sys.cfg.chaos), units_n)));
+        }
         // Deterministic fault injection: each device derives an independent
         // decision plan from (master seed, domain, instance), so schedules
         // are reproducible regardless of harness thread count. With the
@@ -455,10 +518,13 @@ impl NdpSystem {
         let dram_lat = self.cfg.dram_config().timing.row_empty().as_ps() as f64;
         let mut ext_lat = 2.0 * self.cfg.cxl.link_latency.as_ps() as f64
             + ndpx_mem::timing::DramTiming::ddr5_4800().row_empty().as_ps() as f64;
-        if self.ext.fault_enabled() {
-            // Placement feedback: CRC replays and retrains raise the
-            // effective miss penalty, so the configuration algorithm shifts
-            // streams toward stack-local DRAM while the link is degraded.
+        if self.ext.fault_enabled() || self.chaos.is_some() {
+            // Placement feedback: CRC replays, retrains, and chaos outage
+            // stalls raise the effective miss penalty, so the configuration
+            // algorithm shifts streams toward stack-local DRAM while the
+            // link is degraded. `degradation()` is exactly 1.0 with nothing
+            // degraded, so a chaos run allocates identically to the healthy
+            // path until its first event fires.
             ext_lat *= self.ext.degradation();
         }
         ConfigCtx {
@@ -468,6 +534,10 @@ impl NdpSystem {
             attenuation: self.attenuation.clone(),
             dram_lat_ps: dram_lat,
             miss_extra_ps: ext_lat,
+            dead: self
+                .chaos
+                .as_deref()
+                .map_or_else(|| vec![false; self.cfg.units()], |cs| cs.dead_units.clone()),
         }
     }
 
@@ -531,10 +601,29 @@ impl NdpSystem {
                     self.workload_name
                 );
             }
-            while t >= self.next_epoch {
-                let at = self.next_epoch;
-                self.reconfigure(at, profile.as_deref_mut());
-                self.next_epoch = at + self.cfg.epoch();
+            // Boundary actions in simulated-time order: due chaos events
+            // (and restores of windowed failures) interleave with epoch
+            // reconfigurations. Ties go to chaos so a failure landing
+            // exactly on an epoch boundary escalates before the regular
+            // reconfiguration runs; with no chaos configured this loop is
+            // exactly the historical epoch advance.
+            loop {
+                let due_chaos = self.chaos_next_at().filter(|&c| c <= t && c <= self.next_epoch);
+                if let Some(c) = due_chaos {
+                    self.apply_next_chaos(c, &mut remaining);
+                } else if t >= self.next_epoch {
+                    let at = self.next_epoch;
+                    self.reconfigure(at, profile.as_deref_mut());
+                    self.next_epoch = at + self.cfg.epoch();
+                } else {
+                    break;
+                }
+            }
+            // A chaos-killed core surfaces here with no ops left: retire it
+            // without touching the op source (its trace was aborted).
+            if remaining[core] == 0 {
+                next = queue.pop();
+                continue;
             }
             // Timeline boundary: snapshot the cumulative state strictly
             // before processing the first event at or past it. Sim-order
@@ -551,6 +640,12 @@ impl NdpSystem {
             // the inner loop — the historical per-op behaviour.
             let window = if self.batch {
                 let base = queue.peek_time().map_or(self.next_epoch, |m| m.min(self.next_epoch));
+                // Clamp run-ahead to the next chaos boundary so no batch
+                // skips a scheduled failure or restore.
+                let base = match self.chaos_next_at() {
+                    Some(c) => base.min(c),
+                    None => base,
+                };
                 // Clamp run-ahead to the next timeline boundary so windows
                 // close on time. Batching stays bit-identical — batches just
                 // end earlier when a boundary is near.
@@ -670,6 +765,7 @@ impl NdpSystem {
             cxl.gauge("degradation", self.ext.degradation());
         }
         self.register_fault_scope(&mut reg);
+        self.register_chaos_scope(&mut reg, now);
         if self.slo.enabled {
             let mut slo = reg.scope("slo");
             self.slo.register(&mut slo, now);
@@ -1174,7 +1270,10 @@ impl NdpSystem {
                     && old.grain == grain
                     && old_total > 0
                     && new_total.abs_diff(old_total) * 4 < old_total;
-                if similar {
+                // Chaos gate: never keep a layout that still holds shares on
+                // a dead unit, however small the delta looks. Always true on
+                // a healthy system.
+                if similar && self.chaos_layout_clean(old) {
                     new_layouts.push(old.clone());
                     continue;
                 }
@@ -1368,6 +1467,338 @@ impl NdpSystem {
         self.acc_counts.fill(0);
     }
 
+    /// (Re)derives the distance, attenuation, and NoC-split weight matrices
+    /// from the network's current routes. Called at construction and after a
+    /// chaos NoC link death or restore, so the placement signal
+    /// (`attenuation` feeds Algorithm 1, exactly like `degradation()` does
+    /// for the CXL link) tracks reroutes. While every link is healthy the
+    /// routes equal the XY baseline and this reproduces the construction
+    /// matrices bit-for-bit. The intra/inter split weights stay
+    /// topology-derived — they only attribute a duration between the two
+    /// NoC components.
+    fn rebuild_noc_matrices(&mut self) {
+        let units_n = self.cfg.units();
+        let dram_lat = self.cfg.dram_config().timing.row_empty().as_ps() as f64;
+        let (intra_l, inter_l) = self.cfg.link_params();
+        let mut distance = vec![0u64; units_n * units_n];
+        let mut attenuation = vec![vec![1.0; units_n]; units_n];
+        let mut noc_weights = vec![(0u64, 1u64); units_n * units_n];
+        for (u, att) in attenuation.iter_mut().enumerate() {
+            let row = u * units_n;
+            for v in 0..units_n {
+                let d = self.net.base_latency(UnitId(u), UnitId(v), LINE_BYTES).as_ps();
+                distance[row + v] = d;
+                let iw = self.cfg.topology.intra_hops(UnitId(u), UnitId(v)) as u64
+                    * intra_l.hop_latency.as_ps();
+                let xw = self.cfg.topology.inter_hops(UnitId(u), UnitId(v)) as u64
+                    * inter_l.hop_latency.as_ps();
+                noc_weights[row + v] = (iw, (iw + xw).max(1));
+            }
+            // Attenuation derives elementwise from the distance row:
+            // computed as a second chunked pass the compiler can lower to
+            // 4-wide vector divides (each lane independent, so the result
+            // is bit-identical to the scalar loop).
+            let mut dc = distance[row..row + units_n].chunks_exact(4);
+            let mut ac = att.chunks_exact_mut(4);
+            for (d4, a4) in dc.by_ref().zip(ac.by_ref()) {
+                for i in 0..4 {
+                    a4[i] = dram_lat / (dram_lat + d4[i] as f64);
+                }
+            }
+            for (d, a) in dc.remainder().iter().zip(ac.into_remainder()) {
+                *a = dram_lat / (dram_lat + *d as f64);
+            }
+        }
+        self.distance = distance;
+        self.attenuation = attenuation;
+        self.noc_weights = noc_weights;
+    }
+
+    /// Earliest unconsumed chaos boundary — next scheduled failure or
+    /// pending restore. Run-ahead windows clamp to it so no batch skips one.
+    fn chaos_next_at(&self) -> Option<Time> {
+        let cs = self.chaos.as_deref()?;
+        let event = cs.plan.next_at();
+        let restore = cs.restores.first().map(|r| r.0);
+        match (event, restore) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn chaos_mut(&mut self) -> &mut ChaosState {
+        self.chaos.as_deref_mut().expect("chaos state engaged")
+    }
+
+    /// Applies the single earliest chaos boundary due at `now`. Restores win
+    /// ties against new failures (capacity comes back before more is taken
+    /// away); the run loop re-polls until nothing is due, so simultaneous
+    /// boundaries apply in a deterministic order at any thread count.
+    fn apply_next_chaos(&mut self, now: Time, remaining: &mut [u64]) {
+        enum Due {
+            Restore(Time, usize, ChaosKind),
+            Event(usize, ChaosEvent),
+        }
+        let due = {
+            let Some(cs) = self.chaos.as_deref_mut() else { return };
+            let restore_due = cs.restores.first().map(|r| r.0).filter(|&r| r <= now);
+            let event_due = cs.plan.next_at().filter(|&e| e <= now);
+            match (restore_due, event_due) {
+                (Some(r), Some(e)) if e < r => {
+                    let (idx, ev) = cs.plan.pop_due(now).expect("event due");
+                    Due::Event(idx, ev)
+                }
+                (Some(_), _) => {
+                    let (at, idx, kind) = cs.restores.remove(0);
+                    Due::Restore(at, idx, kind)
+                }
+                (None, Some(_)) => {
+                    let (idx, ev) = cs.plan.pop_due(now).expect("event due");
+                    Due::Event(idx, ev)
+                }
+                (None, None) => return,
+            }
+        };
+        match due {
+            Due::Restore(at, idx, kind) => self.apply_chaos_restore(idx, kind, at),
+            Due::Event(idx, ev) => self.apply_chaos_event(idx, ev, remaining),
+        }
+    }
+
+    /// Escalates one scheduled hard failure through the existing recovery
+    /// machinery: poison → re-fetch, capacity zeroing → re-placement on the
+    /// survivors, epoch-style reconfiguration → migration drain.
+    fn apply_chaos_event(&mut self, idx: usize, e: ChaosEvent, remaining: &mut [u64]) {
+        let at = e.at;
+        ndpx_warn!("chaos: {} hits at {at}", e.kind.label());
+        match e.kind {
+            ChaosKind::CxlDown => {
+                let restore = e.restore_at().expect("validated: cxl-down is windowed");
+                // Ext accesses stall behind bounded retry probes until the
+                // link restores; the outage expires inside `ExtendedMemory`,
+                // so no scheduled restore is queued here.
+                self.ext.begin_outage(restore);
+                let cs = self.chaos_mut();
+                cs.applied += 1;
+                let r = &mut cs.records[idx];
+                r.applied = true;
+                r.at = at;
+                r.ttr = restore.saturating_sub(at);
+            }
+            ChaosKind::StackDown { stack } => {
+                let units_n = self.cfg.units();
+                let ups = self.cfg.topology.units_per_stack();
+                let (lo, hi) = (stack * ups, (stack + 1) * ups);
+                // The stack's DRAM ranks go dark: every cached line on them
+                // is lost, so every stream resident there is poisoned and
+                // re-fetches from extended memory (the same escalation path
+                // an uncorrectable ECC error takes).
+                let resident: Vec<StreamId> = (0..self.table.len())
+                    .filter(|&si| {
+                        self.layouts[si]
+                            .groups
+                            .iter()
+                            .any(|g| g.shares[lo..hi].iter().any(|&s| s > 0))
+                    })
+                    .map(|si| StreamId(si as u16))
+                    .collect();
+                let poisoned = self.table.mark_poisoned_many(resident.iter().copied());
+                self.chaos_mut().integrate_to(at);
+                let mut invalidated = 0u64;
+                let mut aborted = 0u64;
+                // `u` indexes four parallel arrays; an iterator over just
+                // `remaining` would obscure that.
+                #[allow(clippy::needless_range_loop)]
+                for u in lo..hi {
+                    self.drams[u].set_offline(at);
+                    for si in 0..self.table.len() {
+                        let slot = si * units_n + u;
+                        if let Some(tags) = self.tags[slot].as_mut() {
+                            let (valid, _) = tags.invalidate_all();
+                            invalidated += valid;
+                        }
+                        self.tags[slot] = None;
+                        // Dead units stop contributing demand: their access
+                        // history would otherwise keep attracting capacity.
+                        self.acc_counts[slot] = 0;
+                        self.acc_history[slot] = 0;
+                    }
+                    // Abort the dead cores' remaining trace ops; in-flight
+                    // work on a lost stack cannot be replayed.
+                    aborted += remaining[u];
+                    remaining[u] = 0;
+                    self.chaos_mut().dead_units[u] = true;
+                }
+                self.invalidations += invalidated;
+                // Zero capacity plus poisoned streams: the forced
+                // re-placement moves everything onto the survivors.
+                let drain = self.force_reconfigure(at);
+                let cs = self.chaos_mut();
+                cs.applied += 1;
+                cs.ops_aborted += aborted;
+                cs.streams_poisoned += poisoned;
+                let r = &mut cs.records[idx];
+                r.applied = true;
+                r.at = at;
+                r.ttr = drain;
+                r.streams_migrated = resident.len() as u64;
+                r.ops_aborted = aborted;
+                if let Some(restore) = e.restore_at() {
+                    self.chaos_schedule_restore(restore, idx, e.kind);
+                }
+            }
+            ChaosKind::NocLinkDown { src, dst } => {
+                let killed = self.net.set_link_dead(src, dst, true);
+                debug_assert!(killed, "validated: grid-adjacent stacks");
+                // Deterministic reroute, then refreshed distance/attenuation
+                // matrices feed the placement algorithm the escalated path
+                // costs — the same signal shape as `degradation()`.
+                self.rebuild_noc_matrices();
+                let drain = self.force_reconfigure(at);
+                let cs = self.chaos_mut();
+                cs.applied += 1;
+                let r = &mut cs.records[idx];
+                r.applied = true;
+                r.at = at;
+                r.ttr = drain;
+                if let Some(restore) = e.restore_at() {
+                    self.chaos_schedule_restore(restore, idx, e.kind);
+                }
+            }
+        }
+    }
+
+    /// Applies a windowed failure's restore: the resource returns (empty)
+    /// and a forced re-placement spreads capacity back over it. The record's
+    /// time-to-recover widens to cover the whole loss window plus the
+    /// restore's own drain.
+    fn apply_chaos_restore(&mut self, idx: usize, kind: ChaosKind, at: Time) {
+        ndpx_info!("chaos: {} restores at {at}", kind.label());
+        match kind {
+            // CXL outages expire inside `ExtendedMemory`; nothing is queued.
+            ChaosKind::CxlDown => {}
+            ChaosKind::StackDown { stack } => {
+                let ups = self.cfg.topology.units_per_stack();
+                let (lo, hi) = (stack * ups, (stack + 1) * ups);
+                self.chaos_mut().integrate_to(at);
+                for u in lo..hi {
+                    self.drams[u].set_online(at);
+                    self.chaos_mut().dead_units[u] = false;
+                }
+                // The dead cores' traces were aborted, not suspended: the
+                // restored stack returns as cache capacity only.
+                let drain = self.force_reconfigure(at);
+                let cs = self.chaos_mut();
+                cs.restored += 1;
+                let r = &mut cs.records[idx];
+                r.ttr = (at + drain).saturating_sub(r.at);
+            }
+            ChaosKind::NocLinkDown { src, dst } => {
+                self.net.set_link_dead(src, dst, false);
+                self.rebuild_noc_matrices();
+                let drain = self.force_reconfigure(at);
+                let cs = self.chaos_mut();
+                cs.restored += 1;
+                let r = &mut cs.records[idx];
+                r.ttr = (at + drain).saturating_sub(r.at);
+            }
+        }
+    }
+
+    /// Queues a windowed failure's restore, keeping the queue sorted by
+    /// (time, event id) so simultaneous restores apply in schedule order.
+    fn chaos_schedule_restore(&mut self, at: Time, idx: usize, kind: ChaosKind) {
+        let cs = self.chaos_mut();
+        cs.restores.push((at, idx, kind));
+        cs.restores.sort_by_key(|&(t, i, _)| (t, i));
+    }
+
+    /// Chaos escalation: re-runs the configuration algorithm immediately,
+    /// bypassing both the moved-bytes hysteresis threshold and the
+    /// `max_reconfigs` budget — after a hard failure the placement *must*
+    /// move off the dead resources. Cached state drains through the same
+    /// `apply_allocation` path as an epoch reconfiguration. Returns the
+    /// migration drain span.
+    fn force_reconfigure(&mut self, t: Time) -> Time {
+        self.reconfigs += 1;
+        self.chaos_mut().forced_reconfigs += 1;
+        let demands = self.collect_demands(false);
+        let ctx = self.config_ctx();
+        let alloc = if self.cfg.policy == PolicyKind::NdpExt {
+            allocate_ndpext(&demands, &ctx)
+        } else {
+            allocate_baseline(self.cfg.policy, &demands, &ctx, self.cfg.nexus_degree)
+        };
+        let drain = self.apply_allocation(&alloc, t);
+        if self.slo.enabled {
+            self.slo.applied(t, drain);
+        }
+        drain
+    }
+
+    /// With chaos active, a hysteresis-kept layout must hold zero shares on
+    /// dead units. Trivially true when chaos is off (healthy path keeps its
+    /// exact historical shape).
+    fn chaos_layout_clean(&self, layout: &StreamLayout) -> bool {
+        match self.chaos.as_deref() {
+            None => true,
+            Some(cs) => layout
+                .groups
+                .iter()
+                .all(|g| g.shares.iter().zip(&cs.dead_units).all(|(&s, &dead)| s == 0 || !dead)),
+        }
+    }
+
+    /// Streams whose current layout still holds capacity on a dead unit —
+    /// the acceptance gate: zero after a stack-down escalates.
+    fn dead_resident_streams(&self) -> u64 {
+        let Some(cs) = self.chaos.as_deref() else { return 0 };
+        self.layouts
+            .iter()
+            .filter(|l| {
+                l.groups
+                    .iter()
+                    .any(|g| g.shares.iter().zip(&cs.dead_units).any(|(&s, &dead)| dead && s > 0))
+            })
+            .count() as u64
+    }
+
+    /// Publishes the `chaos.*` scope and the per-event `fault.recovery.*`
+    /// records when a hard-failure schedule is configured; completely absent
+    /// otherwise, so chaos-off registry dumps stay byte-identical.
+    fn register_chaos_scope(&self, registry: &mut StatRegistry, now: Time) {
+        let Some(cs) = self.chaos.as_deref() else { return };
+        {
+            let mut chaos = registry.scope("chaos");
+            chaos.count("events", cs.plan.len() as u64);
+            chaos.count("applied", cs.applied);
+            chaos.count("restores", cs.restored);
+            chaos.count("ops_aborted", cs.ops_aborted);
+            chaos.count("streams_poisoned", cs.streams_poisoned);
+            chaos.count("forced_reconfigs", cs.forced_reconfigs);
+            chaos.count("dead_units", cs.dead_count());
+            chaos.count("dead_links", self.net.dead_link_count());
+            chaos.count("dead_resident_streams", self.dead_resident_streams());
+            chaos.gauge("availability", 1.0 - cs.unavailability(now));
+            self.ext.register_outage_stats(&mut chaos.scope("cxl"));
+        }
+        // Per-event recovery SLOs. The registry is a flat path map, so this
+        // `fault.` prefix merges cleanly with the transient-fault scope when
+        // both are active.
+        let mut fault = registry.scope("fault");
+        let mut rec = fault.scope("recovery");
+        for (i, r) in cs.records.iter().enumerate() {
+            if !r.applied {
+                continue;
+            }
+            let mut e = rec.scope(&format!("e{i:02}"));
+            e.count("at_ps", r.at.as_ps());
+            e.count("ttr_ps", r.ttr.as_ps());
+            e.count("streams_migrated", r.streams_migrated);
+            e.count("ops_aborted", r.ops_aborted);
+        }
+    }
+
     /// Runs the max-flow sampler assignment on this epoch's access bitvector
     /// and instantiates fresh samplers.
     fn assign_epoch_samplers(&mut self) {
@@ -1469,9 +1900,14 @@ impl NdpSystem {
             core.hist("access_latency", &self.access_latency);
         }
         self.net.register_stats(&mut registry.scope("noc"));
-        self.ext.register_stats(&mut registry.scope("cxl"));
+        {
+            let mut cxl = registry.scope("cxl");
+            self.ext.register_stats(&mut cxl);
+            cxl.gauge("degradation", self.ext.degradation());
+        }
         self.table.register_stats(&mut registry.scope("stream_table"));
         self.register_fault_scope(&mut registry);
+        self.register_chaos_scope(&mut registry, makespan);
         if self.slo.enabled {
             // Epoch service stats ride only on time-resolved runs, so the
             // scope is absent (and dumps unchanged) by default — same
@@ -1829,6 +2265,132 @@ mod tests {
             reg.to_json()
         };
         assert_eq!(strip(&on), strip(&off));
+    }
+
+    fn run_chaos(policy: PolicyKind, spec: &str, workload: &str, ops: u64) -> RunReport {
+        let mut cfg = SystemConfig::test(policy);
+        cfg.chaos = ndpx_sim::chaos::ChaosConfig::parse(Some(spec), None).expect("valid spec");
+        let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build(workload, &p).expect("known").expect("builds");
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        sys.run(ops)
+    }
+
+    fn count(r: &RunReport, k: &str) -> u64 {
+        r.registry.get(k).unwrap_or_else(|| panic!("{k} missing")).as_count().expect("count")
+    }
+
+    #[test]
+    fn chaos_off_runs_carry_no_chaos_keys() {
+        let r = run_one(PolicyKind::NdpExt, "pr", 1500);
+        assert!(r
+            .registry
+            .iter()
+            .all(|(k, _)| !k.starts_with("chaos.") && !k.starts_with("fault.recovery.")));
+    }
+
+    #[test]
+    fn empty_chaos_schedule_changes_nothing() {
+        let ideal = run_one(PolicyKind::NdpExt, "pr", 2000);
+        let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
+        cfg.chaos = ndpx_sim::chaos::ChaosConfig::disabled();
+        let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+        let wl = ndpx_workloads::build("pr", &p).expect("known").expect("builds");
+        let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+        let r = sys.run(2000);
+        assert_eq!(ideal.sim_time, r.sim_time);
+        assert_eq!(ideal.registry.to_json(), r.registry.to_json());
+    }
+
+    #[test]
+    fn stack_loss_re_places_streams_and_reports_recovery() {
+        let r = run_chaos(PolicyKind::NdpExt, "stack-down@20us:1", "pr", 20_000);
+        assert!(r.sim_time > Time::ZERO, "stack loss must not wedge the run");
+        assert_eq!(count(&r, "chaos.applied"), 1, "the event must fire mid-run");
+        assert!(count(&r, "chaos.forced_reconfigs") >= 1);
+        assert!(count(&r, "chaos.streams_poisoned") > 0, "resident streams must poison");
+        assert!(count(&r, "chaos.ops_aborted") > 0, "dead cores lose their remaining ops");
+        assert_eq!(
+            count(&r, "chaos.dead_resident_streams"),
+            0,
+            "no stream may stay placed on the dead stack"
+        );
+        let ups = SystemConfig::test(PolicyKind::NdpExt).topology.units_per_stack() as u64;
+        assert_eq!(count(&r, "chaos.dead_units"), ups);
+        // Recovery record: event 0 applied, with a finite time-to-recover.
+        assert!(count(&r, "fault.recovery.e00.ttr_ps") > 0);
+        assert_eq!(count(&r, "fault.recovery.e00.at_ps"), Time::from_us(20).as_ps());
+        assert!(count(&r, "fault.recovery.e00.streams_migrated") > 0);
+        let avail = r.registry.get("chaos.availability").expect("gauge").as_gauge().expect("f64");
+        assert!(avail > 0.0 && avail < 1.0, "partial-loss availability in (0,1): {avail}");
+        // Determinism: an identical schedule replays byte-identically.
+        let again = run_chaos(PolicyKind::NdpExt, "stack-down@20us:1", "pr", 20_000);
+        assert_eq!(r.registry.to_json(), again.registry.to_json());
+    }
+
+    #[test]
+    fn windowed_stack_loss_restores_capacity() {
+        let r = run_chaos(PolicyKind::NdpExt, "stack-down@20us+30us:0", "pr", 40_000);
+        assert_eq!(count(&r, "chaos.applied"), 1);
+        assert_eq!(count(&r, "chaos.restores"), 1, "the loss window must expire mid-run");
+        assert_eq!(count(&r, "chaos.dead_units"), 0, "all units back after restore");
+        assert!(
+            count(&r, "fault.recovery.e00.ttr_ps") >= Time::from_us(30).as_ps(),
+            "windowed TTR covers at least the loss window"
+        );
+        assert!(r.sim_time > Time::ZERO);
+    }
+
+    #[test]
+    fn cxl_outage_stalls_and_recovers() {
+        let clean = run_one(PolicyKind::NdpExt, "pr", 6000);
+        let r = run_chaos(PolicyKind::NdpExt, "cxl-down@10us+40us", "pr", 6000);
+        assert_eq!(count(&r, "chaos.applied"), 1);
+        assert_eq!(count(&r, "chaos.cxl.outages"), 1);
+        assert!(count(&r, "chaos.cxl.probes") > 0, "stalled accesses must retry");
+        assert!(count(&r, "chaos.cxl.stall_ps") > 0);
+        assert!(r.sim_time > clean.sim_time, "an outage must cost simulated time");
+        assert_eq!(count(&r, "fault.recovery.e00.ttr_ps"), Time::from_us(40).as_ps());
+    }
+
+    #[test]
+    fn noc_link_loss_reroutes_and_restores() {
+        let r = run_chaos(PolicyKind::NdpExt, "noc-down@10us+50us:0-1", "pr", 40_000);
+        assert_eq!(count(&r, "chaos.applied"), 1);
+        assert_eq!(count(&r, "chaos.restores"), 1);
+        assert_eq!(count(&r, "chaos.dead_links"), 0, "link back up after the window");
+        assert!(count(&r, "chaos.forced_reconfigs") >= 2, "loss and restore each re-place");
+        assert!(r.sim_time > Time::ZERO);
+    }
+
+    #[test]
+    fn chaos_is_identical_with_batching_on_and_off() {
+        let render = |batch: bool| {
+            let mut cfg = SystemConfig::test(PolicyKind::NdpExt);
+            cfg.chaos = ndpx_sim::chaos::ChaosConfig::parse(
+                Some("cxl-down@5us+20us;stack-down@20us:1"),
+                None,
+            )
+            .expect("valid");
+            let p = ScaleParams { cores: cfg.units(), footprint: 8 << 20, seed: 42 };
+            let wl = ndpx_workloads::build("pr", &p).expect("known").expect("builds");
+            let mut sys = NdpSystem::new(cfg, wl).expect("valid");
+            sys.set_batching(batch);
+            sys.run(20_000)
+        };
+        let a = render(false);
+        let b = render(true);
+        assert_eq!(a.sim_time, b.sim_time, "chaos boundaries must clamp run-ahead windows");
+        let strip = |r: &RunReport| {
+            let mut reg = StatRegistry::new();
+            for (k, v) in r.registry.iter() {
+                if !k.starts_with("engine.") {
+                    reg.publish(k, v.clone());
+                }
+            }
+            reg.to_json()
+        };
+        assert_eq!(strip(&a), strip(&b));
     }
 
     #[test]

@@ -116,6 +116,7 @@ fn allocators_never_oversubscribe() {
             attenuation,
             dram_lat_ps: 45_000.0,
             miss_extra_ps: 466_000.0,
+            dead: vec![false; units],
         };
         let demands: Vec<StreamDemand> = (0..streams)
             .map(|i| {

@@ -145,6 +145,18 @@ impl CxlFault {
     }
 }
 
+/// Counters for scheduled hard link outages (chaos plans, not the seeded
+/// transient-fault model — the two compose but are independently enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutageStats {
+    /// Scheduled outage windows the link entered.
+    pub outages: u64,
+    /// Retry probes spent by accesses waiting out an outage.
+    pub probes: u64,
+    /// Total time accesses stalled behind outage windows.
+    pub stall: Time,
+}
+
 /// A CXL-attached memory expander: link + DDR5 backend.
 #[derive(Debug, Clone)]
 pub struct ExtendedMemory {
@@ -156,6 +168,11 @@ pub struct ExtendedMemory {
     stats: CxlStats,
     link_energy: Energy,
     fault: Option<CxlFault>,
+    /// The link is hard-down (scheduled outage) until this time.
+    outage_until: Time,
+    /// Base backoff of the outage retry loop (doubles per probe).
+    outage_retry: Time,
+    outage: OutageStats,
 }
 
 /// Size of a CXL.mem request header flit, bytes.
@@ -172,6 +189,9 @@ impl ExtendedMemory {
             stats: CxlStats::default(),
             link_energy: Energy::ZERO,
             fault: None,
+            outage_until: Time::ZERO,
+            outage_retry: Time::from_ns(500),
+            outage: OutageStats::default(),
         }
     }
 
@@ -190,6 +210,30 @@ impl ExtendedMemory {
         self.fault.is_some()
     }
 
+    /// Sets the base backoff of the outage retry loop.
+    pub fn set_outage_retry(&mut self, base: Time) {
+        self.outage_retry = base.max(Time::from_ps(1));
+    }
+
+    /// Takes the link hard-down until `until`: every access issued while
+    /// the outage is active spins on bounded doubling retry/backoff and
+    /// proceeds at its first probe past the restore. Overlapping outages
+    /// extend the window.
+    pub fn begin_outage(&mut self, until: Time) {
+        self.outage.outages += 1;
+        self.outage_until = self.outage_until.max(until);
+    }
+
+    /// True while a scheduled outage window is active at `now`.
+    pub fn outage_active(&self, now: Time) -> bool {
+        now < self.outage_until
+    }
+
+    /// Scheduled-outage counters.
+    pub fn outage_stats(&self) -> &OutageStats {
+        &self.outage
+    }
+
     /// The link parameters.
     pub fn params(&self) -> &CxlParams {
         &self.params
@@ -204,6 +248,24 @@ impl ExtendedMemory {
     /// `now`. Returns the time the response (data or write ack) arrives back.
     pub fn access(&mut self, addr: u64, bytes: u32, write: bool, now: Time) -> Time {
         let issued = now;
+        // A request issued during a hard outage spins on bounded doubling
+        // retry/backoff: probes fail until the restore, and the access
+        // proceeds at its first probe past it. The doubling caps at 256x
+        // the base (mirroring the CRC replay cap) so even a long outage's
+        // first success lands close behind the restore.
+        let now = if now < self.outage_until {
+            let mut probe = now;
+            let mut exp = 0u32;
+            while probe < self.outage_until {
+                probe += self.outage_retry * (1u64 << exp.min(8));
+                exp += 1;
+                self.outage.probes += 1;
+            }
+            self.outage.stall += probe - now;
+            probe
+        } else {
+            now
+        };
         // A request issued while the link is retraining waits it out.
         let now = match &mut self.fault {
             Some(f) if now < f.retrain_until => {
@@ -268,14 +330,20 @@ impl ExtendedMemory {
     /// the runtime's capacity model sees the degraded effective latency and
     /// shifts streams toward stack-local DRAM.
     pub fn degradation(&self) -> f64 {
-        let Some(f) = &self.fault else { return 1.0 };
         let req = self.stats.requests.get();
         if req == 0 {
             return 1.0;
         }
-        let retry_rate = f.stats.crc_retries as f64 / req as f64;
-        let retrain_rate = f.stats.retrains as f64 / req as f64;
-        1.0 + 2.0 * retry_rate + 50.0 * retrain_rate
+        let mut d = 1.0;
+        if let Some(f) = &self.fault {
+            let retry_rate = f.stats.crc_retries as f64 / req as f64;
+            let retrain_rate = f.stats.retrains as f64 / req as f64;
+            d += 2.0 * retry_rate + 50.0 * retrain_rate;
+        }
+        // Hard outages feed the same signal: accesses that had to probe a
+        // dead link out-weigh transient replays.
+        d += 10.0 * (self.outage.probes as f64 / req as f64);
+        d
     }
 
     /// Publishes fault counters under `scope` (no-op without a fault model,
@@ -288,6 +356,15 @@ impl ExtendedMemory {
             scope.count("retrain_wait_ps", f.stats.retrain_wait.as_ps());
             scope.count("rolls", f.plan.rolls());
         }
+    }
+
+    /// Publishes scheduled-outage counters under `scope`. Callers gate this
+    /// on a configured chaos plan, so chaos-off registry dumps stay
+    /// byte-identical.
+    pub fn register_outage_stats(&self, scope: &mut ndpx_sim::telemetry::StatScope<'_>) {
+        scope.count("outages", self.outage.outages);
+        scope.count("probes", self.outage.probes);
+        scope.count("stall_ps", self.outage.stall.as_ps());
     }
 
     /// Statistics for the link.
@@ -324,6 +401,7 @@ impl ExtendedMemory {
     pub fn reset_state(&mut self) {
         self.req_free = Time::ZERO;
         self.rsp_free = Time::ZERO;
+        self.outage_until = Time::ZERO;
         if let Some(f) = &mut self.fault {
             f.retrain_until = Time::ZERO;
         }
@@ -376,6 +454,36 @@ mod tests {
         e.access(0, 64, true, Time::ZERO);
         // 16+64 request + 16 ack.
         assert_eq!(e.stats().bytes.get(), 96);
+    }
+
+    #[test]
+    fn outage_stalls_accesses_behind_bounded_backoff() {
+        let mut e = ext();
+        e.set_outage_retry(Time::from_ns(100));
+        e.begin_outage(Time::from_us(10));
+        assert!(e.outage_active(Time::ZERO));
+        assert!(!e.outage_active(Time::from_us(10)));
+        let done = e.access(0, 64, false, Time::ZERO);
+        // Doubling probes from 100 ns land at 100, 300, 700, 1500, 3100,
+        // 6300, 12700 ns: the seventh probe is the first past the restore.
+        assert_eq!(e.outage_stats().probes, 7);
+        assert_eq!(e.outage_stats().stall, Time::from_ns(12_700));
+        assert!(done > Time::from_us(10), "the access may not complete inside the outage");
+        assert!(e.degradation() > 1.0, "outage probes must feed the placement signal");
+        // After the restore the link is healthy again: no new probes.
+        e.access(0, 64, false, Time::from_us(20));
+        assert_eq!(e.outage_stats().probes, 7);
+        assert_eq!(e.outage_stats().outages, 1);
+    }
+
+    #[test]
+    fn overlapping_outages_extend_the_window() {
+        let mut e = ext();
+        e.begin_outage(Time::from_us(10));
+        e.begin_outage(Time::from_us(5));
+        assert!(e.outage_active(Time::from_us(9)));
+        assert!(!e.outage_active(Time::from_us(10)));
+        assert_eq!(e.outage_stats().outages, 2);
     }
 
     #[test]

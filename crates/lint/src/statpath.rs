@@ -19,7 +19,7 @@
 /// first segment is one of these roots (or `unit#`) are judged at all, so
 /// arbitrary dotted strings — file names, schema tags — never match.
 pub const ROOTS: &[&str] =
-    &["engine", "fault", "slo", "profile", "noc", "core", "mem", "cxl", "stream_table"];
+    &["chaos", "engine", "fault", "slo", "profile", "noc", "core", "mem", "cxl", "stream_table"];
 
 /// DRAM device leaves, shared by `mem.*`, `cxl.ddr.*`, and `unit#.dram.*`.
 const DRAM: &[&str] = &[
@@ -98,7 +98,7 @@ pub fn patterns() -> Vec<String> {
         push(&format!("cxl.ddr.{leaf}"));
         push(&format!("unit#.dram.{leaf}"));
     }
-    for leaf in ["bytes", "latency", "link_pj", "requests"] {
+    for leaf in ["bytes", "degradation", "latency", "link_pj", "requests"] {
         push(&format!("cxl.{leaf}"));
     }
 
@@ -130,6 +130,29 @@ pub fn patterns() -> Vec<String> {
         push(&format!("fault.noc.{leaf}"));
     }
     push("fault.stream.aborts");
+
+    // Chaos schedules: hard-failure escalation counters and the per-event
+    // recovery SLO records (`e00`, `e01`, … in schedule order).
+    for leaf in [
+        "events",
+        "applied",
+        "restores",
+        "ops_aborted",
+        "streams_poisoned",
+        "forced_reconfigs",
+        "dead_units",
+        "dead_links",
+        "dead_resident_streams",
+        "availability",
+    ] {
+        push(&format!("chaos.{leaf}"));
+    }
+    for leaf in ["outages", "probes", "stall_ps"] {
+        push(&format!("chaos.cxl.{leaf}"));
+    }
+    for leaf in ["at_ps", "ttr_ps", "streams_migrated", "ops_aborted"] {
+        push(&format!("fault.recovery.e#.{leaf}"));
+    }
 
     // SLO epoch statistics (registry) and their trace counter-tracks.
     for leaf in [
@@ -241,6 +264,11 @@ mod tests {
             "stream_table.poisoned",
             "profile.run",
             "profile.sampler_solve.wall_us",
+            "chaos.applied",
+            "chaos.dead_resident_streams",
+            "chaos.cxl.stall_ps",
+            "fault.recovery.e00.ttr_ps",
+            "fault.recovery.e12.streams_migrated",
         ] {
             assert!(validate(p), "{p} must validate");
         }
@@ -248,7 +276,16 @@ mod tests {
 
     #[test]
     fn prefixes_validate_at_segment_boundaries() {
-        for p in ["fault.noc", "engine.batch.", "engine.queue.", "slo.", "profile.", "noc.link"] {
+        for p in [
+            "fault.noc",
+            "engine.batch.",
+            "engine.queue.",
+            "slo.",
+            "profile.",
+            "noc.link",
+            "chaos.",
+            "fault.recovery.",
+        ] {
             assert!(validate(p), "{p} must validate as a prefix");
         }
     }
@@ -265,6 +302,8 @@ mod tests {
             "noc.link.s0x-s01.flits",    // non-digit where digits belong
             "engine.batches",            // leaf of the wrong scope
             "stream_table.streams.live", // too deep
+            "chaos.availability_pct",    // leaf that never existed
+            "fault.recovery.e.ttr_ps",   // event id without digits
         ] {
             assert!(!validate(p), "{p} must fail validation");
         }

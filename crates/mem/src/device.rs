@@ -206,6 +206,11 @@ pub struct DramDevice {
     stats: DramStats,
     dynamic: Energy,
     fault: Option<MemFault>,
+    /// Set while the rank is offline (chaos stack loss): background power
+    /// stops accruing and accesses are a logic error.
+    offline_at: Option<Time>,
+    /// Total span of already-closed offline windows (power-gated).
+    offline_span: Time,
     /// Strength-reduced geometry divisors (`/ row_bytes`, `/ banks`,
     /// `% channels`): the address decompose runs on every access.
     row_div: Divisor,
@@ -237,6 +242,8 @@ impl DramDevice {
             stats: DramStats::default(),
             dynamic: Energy::ZERO,
             fault: None,
+            offline_at: None,
+            offline_span: Time::ZERO,
         }
     }
 
@@ -258,6 +265,30 @@ impl DramDevice {
     /// Decisions drawn by the installed fault model, if any.
     pub fn fault_rolls(&self) -> Option<u64> {
         self.fault.as_ref().map(MemFault::rolls)
+    }
+
+    /// Takes the rank offline at `at` (chaos stack loss): its contents are
+    /// gone, background power stops accruing, and further accesses are a
+    /// logic error until [`set_online`](Self::set_online). Idempotent while
+    /// already offline.
+    pub fn set_offline(&mut self, at: Time) {
+        if self.offline_at.is_none() {
+            self.offline_at = Some(at);
+        }
+    }
+
+    /// Brings an offline rank back at `at`, restored empty (rows closed,
+    /// reservations forgotten). No-op if the rank is online.
+    pub fn set_online(&mut self, at: Time) {
+        if let Some(off) = self.offline_at.take() {
+            self.offline_span += at.saturating_sub(off);
+            self.reset_state();
+        }
+    }
+
+    /// True while the rank is offline.
+    pub fn offline(&self) -> bool {
+        self.offline_at.is_some()
     }
 
     /// Performs one access of `bytes` bytes at `addr`, no earlier than `now`.
@@ -282,6 +313,7 @@ impl DramDevice {
         write: bool,
         now: Time,
     ) -> (Time, EccOutcome) {
+        debug_assert!(self.offline_at.is_none(), "access to an offline DRAM rank");
         let row_id = self.row_div.div(addr);
         let (row, bank_idx) = self.bank_div.divmod(row_id);
         let bank_idx = bank_idx as usize;
@@ -385,9 +417,14 @@ impl DramDevice {
         self.dynamic
     }
 
-    /// Background (static) energy over a run of length `elapsed`.
+    /// Background (static) energy over a run of length `elapsed`. Offline
+    /// windows (chaos stack loss) are power-gated and accrue nothing.
     pub fn background_energy(&self, elapsed: Time) -> Energy {
-        self.cfg.energy.background.over(elapsed)
+        let mut powered = elapsed.saturating_sub(self.offline_span);
+        if let Some(off) = self.offline_at {
+            powered = powered.saturating_sub(elapsed.saturating_sub(off));
+        }
+        self.cfg.energy.background.over(powered)
     }
 
     /// Closes all rows and forgets reservations (e.g. between epochs in
@@ -499,6 +536,29 @@ mod tests {
         let e1 = d.background_energy(Time::from_us(1));
         let e2 = d.background_energy(Time::from_us(2));
         assert!((e2.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offline_windows_are_power_gated() {
+        let mut d = small();
+        let online = d.background_energy(Time::from_us(4));
+        // Offline from 1 µs to 3 µs: only 2 µs of a 4 µs run is powered.
+        d.set_offline(Time::from_us(1));
+        assert!(d.offline());
+        d.set_online(Time::from_us(3));
+        assert!(!d.offline());
+        let gated = d.background_energy(Time::from_us(4));
+        assert!((gated.as_pj() - online.as_pj() / 2.0).abs() < 1e-6);
+        // Still offline at the end of the run: powered span stops at the
+        // offline point.
+        d.set_offline(Time::from_us(3));
+        let tail = d.background_energy(Time::from_us(4));
+        assert!((tail.as_pj() - online.as_pj() / 4.0).abs() < 1e-6);
+        // Restore wipes device state but keeps statistics.
+        d.set_online(Time::from_us(4));
+        assert_eq!(d.stats().reads.get(), 0);
+        let t = d.access(0, 64, false, Time::from_us(4));
+        assert!(t > Time::from_us(4));
     }
 
     #[test]

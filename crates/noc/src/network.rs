@@ -188,6 +188,14 @@ pub struct Network {
     /// Retransmissions per directed inter-stack link (same indexing as
     /// `link_peak_wait`); only touched by the fault model.
     link_retransmits: Vec<u64>,
+    /// Dead directed inter-stack links (chaos link-down); routes avoid them.
+    dead_links: Vec<bool>,
+    /// Per-link forwarded/byte/flit counts flushed out of the per-pair
+    /// counters at each reroute, so traffic carried over *old* routes is
+    /// never re-attributed to the new ones.
+    link_fwd_acc: Vec<u64>,
+    link_bytes_acc: Vec<u64>,
+    link_flits_acc: Vec<u64>,
     stats: NocStats,
     dynamic: Energy,
     fault: Option<NocFault>,
@@ -232,6 +240,10 @@ impl Network {
             link_peak_wait: vec![Time::ZERO; stacks * 4],
             link_peak_inflight: vec![0; stacks * 4],
             link_retransmits: vec![0; stacks * 4],
+            dead_links: vec![false; stacks * 4],
+            link_fwd_acc: vec![0; stacks * 4],
+            link_bytes_acc: vec![0; stacks * 4],
+            link_flits_acc: vec![0; stacks * 4],
             dist: DistanceTable::new(&topo),
             routes,
             topo,
@@ -265,7 +277,7 @@ impl Network {
             return Time::ZERO;
         }
         let intra_h = self.dist.intra_hops(src, dst) as u64;
-        let inter_h = self.dist.inter_hops(src, dst) as u64;
+        let inter_h = self.inter_hops(src, dst);
         let mut t = self.intra.hop_latency * intra_h + self.inter.hop_latency * inter_h;
         t += if inter_h > 0 {
             self.inter.serialization(bytes)
@@ -283,7 +295,7 @@ impl Network {
             return now;
         }
         let intra_h = self.dist.intra_hops(src, dst) as u64;
-        let inter_h = self.dist.inter_hops(src, dst) as u64;
+        let inter_h = self.inter_hops(src, dst);
         self.stats.messages.inc();
         self.stats.bytes.add(u64::from(bytes));
         self.stats.intra_hops.add(intra_h);
@@ -373,6 +385,137 @@ impl Network {
         (start, busy)
     }
 
+    /// Inter-stack hops between two units over the *current* routes. Equals
+    /// the Manhattan stack distance while every link is alive (routes are
+    /// XY); after a link death it reflects the detour.
+    fn inter_hops(&self, src: UnitId, dst: UnitId) -> u64 {
+        let s = self.topo.stack_of(src);
+        let d = self.topo.stack_of(dst);
+        if s == d {
+            0
+        } else {
+            self.routes[s * self.topo.stacks() + d].len() as u64
+        }
+    }
+
+    /// Marks the directed inter-stack link `src_stack → dst_stack` dead
+    /// (or alive again) and recomputes every route around the dead set.
+    /// Returns `false` (and changes nothing) when the stacks are not
+    /// grid-adjacent. Already-carried traffic keeps its attribution: the
+    /// per-pair counters are flushed over the old routes first.
+    pub fn set_link_dead(&mut self, src_stack: usize, dst_stack: usize, dead: bool) -> bool {
+        let stacks = self.topo.stacks();
+        if src_stack >= stacks || dst_stack >= stacks {
+            return false;
+        }
+        let (sx, sy) = self.topo.stack_coords(src_stack);
+        let (dx, dy) = self.topo.stack_coords(dst_stack);
+        let dir = match (dx as isize - sx as isize, dy as isize - sy as isize) {
+            (1, 0) => 0usize,
+            (-1, 0) => 1,
+            (0, 1) => 2,
+            (0, -1) => 3,
+            _ => return false,
+        };
+        let idx = (sy * self.topo.stacks_x + sx) * 4 + dir;
+        if self.dead_links[idx] == dead {
+            return true;
+        }
+        self.flush_pair_counters();
+        self.dead_links[idx] = dead;
+        self.recompute_routes();
+        true
+    }
+
+    /// Number of currently dead directed links.
+    pub fn dead_link_count(&self) -> u64 {
+        self.dead_links.iter().filter(|&&d| d).count() as u64
+    }
+
+    /// Expands the per-pair counters over the current routes into the
+    /// per-link accumulators and zeroes them, so a route change cannot
+    /// misattribute earlier traffic.
+    fn flush_pair_counters(&mut self) {
+        for (pair, msgs) in self.pair_msgs.iter_mut().enumerate() {
+            if *msgs == 0 {
+                continue;
+            }
+            for &link in &self.routes[pair] {
+                self.link_fwd_acc[link as usize] += *msgs;
+                self.link_bytes_acc[link as usize] += self.pair_bytes[pair];
+                self.link_flits_acc[link as usize] += self.pair_flits[pair];
+            }
+            *msgs = 0;
+            self.pair_bytes[pair] = 0;
+            self.pair_flits[pair] = 0;
+        }
+    }
+
+    /// Rebuilds every stack-pair route around the dead-link set: plain XY
+    /// when everything is alive, otherwise a deterministic BFS (fixed
+    /// E/W/N/S neighbor order) over the surviving grid. A pair the dead set
+    /// disconnects keeps its XY route — the link is still modelled, so the
+    /// traffic pays the escalated (contended) path rather than vanishing.
+    fn recompute_routes(&mut self) {
+        let stacks = self.topo.stacks();
+        if self.dead_links.iter().all(|&d| !d) {
+            self.routes = (0..stacks * stacks)
+                .map(|i| route_links(&self.topo, i / stacks, i % stacks))
+                .collect();
+            return;
+        }
+        for src in 0..stacks {
+            // BFS shortest paths from `src` over live links.
+            let mut prev: Vec<Option<(usize, u32)>> = vec![None; stacks];
+            let mut seen = vec![false; stacks];
+            let mut queue = std::collections::VecDeque::new();
+            seen[src] = true;
+            queue.push_back(src);
+            while let Some(s) = queue.pop_front() {
+                let (sx, sy) = self.topo.stack_coords(s);
+                let neighbors = [
+                    (0usize, sx + 1, sy, sx + 1 < self.topo.stacks_x),
+                    (1, sx.wrapping_sub(1), sy, sx > 0),
+                    (2, sx, sy + 1, sy + 1 < self.topo.stacks_y),
+                    (3, sx, sy.wrapping_sub(1), sy > 0),
+                ];
+                for (dir, nx, ny, on_grid) in neighbors {
+                    if !on_grid {
+                        continue;
+                    }
+                    let link = ((sy * self.topo.stacks_x + sx) * 4 + dir) as u32;
+                    if self.dead_links[link as usize] {
+                        continue;
+                    }
+                    let n = ny * self.topo.stacks_x + nx;
+                    if !seen[n] {
+                        seen[n] = true;
+                        prev[n] = Some((s, link));
+                        queue.push_back(n);
+                    }
+                }
+            }
+            for (dst, &reached) in seen.iter().enumerate() {
+                if dst == src {
+                    continue;
+                }
+                let pair = src * stacks + dst;
+                if !reached {
+                    self.routes[pair] = route_links(&self.topo, src, dst);
+                    continue;
+                }
+                let mut links = Vec::new();
+                let mut cur = dst;
+                while let Some((p, link)) = prev[cur] {
+                    links.push(link);
+                    cur = p;
+                }
+                links.reverse();
+                self.routes[pair] = links;
+            }
+        }
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &NocStats {
         &self.stats
@@ -384,6 +527,13 @@ impl Network {
     /// routes.
     pub fn link_stats(&self) -> Vec<LinkStats> {
         let mut out = vec![LinkStats::default(); self.topo.stacks() * 4];
+        // Traffic carried before the last reroute, flushed over its
+        // then-current routes.
+        for (i, ls) in out.iter_mut().enumerate() {
+            ls.forwarded.add(self.link_fwd_acc[i]);
+            ls.bytes.add(self.link_bytes_acc[i]);
+            ls.flits.add(self.link_flits_acc[i]);
+        }
         for (pair, &msgs) in self.pair_msgs.iter().enumerate() {
             if msgs == 0 {
                 continue;
@@ -704,6 +854,45 @@ mod tests {
         let (retransmits, rolls) = run();
         assert!(retransmits > 0);
         assert!(rolls >= 500);
+    }
+
+    #[test]
+    fn dead_link_reroutes_and_restores() {
+        let mut n = mesh_net(); // 4×2 stack grid
+        let inter = LinkParams::inter_stack();
+        // Healthy: stack 0 → 1 crosses the east link (index 0), one hop.
+        assert_eq!(n.send(UnitId(0), UnitId(16), 64, Time::ZERO).as_ps(), 12_000);
+        assert!(n.set_link_dead(0, 1, true));
+        assert_eq!(n.dead_link_count(), 1);
+        // The detour goes (0,0)→(0,1)→(1,1)→(1,0): three hops.
+        let detour = n.base_latency(UnitId(0), UnitId(16), 64);
+        assert_eq!(detour, inter.hop_latency * 3 + inter.serialization(64));
+        assert_eq!(
+            n.send(UnitId(0), UnitId(16), 64, Time::from_us(50)),
+            Time::from_us(50) + detour
+        );
+        // Pre-reroute traffic keeps its attribution to the old east link;
+        // the new message rides the detour's first link (stack 0 north).
+        let stats = n.link_stats();
+        assert_eq!(stats[0].forwarded.get(), 1, "old route's traffic stays put");
+        assert_eq!(stats[2].forwarded.get(), 1, "detour traffic lands on the north link");
+        // Restore: XY routing returns and the dead set empties.
+        assert!(n.set_link_dead(0, 1, false));
+        assert_eq!(n.dead_link_count(), 0);
+        assert_eq!(n.base_latency(UnitId(0), UnitId(16), 64).as_ps(), 12_000);
+        // Flushed attribution survives the second reroute too.
+        let stats = n.link_stats();
+        assert_eq!(stats[0].forwarded.get(), 1);
+        assert_eq!(stats[2].forwarded.get(), 1);
+    }
+
+    #[test]
+    fn set_link_dead_rejects_non_adjacent_stacks() {
+        let mut n = mesh_net();
+        assert!(!n.set_link_dead(0, 2, true), "two hops apart");
+        assert!(!n.set_link_dead(0, 0, true), "self loop");
+        assert!(!n.set_link_dead(0, 99, true), "out of range");
+        assert_eq!(n.dead_link_count(), 0);
     }
 
     #[test]

@@ -305,6 +305,25 @@ knob!(
     "NoC flit-error rate driving per-link retransmits."
 );
 
+// Chaos schedules ------------------------------------------------------------
+knob!(
+    CHAOS,
+    "NDPX_CHAOS",
+    KnobKind::Str,
+    "unset (chaos disabled)",
+    "Hard-failure schedule: semicolon-separated `kind@time[+duration][:target]` events \
+     (`cxl-down@10us+5us`, `stack-down@20us:1`, `noc-down@15us:0-1`); unset disables every \
+     hard-failure injector."
+);
+knob!(
+    CHAOS_RETRY_NS,
+    "NDPX_CHAOS_RETRY_NS",
+    KnobKind::U64,
+    "500",
+    "Base backoff (ns, doubling per probe) of the bounded retry loop that extended-memory \
+     accesses spin on during a scheduled CXL outage."
+);
+
 // Bench binaries -------------------------------------------------------------
 knob!(
     GAUGE_MICRO,
@@ -395,6 +414,8 @@ pub const ALL: &[&Knob] = &[
     &FAULT_MEM_CE,
     &FAULT_MEM_UE,
     &FAULT_NOC_FER,
+    &CHAOS,
+    &CHAOS_RETRY_NS,
     &GAUGE_MICRO,
     &THREAD_SWEEP,
     &PERF_OUT,
@@ -427,7 +448,7 @@ mod tests {
     fn the_registry_holds_all_knobs() {
         // The count is asserted so adding a knob without registering it in
         // `ALL` (or removing one without pruning) cannot go unnoticed.
-        assert_eq!(ALL.len(), 34);
+        assert_eq!(ALL.len(), 36);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   and a levelled logging facade;
 //! * [`rng`] — seeded pseudo-random generation and placement hashing;
 //! * [`fault`] — deterministic, seeded fault-injection plans;
+//! * [`chaos`] — scheduled hard-failure plans (device and link loss);
 //! * [`knobs`] — the central registry of every `NDPX_*` environment knob.
 //!
 //! Everything is single-threaded and allocation-light: a simulation run is a
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod energy;
 pub mod engine;
 pub mod fastdiv;
@@ -47,6 +49,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind, ChaosPlan};
 pub use energy::{Energy, Power};
 pub use engine::{EventQueue, ProgressWatchdog, Stall};
 pub use fault::{FaultConfig, FaultPlan};

@@ -57,6 +57,14 @@ impl StatValue {
             _ => None,
         }
     }
+
+    /// The gauge value, or `None` for non-gauge stats.
+    pub fn as_gauge(&self) -> Option<f64> {
+        match self {
+            StatValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
 }
 
 /// A sorted map from dotted stat path to [`StatValue`].

@@ -194,6 +194,18 @@ impl StreamTable {
         first
     }
 
+    /// Marks every stream in `ids` poisoned in one sweep (chaos stack loss:
+    /// all streams resident on a dead stack lose their cached copies at
+    /// once). Returns how many were *newly* poisoned; repeats still count as
+    /// poison events, exactly like [`mark_poisoned`](Self::mark_poisoned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id was not issued by this table.
+    pub fn mark_poisoned_many(&mut self, ids: impl IntoIterator<Item = StreamId>) -> u64 {
+        ids.into_iter().filter(|&sid| self.mark_poisoned(sid)).count() as u64
+    }
+
     /// True if `sid` has seen a poison event.
     ///
     /// # Panics
@@ -271,6 +283,18 @@ mod tests {
         assert!(t.mark_written(a));
         assert!(!t.mark_written(a));
         assert!(!t.get(a).read_only);
+    }
+
+    #[test]
+    fn mark_poisoned_many_counts_only_new_streams() {
+        let mut t = StreamTable::new();
+        let a = t.configure(StreamSpec::affine_linear(0, 64, 8)).unwrap();
+        let b = t.configure(StreamSpec::affine_linear(0x100, 64, 8)).unwrap();
+        let c = t.configure(StreamSpec::affine_linear(0x200, 64, 8)).unwrap();
+        assert!(t.mark_poisoned(a));
+        assert_eq!(t.mark_poisoned_many([a, b, c]), 2, "a was already poisoned");
+        assert_eq!(t.poisoned_streams(), 3);
+        assert_eq!(t.poison_events(), 4, "the repeat on a still counts as an event");
     }
 
     #[test]

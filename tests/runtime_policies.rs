@@ -20,6 +20,7 @@ fn ctx(units: usize, cap: u64) -> ConfigCtx {
         attenuation,
         dram_lat_ps: 45_000.0,
         miss_extra_ps: 466_000.0,
+        dead: vec![false; units],
     }
 }
 
